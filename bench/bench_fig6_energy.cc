@@ -1,0 +1,153 @@
+// Reproduces paper Fig. 6: energy savings of RM1 / RM2 / RM3 (all with the
+// proposed Model3 and full overhead modelling) on six generated workloads
+// per scenario, for 4-core and 8-core systems, relative to the idle RM.
+// Also prints the per-scenario means and the probability-weighted average
+// (weights 47 / 22.1 / 22.1 / 8.8 % as in Section V-A).
+//
+// Flags: --cores=4,8  --per-scenario=6  --seed=2020  --csv=fig6.csv
+//        --no-overheads  --model=1|2|3
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/csv.hh"
+#include "rmsim/experiment.hh"
+#include "rmsim/report.hh"
+
+using namespace qosrm;
+
+namespace {
+
+rm::PerfModelKind model_from(int id) {
+  switch (id) {
+    case 1:
+      return rm::PerfModelKind::Model1;
+    case 2:
+      return rm::PerfModelKind::Model2;
+    default:
+      return rm::PerfModelKind::Model3;
+  }
+}
+
+std::vector<int> parse_core_list(const std::string& spec) {
+  std::vector<int> cores;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) cores.push_back(std::stoi(item));
+  return cores;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::vector<int> core_counts =
+      parse_core_list(args.get("cores", "4,8"));
+  const int per_scenario = static_cast<int>(args.get_int("per-scenario", 6));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2020));
+  const rm::PerfModelKind model =
+      model_from(static_cast<int>(args.get_int("model", 3)));
+
+  rmsim::SimOptions sim_options;
+  sim_options.model_overheads = !args.get_bool("no-overheads", false);
+
+  std::unique_ptr<CsvWriter> csv;
+  if (args.has("csv")) {
+    csv = std::make_unique<CsvWriter>(
+        args.get("csv", "fig6.csv"),
+        std::vector<std::string>{"workload", "cores", "scenario", "policy",
+                                 "model", "savings", "violation_rate"});
+  }
+
+  const auto weights = rmsim::scenario_weights(workload::spec_suite());
+  const std::vector<rm::RmPolicy> policies = {
+      rm::RmPolicy::Rm1, rm::RmPolicy::Rm2, rm::RmPolicy::Rm3};
+
+  for (const int cores : core_counts) {
+    std::printf("=== Fig. 6 (%d-core workloads, %s, overheads %s) ===\n", cores,
+                rm::perf_model_name(model),
+                sim_options.model_overheads ? "on" : "off");
+
+    arch::SystemConfig system;
+    system.cores = cores;
+    const power::PowerModel power;
+    const workload::SimDb db(workload::spec_suite(), system, power);
+    rmsim::ExperimentRunner runner(db, sim_options);
+
+    workload::WorkloadGenOptions gen;
+    gen.cores = cores;
+    gen.per_scenario = per_scenario;
+    gen.seed = seed;
+    const auto mixes = generate_workloads(workload::spec_suite(), gen);
+
+    std::vector<rmsim::SavingsGridRow> rows;
+    std::vector<workload::Scenario> scenario_of_row;
+    std::array<std::vector<double>, 3> all_savings;  // per policy
+
+    for (const auto& mix : mixes) {
+      rmsim::SavingsGridRow row;
+      row.workload = mix.name;
+      row.scenario = mix.scenario;
+      for (std::size_t p = 0; p < policies.size(); ++p) {
+        rm::RmConfig cfg;
+        cfg.policy = policies[p];
+        cfg.model = model;
+        const rmsim::SavingsResult r = runner.run(mix, cfg);
+        row.savings.push_back(r.savings);
+        all_savings[p].push_back(r.savings);
+        if (csv) {
+          csv->add_row({mix.name, std::to_string(cores),
+                        rmsim::scenario_label(mix.scenario),
+                        rm::rm_policy_name(policies[p]),
+                        rm::perf_model_name(model), std::to_string(r.savings),
+                        std::to_string(r.run.violation_rate())});
+        }
+      }
+      scenario_of_row.push_back(mix.scenario);
+      rows.push_back(std::move(row));
+    }
+
+    rmsim::savings_grid(rows, {"RM1", "RM2", "RM3"}).print();
+
+    // Per-scenario means plus the weighted and plain averages (paper V-A).
+    AsciiTable summary({"Aggregate", "RM1", "RM2", "RM3"});
+    for (const workload::Scenario s : workload::kAllScenarios) {
+      std::vector<std::string> row = {rmsim::scenario_label(s) + " mean"};
+      for (std::size_t p = 0; p < policies.size(); ++p) {
+        double sum = 0.0;
+        int count = 0;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          if (scenario_of_row[i] == s) {
+            sum += all_savings[p][i];
+            ++count;
+          }
+        }
+        row.push_back(AsciiTable::pct(count > 0 ? sum / count : 0.0));
+      }
+      summary.add_row(std::move(row));
+    }
+    std::vector<std::string> weighted = {"weighted average (47/22.1/22.1/8.8)"};
+    std::vector<std::string> plain = {"plain average"};
+    std::vector<std::string> peak = {"maximum"};
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      weighted.push_back(AsciiTable::pct(rmsim::weighted_average_savings(
+          scenario_of_row, all_savings[p], weights)));
+      double sum = 0.0, mx = -1.0;
+      for (const double s : all_savings[p]) {
+        sum += s;
+        mx = std::max(mx, s);
+      }
+      plain.push_back(
+          AsciiTable::pct(sum / static_cast<double>(all_savings[p].size())));
+      peak.push_back(AsciiTable::pct(mx));
+    }
+    summary.add_row(std::move(weighted));
+    summary.add_row(std::move(plain));
+    summary.add_row(std::move(peak));
+    summary.print();
+    std::printf("\n");
+  }
+  return 0;
+}

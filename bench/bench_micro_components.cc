@@ -1,0 +1,157 @@
+// Google-benchmark microbenchmarks for the hot paths of the library: the
+// structures the paper argues are cheap enough for hardware/runtime use.
+//
+//   * ATD observe            - per-LLC-access monitoring work
+//   * MLP-ATD observe        - the proposed 48-counter extension
+//   * oracle leading misses  - offline ground-truth analysis
+//   * trace synthesis        - workload generation throughput
+//   * local optimization     - one per-core RM invocation piece
+//   * global optimization    - min-plus reduction, 2..16 cores
+#include <benchmark/benchmark.h>
+
+#include "cache/atd.hh"
+#include "cache/mlp_atd.hh"
+#include "cache/mlp_oracle.hh"
+#include "cache/recency.hh"
+#include "common/rng.hh"
+#include "rm/global_opt.hh"
+#include "rm/local_opt.hh"
+#include "rm/resource_manager.hh"
+#include "rmsim/snapshot.hh"
+#include "workload/sim_db.hh"
+#include "workload/trace_synth.hh"
+
+namespace {
+
+using namespace qosrm;
+
+std::vector<cache::LlcAccess> make_trace(std::size_t n) {
+  Rng rng(1234);
+  std::vector<cache::LlcAccess> trace;
+  trace.reserve(n);
+  std::uint64_t inst = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    inst += 1 + rng.geometric(1.0 / 40.0);
+    trace.push_back({inst, static_cast<std::uint32_t>(rng.uniform_u64(64)),
+                     rng.uniform_u64(4000), rng.bernoulli(0.3)});
+  }
+  return trace;
+}
+
+void BM_AtdObserve(benchmark::State& state) {
+  const auto trace = make_trace(1 << 14);
+  cache::AtdConfig cfg;
+  cfg.sets = 64;
+  cache::Atd atd(cfg);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(atd.observe(trace[i]));
+    i = (i + 1) & (trace.size() - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AtdObserve);
+
+void BM_MlpAtdObserve(benchmark::State& state) {
+  const auto trace = make_trace(1 << 14);
+  cache::MlpAtdConfig cfg;
+  cfg.sets = 64;
+  cfg.min_ways = 1;
+  cache::MlpAtd atd(cfg);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    atd.observe(trace[i]);
+    i = (i + 1) & (trace.size() - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MlpAtdObserve);
+
+void BM_OracleLeadingMisses(benchmark::State& state) {
+  const auto trace = make_trace(1 << 14);
+  cache::RecencyProfiler prof(64, 16);
+  const auto recency = prof.annotate(trace);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache::MlpOracle::leading_misses(
+        trace, recency, arch::CoreSize::M, 8));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_OracleLeadingMisses);
+
+void BM_TraceSynthesis(benchmark::State& state) {
+  workload::PhaseParams phase;
+  phase.lpki = 8.0;
+  phase.reuse = workload::make_stack_profile(0.4, 0.4, 8.0, 2.0, 0.2);
+  phase.burst_size = 10.0;
+  workload::TraceSynthConfig cfg;
+  cfg.represented_instructions = 1e6;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::synthesize_trace(phase, cfg, seed++));
+  }
+}
+BENCHMARK(BM_TraceSynthesis);
+
+const workload::SimDb& bench_db() {
+  static const workload::SimDb db = [] {
+    arch::SystemConfig system;
+    system.cores = 2;
+    return workload::SimDb(workload::spec_suite(), system, power::PowerModel{});
+  }();
+  return db;
+}
+
+void BM_LocalOptimization(benchmark::State& state) {
+  const workload::SimDb& db = bench_db();
+  const rm::CounterSnapshot snap = rmsim::make_snapshot(
+      db, db.suite().index_of("mcf"), 0, workload::baseline_setting(db.system()));
+  const rm::PerfModel perf(rm::PerfModelKind::Model3, db.system());
+  const rm::OnlineEnergyModel energy(db.power());
+  const rm::LocalOptimizer optimizer(perf, energy, {true, true});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.optimize(snap));
+  }
+}
+BENCHMARK(BM_LocalOptimization);
+
+void BM_GlobalOptimization(benchmark::State& state) {
+  const auto cores = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<rm::EnergyCurve> curves;
+  for (std::size_t c = 0; c < cores; ++c) {
+    rm::EnergyCurve curve;
+    curve.min_ways = 2;
+    for (int w = 2; w <= 16; ++w) curve.energy.push_back(rng.uniform(1.0, 100.0));
+    curves.push_back(std::move(curve));
+  }
+  const int budget = 8 * static_cast<int>(cores);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rm::GlobalOptimizer::optimize(curves, budget));
+  }
+}
+BENCHMARK(BM_GlobalOptimization)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RmInvocationEndToEnd(benchmark::State& state) {
+  const workload::SimDb& db = bench_db();
+  rm::RmConfig cfg;
+  cfg.policy = rm::RmPolicy::Rm3;
+  cfg.model = rm::PerfModelKind::Model3;
+  rm::ResourceManager manager(cfg, db.system(), db.power());
+  std::vector<rm::CounterSnapshot> snaps;
+  snaps.push_back(rmsim::make_snapshot(db, db.suite().index_of("mcf"), 0,
+                                       workload::baseline_setting(db.system())));
+  snaps.push_back(rmsim::make_snapshot(db, db.suite().index_of("libquantum"), 0,
+                                       workload::baseline_setting(db.system())));
+  int core = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manager.invoke(core, snaps));
+    core ^= 1;
+  }
+}
+BENCHMARK(BM_RmInvocationEndToEnd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

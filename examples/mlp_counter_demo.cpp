@@ -1,0 +1,108 @@
+// MLP-counter walkthrough: replays the paper's Fig. 4 example through the
+// real MlpAtd hardware model, printing the per-arrival decisions for the S
+// and M core sizes, then contrasts the heuristic with the oracle on a small
+// pointer-chasing vs streaming trace.
+//
+// This is the "hello world" of the paper's third contribution: estimating
+// leading misses for every (core size, LLC allocation) online.
+#include <cstdio>
+
+#include "cache/arrival.hh"
+#include "cache/mlp_atd.hh"
+#include "cache/mlp_oracle.hh"
+#include "cache/recency.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+
+using namespace qosrm;
+
+namespace {
+
+void figure4_walkthrough() {
+  std::printf("=== Paper Fig. 4 walkthrough ===\n\n");
+  std::printf("Instruction stream: LD1(inst 5), LD2(inst 20, depends on LD1),\n"
+              "LD3(inst 33), LD4(inst 90); all miss in the LLC allocation.\n"
+              "ATD arrival order: LD1, LD3, LD2, LD4 (LD2 waits for LD1's data).\n\n");
+
+  // The arrival-order stream with quantized instruction indices.
+  struct Arrival {
+    const char* name;
+    std::uint64_t inst;
+  };
+  const Arrival arrivals[] = {{"LD1", 5}, {"LD3", 33}, {"LD2", 20}, {"LD4", 90}};
+
+  cache::MlpAtdConfig cfg;
+  cfg.sets = 1;
+  cfg.min_ways = 1;
+  cache::MlpAtd atd(cfg);
+
+  AsciiTable table({"arrival", "inst idx", "LM count (S)", "LM count (M)",
+                    "LM count (L)"});
+  std::uint64_t tag = 100;
+  for (const Arrival& a : arrivals) {
+    atd.observe({a.inst, 0, tag++, false});
+    table.add_row({a.name, std::to_string(a.inst),
+                   AsciiTable::num(atd.leading_misses(arch::CoreSize::S, 16), 0),
+                   AsciiTable::num(atd.leading_misses(arch::CoreSize::M, 16), 0),
+                   AsciiTable::num(atd.leading_misses(arch::CoreSize::L, 16), 0)});
+  }
+  table.print();
+  std::printf("\nPaper result: S core (ROB 64) counts 3 leading misses\n"
+              "(LD1, LD2 via out-of-order arrival, LD4 beyond the ROB);\n"
+              "M core (ROB 128) counts 2 (LD4 now overlaps LD2's group).\n\n");
+}
+
+void heuristic_vs_oracle() {
+  std::printf("=== Heuristic vs oracle on synthetic access patterns ===\n\n");
+
+  struct Pattern {
+    const char* name;
+    double dep_frac;
+  };
+  for (const Pattern pattern : {Pattern{"streaming (independent loads)", 0.0},
+                                Pattern{"pointer chasing (dependent)", 0.9}}) {
+    // Build a 2000-load trace: bursts of 8 loads, 20 instructions apart.
+    Rng rng(7);
+    std::vector<cache::LlcAccess> trace;
+    std::uint64_t inst = 0, tag = 1;
+    for (int i = 0; i < 2000; ++i) {
+      const bool burst_start = i % 8 == 0;
+      inst += burst_start ? 600 : 20;
+      trace.push_back({inst, 0, tag++, !burst_start &&
+                                            rng.bernoulli(pattern.dep_frac)});
+    }
+    cache::RecencyProfiler prof(1, 16);
+    const auto recency = prof.annotate(trace);
+    const auto order = cache::emulate_arrival_order(trace, recency, {});
+
+    cache::MlpAtdConfig cfg;
+    cfg.sets = 1;
+    cfg.min_ways = 1;
+    cache::MlpAtd atd(cfg);
+    for (const std::uint32_t pos : order) atd.observe(trace[pos]);
+
+    AsciiTable table({"core", "oracle LM", "ATD LM", "oracle MLP", "ATD MLP"});
+    for (const arch::CoreSize c : arch::kAllCoreSizes) {
+      const double oracle =
+          cache::MlpOracle::leading_misses(trace, recency, c, 16);
+      const double est = atd.leading_misses(c, 16);
+      table.add_row({std::string(arch::core_size_name(c)),
+                     AsciiTable::num(oracle, 0), AsciiTable::num(est, 0),
+                     AsciiTable::num(2000.0 / oracle, 2),
+                     AsciiTable::num(2000.0 / std::max(1.0, est), 2)});
+    }
+    std::printf("%s:\n", pattern.name);
+    table.print();
+    std::printf("\n");
+  }
+  std::printf("Streaming bursts overlap more on bigger cores (MLP grows with\n"
+              "the ROB); dependence chains pin MLP near 1 at every size.\n");
+}
+
+}  // namespace
+
+int main() {
+  figure4_walkthrough();
+  heuristic_vs_oracle();
+  return 0;
+}

@@ -1,0 +1,5 @@
+#include "arch/system_config.hh"
+
+// SystemConfig is a plain aggregate; this translation unit exists so the
+// target has a concrete object library even when all members stay inline.
+namespace qosrm::arch {}

@@ -1,0 +1,46 @@
+// Whole-system configuration (paper Table I) shared by the cache models, the
+// workload database and the resource managers.
+#ifndef QOSRM_ARCH_SYSTEM_CONFIG_HH
+#define QOSRM_ARCH_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+
+#include "arch/core_config.hh"
+#include "arch/dvfs.hh"
+
+namespace qosrm::arch {
+
+/// LLC way-allocation bounds. The shared LLC provides 8 ways x cores in
+/// total (2 MB x cores, 256 KB per way); each core may hold between 2 and 16
+/// ways (256 KB - 4 MB), baseline is the even split of 8 ways.
+struct LlcConfig {
+  int ways_per_core_baseline = 8;
+  int min_ways = 2;
+  int max_ways = 16;
+  int block_bytes = 64;
+  int sets = 4096;              ///< 256 KB per way / 64 B blocks
+  int atd_sampled_sets = 64;    ///< set-sampling ratio 1/64 in the ATD
+
+  /// Total way budget for an n-core system: Sum_j w_j = 8 n.
+  [[nodiscard]] int total_ways(int cores) const noexcept {
+    return ways_per_core_baseline * cores;
+  }
+  [[nodiscard]] int num_allocations() const noexcept {
+    return max_ways - min_ways + 1;
+  }
+};
+
+/// Full system description.
+struct SystemConfig {
+  int cores = 4;
+  LlcConfig llc{};
+  double interval_instructions = 100e6;  ///< RM invocation granularity
+  double mem_latency_s = 130e-9;         ///< DRAM base latency
+  double qos_alpha = 1.0;                ///< QoS relaxation (paper uses 1)
+
+  [[nodiscard]] int total_ways() const noexcept { return llc.total_ways(cores); }
+};
+
+}  // namespace qosrm::arch
+
+#endif  // QOSRM_ARCH_SYSTEM_CONFIG_HH

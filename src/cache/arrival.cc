@@ -1,0 +1,44 @@
+#include "cache/arrival.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cache/recency.hh"
+#include "common/check.hh"
+
+namespace qosrm::cache {
+
+std::vector<std::uint32_t> emulate_arrival_order(
+    std::span<const LlcAccess> trace, std::span<const std::uint8_t> recency,
+    const ArrivalParams& params) {
+  QOSRM_CHECK(trace.size() == recency.size());
+  QOSRM_CHECK(params.dispatch_ipc > 0.0);
+
+  std::vector<double> arrival(trace.size(), 0.0);
+  double chain_delay = 0.0;    // accumulated delay of the current dep chain
+  bool prev_missed = false;    // previous load missed -> dependents stall
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const LlcAccess& a = trace[i];
+    const double dispatch_cycle =
+        static_cast<double>(a.inst_index) / params.dispatch_ipc;
+    if (a.depends_on_prev && prev_missed) {
+      // Address depends on in-flight data: issue after the producer returns.
+      chain_delay += params.mem_latency_cycles;
+    } else if (!a.depends_on_prev) {
+      chain_delay = 0.0;  // independent load starts a fresh chain
+    }
+    arrival[i] = dispatch_cycle + chain_delay;
+    prev_missed = misses_at(recency[i], params.ways);
+  }
+
+  std::vector<std::uint32_t> order(trace.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t x, std::uint32_t y) {
+                     return arrival[x] < arrival[y];
+                   });
+  return order;
+}
+
+}  // namespace qosrm::cache

@@ -1,0 +1,53 @@
+#include "cache/atd.hh"
+
+#include "common/check.hh"
+
+namespace qosrm::cache {
+
+Atd::Atd(const AtdConfig& config) : cfg_(config) {
+  QOSRM_CHECK(cfg_.sets > 0);
+  QOSRM_CHECK(cfg_.max_ways > 0 && cfg_.max_ways < kRecencyMiss);
+  QOSRM_CHECK(cfg_.sample_period >= 1);
+  QOSRM_CHECK(cfg_.counter_bits >= 8 && cfg_.counter_bits <= 64);
+  const int sampled = (cfg_.sets + cfg_.sample_period - 1) / cfg_.sample_period;
+  sampled_sets_.reserve(static_cast<std::size_t>(sampled));
+  for (int i = 0; i < sampled; ++i) sampled_sets_.emplace_back(cfg_.max_ways);
+  hits_.assign(static_cast<std::size_t>(cfg_.max_ways), 0);
+}
+
+std::uint8_t Atd::observe(const LlcAccess& access) {
+  QOSRM_DCHECK(access.set < static_cast<std::uint32_t>(cfg_.sets));
+  if (access.set % static_cast<std::uint32_t>(cfg_.sample_period) != 0) {
+    return kRecencyMiss;
+  }
+  ++observed_;
+  const std::uint32_t idx = access.set / static_cast<std::uint32_t>(cfg_.sample_period);
+  const std::uint8_t pos = sampled_sets_[idx].access(access.tag);
+  if (pos == kRecencyMiss) {
+    bump(misses_);
+  } else {
+    bump(hits_[pos]);
+  }
+  return pos;
+}
+
+MissCurve Atd::miss_curve() const {
+  std::vector<double> hits(hits_.size(), 0.0);
+  for (std::size_t i = 0; i < hits_.size(); ++i) hits[i] = static_cast<double>(hits_[i]);
+  return MissCurve::from_hit_counters(hits, static_cast<double>(misses_),
+                                      static_cast<double>(cfg_.sample_period));
+}
+
+double Atd::estimated_misses(int w) const { return miss_curve().misses(w); }
+
+void Atd::reset_counters() {
+  hits_.assign(hits_.size(), 0);
+  misses_ = 0;
+  observed_ = 0;
+}
+
+void Atd::bump(std::uint64_t& counter) noexcept {
+  if (counter < cfg_.counter_max()) ++counter;
+}
+
+}  // namespace qosrm::cache

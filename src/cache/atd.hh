@@ -1,0 +1,73 @@
+// Auxiliary Tag Directory (Qureshi & Patt, MICRO'06) - the hardware
+// monitoring structure the paper builds on.
+//
+// The ATD shadows the main LLC tag array for a (possibly sampled) subset of
+// sets at the maximum associativity. Per-recency-position hit counters plus a
+// miss counter yield the estimated miss count for ANY way allocation w:
+//
+//   misses(w) = atd_misses + sum_{r >= w} hits[r]
+//
+// Counters are finite-width saturating registers (paper Section III-E).
+#ifndef QOSRM_CACHE_ATD_HH
+#define QOSRM_CACHE_ATD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/access.hh"
+#include "cache/lru_stack.hh"
+#include "cache/miss_curve.hh"
+
+namespace qosrm::cache {
+
+struct AtdConfig {
+  int sets = 4096;        ///< sets of the monitored LLC slice
+  int max_ways = 16;      ///< monitored associativity (max allocation)
+  int sample_period = 1;  ///< monitor sets where set % period == 0
+  int counter_bits = 27;  ///< width of the hit/miss counters
+
+  [[nodiscard]] std::uint64_t counter_max() const noexcept {
+    return (counter_bits >= 64) ? ~0ULL : ((1ULL << counter_bits) - 1);
+  }
+};
+
+class Atd {
+ public:
+  explicit Atd(const AtdConfig& config);
+
+  /// Observes one LLC access (in LLC arrival order); updates tags/counters if
+  /// the access falls into a sampled set. Returns the recency position seen
+  /// by the ATD (kRecencyMiss if the set is not sampled or the tag missed).
+  std::uint8_t observe(const LlcAccess& access);
+
+  /// Estimated miss counts for all allocations, scaled by the sample period.
+  [[nodiscard]] MissCurve miss_curve() const;
+
+  /// Estimated misses at allocation w (scaled by the sample period).
+  [[nodiscard]] double estimated_misses(int w) const;
+
+  /// Raw per-recency-position hit counters (unscaled).
+  [[nodiscard]] const std::vector<std::uint64_t>& hit_counters() const noexcept {
+    return hits_;
+  }
+  [[nodiscard]] std::uint64_t atd_misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t observed() const noexcept { return observed_; }
+
+  /// Clears counters but keeps tag state (interval boundary behaviour).
+  void reset_counters();
+
+  [[nodiscard]] const AtdConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void bump(std::uint64_t& counter) noexcept;
+
+  AtdConfig cfg_;
+  std::vector<LruStack> sampled_sets_;  // indexed by set / sample_period
+  std::vector<std::uint64_t> hits_;     // hits_[r], r in [0, max_ways)
+  std::uint64_t misses_ = 0;
+  std::uint64_t observed_ = 0;
+};
+
+}  // namespace qosrm::cache
+
+#endif  // QOSRM_CACHE_ATD_HH

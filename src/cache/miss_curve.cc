@@ -1,0 +1,56 @@
+#include "cache/miss_curve.hh"
+
+#include <algorithm>
+
+#include "cache/access.hh"
+#include "common/check.hh"
+
+namespace qosrm::cache {
+
+MissCurve::MissCurve(std::vector<double> misses_by_ways) : m_(std::move(misses_by_ways)) {
+  QOSRM_CHECK(!m_.empty());
+}
+
+MissCurve MissCurve::from_recency(std::span<const std::uint8_t> recency, int max_ways) {
+  QOSRM_CHECK(max_ways > 0);
+  // hits_at[r] = number of accesses hitting recency position r.
+  std::vector<double> hits_at(static_cast<std::size_t>(max_ways), 0.0);
+  double cold = 0.0;
+  for (const std::uint8_t r : recency) {
+    if (r == kRecencyMiss || static_cast<int>(r) >= max_ways) {
+      cold += 1.0;
+    } else {
+      hits_at[r] += 1.0;
+    }
+  }
+  return from_hit_counters(hits_at, cold);
+}
+
+MissCurve MissCurve::from_hit_counters(std::span<const double> hits, double misses,
+                                       double scale) {
+  QOSRM_CHECK(!hits.empty());
+  QOSRM_CHECK(scale > 0.0);
+  std::vector<double> m(hits.size(), 0.0);
+  // misses(w) = base misses + hits at recency positions >= w; accumulate the
+  // suffix sum from the largest allocation downwards.
+  double tail = misses;
+  for (std::size_t w = hits.size(); w >= 1; --w) {
+    m[w - 1] = tail * scale;
+    tail += hits[w - 1];
+  }
+  return MissCurve(std::move(m));
+}
+
+double MissCurve::misses(int w) const noexcept {
+  QOSRM_DCHECK(!m_.empty());
+  const int clamped = std::clamp(w, 1, max_ways());
+  return m_[static_cast<std::size_t>(clamped - 1)];
+}
+
+void MissCurve::make_monotone() noexcept {
+  for (std::size_t w = m_.size(); w >= 2; --w) {
+    m_[w - 2] = std::max(m_[w - 2], m_[w - 1]);
+  }
+}
+
+}  // namespace qosrm::cache

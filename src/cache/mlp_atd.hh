@@ -1,0 +1,105 @@
+// The paper's proposed ATD extension for online MLP estimation (Fig. 4).
+//
+// One leading-miss (LM) counter is kept per (core size, LLC allocation)
+// pair: 3 core sizes x 16 allocations = 48 counters per core. Every LLC
+// access carries a quantized instruction index (paper: 10 bits, window = 4x
+// the maximum ROB). For each counter, a miss at allocation w is classified:
+//
+//   * leading miss (LM)  - begins a new group of overlapping accesses; its
+//                          full memory latency stalls the core;
+//   * overlapping (OV)   - its latency hides under the current leading miss.
+//
+// Heuristic (paper Section III-C): a miss is OV iff
+//   1. its distance to the last LM is below the ROB size of the core
+//      configuration, and
+//   2. it does not arrive out of order (distance smaller than the previous
+//      OV distance), which indicates a data dependency on the last LM.
+//
+// The structure embeds its own (possibly sampled) tag directory so the
+// miss-at-w predicate is produced exactly the way the hardware would.
+#ifndef QOSRM_CACHE_MLP_ATD_HH
+#define QOSRM_CACHE_MLP_ATD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/core_config.hh"
+#include "cache/access.hh"
+#include "cache/lru_stack.hh"
+
+namespace qosrm::cache {
+
+struct MlpAtdConfig {
+  int sets = 4096;
+  int max_ways = 16;
+  int min_ways = 1;       ///< smallest tracked allocation
+  int sample_period = 1;  ///< set-sampling period (1 = every set)
+  int index_bits = 10;    ///< quantized instruction-index width (paper: 10)
+  int counter_bits = 27;  ///< LM counter width (paper: 27)
+
+  [[nodiscard]] std::uint32_t index_window() const noexcept {
+    return 1u << index_bits;
+  }
+  [[nodiscard]] std::uint64_t counter_max() const noexcept {
+    return (counter_bits >= 64) ? ~0ULL : ((1ULL << counter_bits) - 1);
+  }
+  [[nodiscard]] int num_allocations() const noexcept {
+    return max_ways - min_ways + 1;
+  }
+};
+
+class MlpAtd {
+ public:
+  explicit MlpAtd(const MlpAtdConfig& config);
+
+  /// Observes one LLC access in ATD ARRIVAL order (the order loads reach the
+  /// LLC under the currently running configuration). Updates the embedded
+  /// tag directory and all (c, w) leading-miss counters.
+  void observe(const LlcAccess& access);
+
+  /// Leading-miss count estimated for core size `c` and allocation `w`,
+  /// scaled by the set-sampling period.
+  [[nodiscard]] double leading_misses(arch::CoreSize c, int w) const;
+
+  /// Total observed misses at allocation w (same tag directory as the LM
+  /// counters, scaled) - the companion UMON estimate.
+  [[nodiscard]] double total_misses(int w) const;
+
+  /// Estimated MLP = total misses / leading misses (>= 1).
+  [[nodiscard]] double mlp(arch::CoreSize c, int w) const;
+
+  /// Clears all counters and per-counter registers; tag state is preserved
+  /// (interval boundary behaviour).
+  void reset_counters();
+
+  [[nodiscard]] const MlpAtdConfig& config() const noexcept { return cfg_; }
+
+  /// Storage cost of the mechanism in bits (paper Section III-E estimates
+  /// < 300 bytes/core): LM counters + last-LM-index + last-OV-distance
+  /// registers. Excludes the baseline ATD tag storage.
+  [[nodiscard]] std::uint64_t extension_storage_bits() const noexcept;
+
+ private:
+  /// Per-(core size, allocation) heuristic state.
+  struct Counter {
+    std::uint64_t lm_count = 0;
+    std::uint32_t last_lm_index = 0;
+    std::uint32_t last_ov_dist = 0;
+    bool has_last_lm = false;
+    bool has_ov = false;
+  };
+
+  [[nodiscard]] Counter& counter(int c_idx, int w) noexcept;
+  [[nodiscard]] const Counter& counter(int c_idx, int w) const noexcept;
+  void update_counter(Counter& ctr, int rob, std::uint32_t q_index) noexcept;
+
+  MlpAtdConfig cfg_;
+  std::vector<LruStack> sampled_sets_;
+  std::vector<Counter> counters_;        // [core size][allocation]
+  std::vector<std::uint64_t> hit_at_;    // recency-position hit counters
+  std::uint64_t atd_misses_ = 0;
+};
+
+}  // namespace qosrm::cache
+
+#endif  // QOSRM_CACHE_MLP_ATD_HH

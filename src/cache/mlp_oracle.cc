@@ -1,0 +1,65 @@
+#include "cache/mlp_oracle.hh"
+
+#include "cache/recency.hh"
+#include "common/check.hh"
+
+namespace qosrm::cache {
+
+double MlpOracle::leading_misses(std::span<const LlcAccess> trace,
+                                 std::span<const std::uint8_t> recency,
+                                 arch::CoreSize c, int w) {
+  QOSRM_CHECK(trace.size() == recency.size());
+  const arch::CoreParams& core = arch::core_params(c);
+  const std::uint64_t rob = static_cast<std::uint64_t>(core.rob);
+  const int lsq = core.lsq;
+
+  double lm = 0.0;
+  bool has_last_lm = false;
+  std::uint64_t last_lm_index = 0;
+  int group_outstanding = 0;   // loads overlapping the current leading miss
+  bool prev_load_missed = false;  // did the previous trace load miss at w?
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const LlcAccess& a = trace[i];
+    const bool miss = misses_at(recency[i], w);
+    if (!miss) {
+      // Hits complete quickly; they neither extend nor break overlap groups.
+      prev_load_missed = false;
+      continue;
+    }
+
+    // Serialized behind a missing producer: the address depends on data that
+    // is still in flight, so this load cannot overlap the current group.
+    const bool serialized = a.depends_on_prev && prev_load_missed;
+
+    const bool within_window =
+        has_last_lm && (a.inst_index - last_lm_index) < rob;
+    const bool lsq_room = group_outstanding + 1 < lsq;
+
+    if (within_window && !serialized && lsq_room) {
+      ++group_outstanding;  // overlapped miss
+    } else {
+      lm += 1.0;
+      has_last_lm = true;
+      last_lm_index = a.inst_index;
+      group_outstanding = 1;
+    }
+    prev_load_missed = true;
+  }
+  return lm;
+}
+
+std::vector<double> MlpOracle::leading_miss_curve(std::span<const LlcAccess> trace,
+                                                  std::span<const std::uint8_t> recency,
+                                                  arch::CoreSize c, int min_ways,
+                                                  int max_ways) {
+  QOSRM_CHECK(min_ways >= 1 && min_ways <= max_ways);
+  std::vector<double> curve;
+  curve.reserve(static_cast<std::size_t>(max_ways - min_ways + 1));
+  for (int w = min_ways; w <= max_ways; ++w) {
+    curve.push_back(leading_misses(trace, recency, c, w));
+  }
+  return curve;
+}
+
+}  // namespace qosrm::cache

@@ -1,0 +1,44 @@
+// Ground-truth leading-miss analysis.
+//
+// Unlike the hardware heuristic (MlpAtd), the oracle sees the trace in
+// program order with TRUE dependency flags and unbounded-precision
+// instruction indices. A miss is overlapped iff
+//   * an earlier leading miss is still outstanding (the load's dispatch
+//     distance to it is below the ROB size),
+//   * the load is not serialized behind a missing producer (true dependency),
+//   * the load/store queue still has room in the current overlap group.
+//
+// The oracle defines LM(c, w) for the ground-truth timing model
+// (arch::evaluate_interval) and is the accuracy reference for the MLP-ATD
+// ablation benches.
+#ifndef QOSRM_CACHE_MLP_ORACLE_HH
+#define QOSRM_CACHE_MLP_ORACLE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/core_config.hh"
+#include "cache/access.hh"
+
+namespace qosrm::cache {
+
+class MlpOracle {
+ public:
+  /// Ground-truth leading-miss count for core size `c` at allocation `w`.
+  /// `recency` is the program-order recency annotation of `trace`
+  /// (RecencyProfiler); an access misses at w iff recency >= w.
+  [[nodiscard]] static double leading_misses(std::span<const LlcAccess> trace,
+                                             std::span<const std::uint8_t> recency,
+                                             arch::CoreSize c, int w);
+
+  /// Leading misses for every allocation in [min_ways, max_ways] at core
+  /// size c; one pass per allocation (groups evolve differently per w).
+  [[nodiscard]] static std::vector<double> leading_miss_curve(
+      std::span<const LlcAccess> trace, std::span<const std::uint8_t> recency,
+      arch::CoreSize c, int min_ways, int max_ways);
+};
+
+}  // namespace qosrm::cache
+
+#endif  // QOSRM_CACHE_MLP_ORACLE_HH

@@ -1,0 +1,70 @@
+#include "cache/partitioned_llc.hh"
+
+#include "common/check.hh"
+
+namespace qosrm::cache {
+
+namespace {
+constexpr int kMaxPartitionWays = 16;
+}
+
+PartitionedLlc::PartitionedLlc(int sets, std::vector<int> ways_per_core)
+    : sets_count_(sets), alloc_(std::move(ways_per_core)) {
+  QOSRM_CHECK(sets > 0);
+  QOSRM_CHECK(!alloc_.empty());
+  for (const int w : alloc_) QOSRM_CHECK(w >= 1 && w <= kMaxPartitionWays);
+  const std::size_t n =
+      static_cast<std::size_t>(sets) * alloc_.size();
+  partitions_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) partitions_.emplace_back(kMaxPartitionWays);
+  hits_.assign(alloc_.size(), 0);
+  misses_.assign(alloc_.size(), 0);
+}
+
+bool PartitionedLlc::access(int core, const LlcAccess& access) {
+  QOSRM_DCHECK(access.set < static_cast<std::uint32_t>(sets_count_));
+  LruStack& stack = partition(core, access.set);
+  const std::uint8_t pos = stack.access(access.tag);
+  // A block beyond the current allocation is logically evicted: its recency
+  // position must be below the owner's way count to hit.
+  const bool hit = pos != kRecencyMiss &&
+                   static_cast<int>(pos) < alloc_[static_cast<std::size_t>(core)];
+  hit ? ++hits_[static_cast<std::size_t>(core)]
+      : ++misses_[static_cast<std::size_t>(core)];
+  return hit;
+}
+
+void PartitionedLlc::set_allocation(int core, int ways) {
+  QOSRM_CHECK(core >= 0 && core < cores());
+  QOSRM_CHECK(ways >= 1 && ways <= kMaxPartitionWays);
+  alloc_[static_cast<std::size_t>(core)] = ways;
+}
+
+int PartitionedLlc::allocation(int core) const {
+  QOSRM_CHECK(core >= 0 && core < cores());
+  return alloc_[static_cast<std::size_t>(core)];
+}
+
+std::uint64_t PartitionedLlc::hits(int core) const {
+  QOSRM_CHECK(core >= 0 && core < cores());
+  return hits_[static_cast<std::size_t>(core)];
+}
+
+std::uint64_t PartitionedLlc::misses(int core) const {
+  QOSRM_CHECK(core >= 0 && core < cores());
+  return misses_[static_cast<std::size_t>(core)];
+}
+
+void PartitionedLlc::reset_counters() {
+  hits_.assign(hits_.size(), 0);
+  misses_.assign(misses_.size(), 0);
+}
+
+LruStack& PartitionedLlc::partition(int core, std::uint32_t set) {
+  QOSRM_DCHECK(core >= 0 && core < cores());
+  return partitions_[static_cast<std::size_t>(core) *
+                         static_cast<std::size_t>(sets_count_) +
+                     set];
+}
+
+}  // namespace qosrm::cache

@@ -1,0 +1,57 @@
+// Way-partitioned shared last-level cache.
+//
+// Each core owns a contiguous number of ways in every set, enforced through
+// per-core allocation masks (the paper's "LLC partitioning bit-masks", the
+// same mechanism Intel CAT exposes). Replacement is restricted to the
+// owner's ways, which makes each partition behave as a private w-way LRU
+// cache over the shared sets; insertion by one core never evicts another
+// core's blocks.
+#ifndef QOSRM_CACHE_PARTITIONED_LLC_HH
+#define QOSRM_CACHE_PARTITIONED_LLC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/access.hh"
+#include "cache/lru_stack.hh"
+
+namespace qosrm::cache {
+
+class PartitionedLlc {
+ public:
+  /// `sets` cache sets shared by `cores` cores with per-core way allocations
+  /// `ways_per_core` (each >= 1).
+  PartitionedLlc(int sets, std::vector<int> ways_per_core);
+
+  /// Accesses (set, tag) on behalf of `core`; returns true on hit. Misses
+  /// allocate in the core's partition.
+  bool access(int core, const LlcAccess& access);
+
+  /// Repartitions: blocks of shrunken partitions beyond the new allocation
+  /// are dropped lazily (LRU tail truncation), modelling mask updates that
+  /// let stale blocks drain.
+  void set_allocation(int core, int ways);
+
+  [[nodiscard]] int allocation(int core) const;
+  [[nodiscard]] int cores() const noexcept { return static_cast<int>(alloc_.size()); }
+  [[nodiscard]] int sets() const noexcept { return sets_count_; }
+
+  [[nodiscard]] std::uint64_t hits(int core) const;
+  [[nodiscard]] std::uint64_t misses(int core) const;
+  void reset_counters();
+
+ private:
+  [[nodiscard]] LruStack& partition(int core, std::uint32_t set);
+
+  int sets_count_;
+  std::vector<int> alloc_;
+  // partitions_[core * sets + set]; each stack sized at the max allocation
+  // and truncated logically to the current allocation.
+  std::vector<LruStack> partitions_;
+  std::vector<std::uint64_t> hits_;
+  std::vector<std::uint64_t> misses_;
+};
+
+}  // namespace qosrm::cache
+
+#endif  // QOSRM_CACHE_PARTITIONED_LLC_HH

@@ -1,0 +1,45 @@
+#include "cache/set_assoc_cache.hh"
+
+#include "common/check.hh"
+
+namespace qosrm::cache {
+
+SetAssocCache::SetAssocCache(const CacheGeometry& geometry) : geom_(geometry) {
+  QOSRM_CHECK(geom_.size_bytes > 0 && geom_.ways > 0 && geom_.block_bytes > 0);
+  const int sets = geom_.sets();
+  QOSRM_CHECK_MSG(sets > 0, "cache smaller than one set");
+  QOSRM_CHECK_MSG((sets & (sets - 1)) == 0, "set count must be a power of two");
+  sets_.reserve(static_cast<std::size_t>(sets));
+  for (int i = 0; i < sets; ++i) sets_.emplace_back(geom_.ways);
+}
+
+bool SetAssocCache::access(std::uint64_t addr) {
+  const std::uint8_t pos = sets_[set_of(addr)].access(tag_of(addr));
+  const bool hit = pos != kRecencyMiss;
+  hit ? ++hits_ : ++misses_;
+  return hit;
+}
+
+double SetAssocCache::miss_rate() const noexcept {
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(misses_) / static_cast<double>(total);
+}
+
+void SetAssocCache::reset() {
+  for (auto& s : sets_) s.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+std::uint32_t SetAssocCache::set_of(std::uint64_t addr) const noexcept {
+  const std::uint64_t block = addr / static_cast<std::uint64_t>(geom_.block_bytes);
+  return static_cast<std::uint32_t>(block &
+                                    static_cast<std::uint64_t>(geom_.sets() - 1));
+}
+
+std::uint64_t SetAssocCache::tag_of(std::uint64_t addr) const noexcept {
+  const std::uint64_t block = addr / static_cast<std::uint64_t>(geom_.block_bytes);
+  return block / static_cast<std::uint64_t>(geom_.sets());
+}
+
+}  // namespace qosrm::cache

@@ -1,0 +1,52 @@
+// Generic set-associative LRU cache model.
+//
+// Models the private L1/L2 levels of Table I for trace filtering in examples
+// and tests; the shared LLC uses PartitionedLlc instead.
+#ifndef QOSRM_CACHE_SET_ASSOC_CACHE_HH
+#define QOSRM_CACHE_SET_ASSOC_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/lru_stack.hh"
+
+namespace qosrm::cache {
+
+struct CacheGeometry {
+  int size_bytes = 32 * 1024;
+  int ways = 4;
+  int block_bytes = 64;
+
+  [[nodiscard]] int sets() const noexcept {
+    return size_bytes / (ways * block_bytes);
+  }
+};
+
+/// Address-indexed LRU cache returning hit/miss per access.
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheGeometry& geometry);
+
+  /// Accesses byte address `addr`; returns true on hit. Misses allocate.
+  bool access(std::uint64_t addr);
+
+  [[nodiscard]] const CacheGeometry& geometry() const noexcept { return geom_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] double miss_rate() const noexcept;
+
+  void reset();
+
+ private:
+  [[nodiscard]] std::uint32_t set_of(std::uint64_t addr) const noexcept;
+  [[nodiscard]] std::uint64_t tag_of(std::uint64_t addr) const noexcept;
+
+  CacheGeometry geom_;
+  std::vector<LruStack> sets_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace qosrm::cache
+
+#endif  // QOSRM_CACHE_SET_ASSOC_CACHE_HH

@@ -1,0 +1,43 @@
+// Contract-checking macros used across the library.
+//
+// QOSRM_CHECK   - always-on invariant check; aborts with a message on failure.
+//                 Used for programming errors that must never be silently ignored,
+//                 independent of build type (the simulators are cheap enough that
+//                 checks are not a bottleneck).
+// QOSRM_DCHECK  - debug-only check for hot paths.
+#ifndef QOSRM_COMMON_CHECK_HH
+#define QOSRM_COMMON_CHECK_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qosrm {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "QOSRM_CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg[0] != '\0' ? " - " : "", msg);
+  std::abort();
+}
+
+}  // namespace qosrm
+
+#define QOSRM_CHECK(cond)                                        \
+  do {                                                           \
+    if (!(cond)) ::qosrm::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define QOSRM_CHECK_MSG(cond, msg)                                 \
+  do {                                                             \
+    if (!(cond)) ::qosrm::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define QOSRM_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define QOSRM_DCHECK(cond) QOSRM_CHECK(cond)
+#endif
+
+#endif  // QOSRM_COMMON_CHECK_HH

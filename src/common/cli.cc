@@ -1,0 +1,50 @@
+#include "common/cli.hh"
+
+#include <cstdlib>
+
+namespace qosrm {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string CliArgs::get(const std::string& name, const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : fallback;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  return it != values_.end() ? std::strtoll(it->second.c_str(), nullptr, 10)
+                             : fallback;
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  return it != values_.end() ? std::strtod(it->second.c_str(), nullptr) : fallback;
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace qosrm

@@ -1,0 +1,40 @@
+// Tiny command-line flag parser shared by bench binaries and examples.
+//
+// Supports --name=value and --name value forms plus bare --flag booleans.
+// Unrecognized arguments are retained (google-benchmark binaries pass their
+// own flags through).
+#ifndef QOSRM_COMMON_CLI_HH
+#define QOSRM_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qosrm {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Arguments that did not look like --key[=value] flags, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace qosrm
+
+#endif  // QOSRM_COMMON_CLI_HH

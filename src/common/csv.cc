@@ -1,0 +1,38 @@
+#include "common/csv.hh"
+
+#include <stdexcept>
+
+namespace qosrm {
+
+namespace {
+std::string escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : path_(path), out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) { write_row(row); }
+
+void CsvWriter::write_row(const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(row[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace qosrm

@@ -1,0 +1,32 @@
+// CSV writer used by bench binaries to dump machine-readable experiment
+// results alongside the human-readable ASCII tables.
+#ifndef QOSRM_COMMON_CSV_HH
+#define QOSRM_COMMON_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace qosrm {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row; cells containing commas/quotes/newlines are quoted.
+  void add_row(const std::vector<std::string>& row);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void write_row(const std::vector<std::string>& row);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace qosrm
+
+#endif  // QOSRM_COMMON_CSV_HH

@@ -1,0 +1,79 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hh"
+
+namespace qosrm {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0) {
+  QOSRM_CHECK(hi > lo);
+  QOSRM_CHECK(bins > 0);
+}
+
+void Histogram::add(double x, double weight) noexcept {
+  std::size_t idx;
+  if (x < lo_) {
+    idx = 0;
+  } else if (x >= hi_) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>((x - lo_) / bin_width_);
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  counts_[idx] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + bin_width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const noexcept {
+  return lo_ + bin_width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::bin_center(std::size_t i) const noexcept {
+  return lo_ + bin_width_ * (static_cast<double>(i) + 0.5);
+}
+
+double Histogram::max_count() const noexcept {
+  double m = 0.0;
+  for (const double c : counts_) m = std::max(m, c);
+  return m;
+}
+
+std::vector<double> Histogram::normalized() const {
+  return normalized_by(max_count());
+}
+
+std::vector<double> Histogram::normalized_by(double max_value) const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (max_value <= 0.0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) out[i] = counts_[i] / max_value;
+  return out;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  const double m = max_count();
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char head[64];
+    std::snprintf(head, sizeof(head), "[%7.3f,%7.3f) ", bin_lo(i), bin_hi(i));
+    out += head;
+    const std::size_t bar =
+        m > 0.0 ? static_cast<std::size_t>(std::lround(counts_[i] / m *
+                                                       static_cast<double>(width)))
+                : 0;
+    out.append(bar, '#');
+    char tail[32];
+    std::snprintf(tail, sizeof(tail), " %.4g\n", counts_[i]);
+    out += tail;
+  }
+  return out;
+}
+
+}  // namespace qosrm

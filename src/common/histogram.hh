@@ -1,0 +1,50 @@
+// Fixed-width histogram over [lo, hi) with optional weights.
+//
+// Used to reproduce paper Fig. 8 (distribution of QoS-violation magnitudes):
+// counts can be normalized against the maximum bin across several histograms.
+#ifndef QOSRM_COMMON_HISTOGRAM_HH
+#define QOSRM_COMMON_HISTOGRAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qosrm {
+
+class Histogram {
+ public:
+  /// Creates `bins` equal-width bins covering [lo, hi). Values outside the
+  /// range are clamped into the first/last bin so no mass is silently lost.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_center(std::size_t i) const noexcept;
+  [[nodiscard]] double count(std::size_t i) const noexcept { return counts_[i]; }
+  [[nodiscard]] double total() const noexcept { return total_; }
+  [[nodiscard]] double max_count() const noexcept;
+
+  /// Bin counts scaled so the largest equals 1 (all-zero histogram stays zero).
+  [[nodiscard]] std::vector<double> normalized() const;
+
+  /// Bin counts scaled by an externally supplied maximum (paper Fig. 8
+  /// normalizes all three models against the global maximum).
+  [[nodiscard]] std::vector<double> normalized_by(double max_value) const;
+
+  /// Compact single-line ASCII rendering (for logs and bench output).
+  [[nodiscard]] std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace qosrm
+
+#endif  // QOSRM_COMMON_HISTOGRAM_HH

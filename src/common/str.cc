@@ -1,0 +1,36 @@
+#include "common/str.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace qosrm {
+
+std::string format(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed <= 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+  std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+  va_end(args_copy);
+  return std::string(buf.data(), static_cast<std::size_t>(needed));
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace qosrm

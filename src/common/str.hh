@@ -1,0 +1,21 @@
+// Small string-formatting helpers (printf-style format into std::string).
+#ifndef QOSRM_COMMON_STR_HH
+#define QOSRM_COMMON_STR_HH
+
+#include <string>
+
+namespace qosrm {
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Left-pads `s` with spaces to at least `width` characters.
+[[nodiscard]] std::string pad_left(const std::string& s, std::size_t width);
+
+/// Right-pads `s` with spaces to at least `width` characters.
+[[nodiscard]] std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace qosrm
+
+#endif  // QOSRM_COMMON_STR_HH

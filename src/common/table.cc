@@ -1,0 +1,65 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace qosrm {
+
+AsciiTable::AsciiTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+AsciiTable::AsciiTable(std::initializer_list<std::string> header)
+    : header_(header) {}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string AsciiTable::pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+  return buf;
+}
+
+std::string AsciiTable::str() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      line += "| ";
+      line += cell;
+      line.append(width[c] - cell.size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  std::string sep;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    sep += "|";
+    sep.append(width[c] + 2, '-');
+  }
+  sep += "|\n";
+  out += sep;
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void AsciiTable::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace qosrm

@@ -1,0 +1,43 @@
+// Minimal ASCII table formatter for benchmark/report output.
+//
+// All paper tables/figures are emitted as aligned ASCII tables (plus CSV via
+// common/csv.hh) so bench binaries can be diffed and scraped.
+#ifndef QOSRM_COMMON_TABLE_HH
+#define QOSRM_COMMON_TABLE_HH
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace qosrm {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+  AsciiTable(std::initializer_list<std::string> header);
+
+  /// Appends a full row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  /// Formats a ratio as a percentage string, e.g. 0.103 -> "10.3%".
+  static std::string pct(double v, int precision = 1);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders the table with a separator line under the header.
+  [[nodiscard]] std::string str() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qosrm
+
+#endif  // QOSRM_COMMON_TABLE_HH

@@ -1,0 +1,90 @@
+// The hardware-counter snapshot a core hands to the RM at an interval
+// boundary (paper Fig. 3, "HW perf. counters" plus the ATD structures).
+//
+// Everything the online models may use is measured over the PAST interval at
+// the CURRENT resource setting; nothing references ground truth of the
+// upcoming interval. (The only exception is the optional `oracle` block,
+// which exists solely to implement the paper's "perfect model" comparison
+// point of Fig. 9.)
+#ifndef QOSRM_RM_COUNTERS_HH
+#define QOSRM_RM_COUNTERS_HH
+
+#include <array>
+#include <vector>
+
+#include "arch/core_config.hh"
+#include "power/energy_meter.hh"
+#include "workload/sim_db.hh"
+
+namespace qosrm::rm {
+
+/// Oracle handle for the "perfect model": identifies the next interval's
+/// phase in the simulation database. Null/absent in any realistic setup.
+struct OracleRef {
+  const workload::SimDb* db = nullptr;
+  int app = -1;
+  int phase = -1;
+
+  [[nodiscard]] bool valid() const noexcept { return db != nullptr && app >= 0; }
+};
+
+struct CounterSnapshot {
+  /// Setting the core ran with during the measured interval.
+  workload::Setting current{};
+
+  double instructions = 0.0;    ///< retired instructions
+  double total_time_s = 0.0;    ///< measured interval wall time T_i
+  double t_width_s = 0.0;       ///< dispatch-width-bound compute time (the
+                                ///< part of T_0,i that scales with D; from
+                                ///< issue-slot utilization counters)
+  double t_ilp_s = 0.0;         ///< dependency-bound compute time (the rest
+                                ///< of T_0,i; size-invariant)
+  double t_branch_s = 0.0;      ///< branch-stall component T_BP,i
+  double t_cache_s = 0.0;       ///< private-cache component T_Cache,i
+  double t_mem_s = 0.0;         ///< measured memory stall time T_mem,i
+  double llc_accesses = 0.0;    ///< LLC accesses observed
+  double llc_misses = 0.0;      ///< misses at the current allocation
+  double writebacks = 0.0;      ///< dirty evictions at the current allocation
+  double measured_mlp = 1.0;    ///< M_i / LM_i at the current (c, w)
+
+  /// ATD miss estimates per allocation w (index w-1, w in [1, max]).
+  std::vector<double> atd_misses;
+  /// MLP-ATD leading-miss estimates per (core size, allocation).
+  std::array<std::vector<double>, arch::kNumCoreSizes> atd_leading_misses;
+
+  /// RAPL-like dynamic-power sample (paper Eq. 4's P*_CoreDyn, V*).
+  power::PowerSample power_sample{};
+
+  OracleRef oracle{};  ///< perfect-model hook (Fig. 9 only)
+
+  [[nodiscard]] int max_ways() const noexcept {
+    return static_cast<int>(atd_misses.size());
+  }
+  [[nodiscard]] double atd_misses_at(int w) const;
+  [[nodiscard]] double atd_leading_at(arch::CoreSize c, int w) const;
+  /// The frequency-scalable compute component T_0,i = T_i - T_1,i - T_mem,i
+  /// = t_width_s + t_ilp_s (clamped at zero).
+  [[nodiscard]] double t0_s() const noexcept;
+};
+
+inline double CounterSnapshot::atd_misses_at(int w) const {
+  const int clamped = w < 1 ? 1 : (w > max_ways() ? max_ways() : w);
+  return atd_misses[static_cast<std::size_t>(clamped - 1)];
+}
+
+inline double CounterSnapshot::atd_leading_at(arch::CoreSize c, int w) const {
+  const auto& curve =
+      atd_leading_misses[static_cast<std::size_t>(arch::core_size_index(c))];
+  const int max_w = static_cast<int>(curve.size());
+  const int clamped = w < 1 ? 1 : (w > max_w ? max_w : w);
+  return curve[static_cast<std::size_t>(clamped - 1)];
+}
+
+inline double CounterSnapshot::t0_s() const noexcept {
+  const double t0 = t_width_s + t_ilp_s;
+  return t0 > 0.0 ? t0 : 0.0;
+}
+
+}  // namespace qosrm::rm
+
+#endif  // QOSRM_RM_COUNTERS_HH

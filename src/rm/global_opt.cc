@@ -1,0 +1,157 @@
+#include "rm/global_opt.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "common/check.hh"
+
+namespace qosrm::rm {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A node of the reduction tree: a combined curve over [lo, hi] total ways
+/// plus, per entry, how many ways went to the left subtree.
+struct Node {
+  int lo = 0;
+  std::vector<double> energy;        // energy[t - lo]
+  std::vector<int> left_ways;        // argmin split (leaf: unused)
+  int first_core = 0;                // leaves covered: [first_core, last_core]
+  int last_core = 0;
+  std::unique_ptr<Node> left;
+  std::unique_ptr<Node> right;
+
+  [[nodiscard]] int hi() const noexcept {
+    return lo + static_cast<int>(energy.size()) - 1;
+  }
+};
+
+std::unique_ptr<Node> make_leaf(const EnergyCurve& curve, int core) {
+  auto node = std::make_unique<Node>();
+  node->lo = curve.min_ways;
+  node->energy = curve.energy;
+  node->first_core = core;
+  node->last_core = core;
+  return node;
+}
+
+std::unique_ptr<Node> combine(std::unique_ptr<Node> a, std::unique_ptr<Node> b,
+                              std::uint64_t* ops) {
+  auto node = std::make_unique<Node>();
+  node->lo = a->lo + b->lo;
+  const int hi = a->hi() + b->hi();
+  const auto size = static_cast<std::size_t>(hi - node->lo + 1);
+  node->energy.assign(size, kInf);
+  node->left_ways.assign(size, -1);
+  node->first_core = a->first_core;
+  node->last_core = b->last_core;
+
+  std::uint64_t steps = 0;
+  for (int wa = a->lo; wa <= a->hi(); ++wa) {
+    const double ea = a->energy[static_cast<std::size_t>(wa - a->lo)];
+    if (std::isinf(ea)) continue;
+    for (int wb = b->lo; wb <= b->hi(); ++wb) {
+      const double eb = b->energy[static_cast<std::size_t>(wb - b->lo)];
+      ++steps;
+      if (std::isinf(eb)) continue;
+      const std::size_t idx = static_cast<std::size_t>(wa + wb - node->lo);
+      if (ea + eb < node->energy[idx]) {
+        node->energy[idx] = ea + eb;
+        node->left_ways[idx] = wa;
+      }
+    }
+  }
+  if (ops != nullptr) *ops += steps;
+
+  node->left = std::move(a);
+  node->right = std::move(b);
+  return node;
+}
+
+void backtrack(const Node& node, int total, std::vector<int>& ways) {
+  if (!node.left) {  // leaf
+    ways[static_cast<std::size_t>(node.first_core)] = total;
+    return;
+  }
+  const int wl = node.left_ways[static_cast<std::size_t>(total - node.lo)];
+  QOSRM_CHECK_MSG(wl >= 0, "backtracking through an infeasible entry");
+  backtrack(*node.left, wl, ways);
+  backtrack(*node.right, total - wl, ways);
+}
+
+}  // namespace
+
+GlobalOptResult GlobalOptimizer::optimize(std::span<const EnergyCurve> curves,
+                                          int total_ways, std::uint64_t* ops) {
+  QOSRM_CHECK(!curves.empty());
+
+  // Build leaves, then reduce adjacent pairs until one curve remains.
+  std::vector<std::unique_ptr<Node>> level;
+  level.reserve(curves.size());
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    QOSRM_CHECK(!curves[i].energy.empty());
+    level.push_back(make_leaf(curves[i], static_cast<int>(i)));
+  }
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(combine(std::move(level[i]), std::move(level[i + 1]), ops));
+    }
+    if (level.size() % 2 == 1) next.push_back(std::move(level.back()));
+    level = std::move(next);
+  }
+
+  const Node& root = *level.front();
+  GlobalOptResult result;
+  if (total_ways < root.lo || total_ways > root.hi()) return result;
+  const double e = root.energy[static_cast<std::size_t>(total_ways - root.lo)];
+  if (std::isinf(e)) return result;
+
+  result.feasible = true;
+  result.total_energy = e;
+  result.ways.assign(curves.size(), 0);
+  backtrack(root, total_ways, result.ways);
+  return result;
+}
+
+GlobalOptResult GlobalOptimizer::brute_force(std::span<const EnergyCurve> curves,
+                                             int total_ways) {
+  QOSRM_CHECK(!curves.empty());
+  GlobalOptResult best;
+  best.total_energy = kInf;
+
+  std::vector<int> ways(curves.size(), 0);
+  // Depth-first enumeration of all allocations summing to total_ways.
+  const auto recurse = [&](auto&& self, std::size_t core, int remaining,
+                           double energy) -> void {
+    const EnergyCurve& curve = curves[core];
+    if (core + 1 == curves.size()) {
+      if (remaining < curve.min_ways || remaining > curve.max_ways()) return;
+      const double e =
+          curve.energy[static_cast<std::size_t>(remaining - curve.min_ways)];
+      if (std::isinf(e)) return;
+      if (energy + e < best.total_energy) {
+        ways[core] = remaining;
+        best.feasible = true;
+        best.total_energy = energy + e;
+        best.ways = ways;
+      }
+      return;
+    }
+    for (int w = curve.min_ways; w <= curve.max_ways(); ++w) {
+      const double e = curve.energy[static_cast<std::size_t>(w - curve.min_ways)];
+      if (std::isinf(e)) continue;
+      if (remaining - w < 0) break;
+      ways[core] = w;
+      self(self, core + 1, remaining - w, energy + e);
+    }
+  };
+  recurse(recurse, 0, total_ways, 0.0);
+  return best;
+}
+
+}  // namespace qosrm::rm

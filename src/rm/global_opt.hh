@@ -1,0 +1,54 @@
+// Global LLC-way distribution (paper Fig. 3, Section III-A).
+//
+// Minimizes  Sum_j E_j(w_j)  subject to  Sum_j w_j = A  (the total way
+// budget) and per-core bounds, by recursively reducing PAIRS of energy
+// curves with a min-plus convolution:
+//
+//   E_{1+2}(W) = min over w1+w2 = W of E_1(w1) + E_2(w2)
+//
+// and backtracking the argmins down the reduction tree. The complexity is
+// polynomial in the core count (the paper's first stated advantage), and the
+// interface between the local and global stages is exactly one energy curve
+// per core (the second advantage).
+#ifndef QOSRM_RM_GLOBAL_OPT_HH
+#define QOSRM_RM_GLOBAL_OPT_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qosrm::rm {
+
+/// Energy as a function of the way allocation for one core: energy[i] is the
+/// estimate for w = min_ways + i; infinity marks QoS-infeasible allocations.
+struct EnergyCurve {
+  int min_ways = 2;
+  std::vector<double> energy;
+
+  [[nodiscard]] int max_ways() const noexcept {
+    return min_ways + static_cast<int>(energy.size()) - 1;
+  }
+};
+
+struct GlobalOptResult {
+  bool feasible = false;
+  double total_energy = 0.0;
+  std::vector<int> ways;  ///< chosen allocation per core
+};
+
+class GlobalOptimizer {
+ public:
+  /// Pairwise-reduction optimizer. `ops` (optional) accumulates DP steps for
+  /// the RM instruction-overhead model.
+  [[nodiscard]] static GlobalOptResult optimize(std::span<const EnergyCurve> curves,
+                                                int total_ways,
+                                                std::uint64_t* ops = nullptr);
+
+  /// Exhaustive reference implementation (tests only; exponential).
+  [[nodiscard]] static GlobalOptResult brute_force(std::span<const EnergyCurve> curves,
+                                                   int total_ways);
+};
+
+}  // namespace qosrm::rm
+
+#endif  // QOSRM_RM_GLOBAL_OPT_HH

@@ -1,0 +1,87 @@
+#include "rm/local_opt.hh"
+
+#include "common/check.hh"
+
+namespace qosrm::rm {
+
+const WayChoice& LocalOptResult::at(int w) const {
+  QOSRM_CHECK(w >= min_ways && w <= max_ways());
+  return choices[static_cast<std::size_t>(w - min_ways)];
+}
+
+std::vector<double> LocalOptResult::energy_curve() const {
+  std::vector<double> curve;
+  curve.reserve(choices.size());
+  for (const WayChoice& c : choices) {
+    curve.push_back(c.feasible ? c.energy_j : kInfeasibleEnergy);
+  }
+  return curve;
+}
+
+LocalOptResult LocalOptimizer::optimize(const CounterSnapshot& snap,
+                                        std::uint64_t* ops) const {
+  const arch::SystemConfig& sys = perf_->system();
+  LocalOptResult result;
+  result.min_ways = sys.llc.min_ways;
+  result.choices.resize(static_cast<std::size_t>(sys.llc.num_allocations()));
+
+  std::uint64_t local_ops = 0;
+
+  // Predicted baseline time, the QoS reference (Eq. 3), computed once.
+  const workload::Setting base = workload::baseline_setting(sys);
+  const double t_base = perf_->predict_time(snap, base) * sys.qos_alpha;
+  ++local_ops;
+
+  const std::vector<arch::CoreSize> sizes =
+      opt_.allow_resize
+          ? std::vector<arch::CoreSize>{arch::CoreSize::S, arch::CoreSize::M,
+                                        arch::CoreSize::L}
+          : std::vector<arch::CoreSize>{arch::kBaselineCoreSize};
+
+  for (int w = sys.llc.min_ways; w <= sys.llc.max_ways; ++w) {
+    WayChoice best;
+    for (const arch::CoreSize c : sizes) {
+      // Find f*(c, w): the lowest operating point satisfying QoS. Predicted
+      // time is monotone in f, so scan from the bottom of the VF table.
+      int f_star = -1;
+      double t_star = 0.0;
+      if (opt_.allow_dvfs) {
+        for (int f_idx = 0; f_idx < arch::VfTable::kNumPoints; ++f_idx) {
+          const workload::Setting s{c, f_idx, w};
+          const double t = perf_->predict_time(snap, s);
+          ++local_ops;
+          if (t <= t_base) {
+            f_star = f_idx;
+            t_star = t;
+            break;
+          }
+        }
+      } else {
+        const workload::Setting s{c, arch::VfTable::kBaselineIndex, w};
+        const double t = perf_->predict_time(snap, s);
+        ++local_ops;
+        if (t <= t_base) {
+          f_star = arch::VfTable::kBaselineIndex;
+          t_star = t;
+        }
+      }
+      if (f_star < 0) continue;  // no feasible frequency at this (c, w)
+
+      const workload::Setting s{c, f_star, w};
+      const double e = energy_->estimate(snap, s, t_star);
+      ++local_ops;
+      if (e < best.energy_j) {
+        best.feasible = true;
+        best.setting = s;
+        best.predicted_time_s = t_star;
+        best.energy_j = e;
+      }
+    }
+    result.choices[static_cast<std::size_t>(w - sys.llc.min_ways)] = best;
+  }
+
+  if (ops != nullptr) *ops += local_ops;
+  return result;
+}
+
+}  // namespace qosrm::rm

@@ -1,0 +1,75 @@
+// Per-core local optimization (paper Fig. 3, Section III-A/B).
+//
+// For every possible LLC allocation w the optimizer finds the cheapest
+// core-local setting that still satisfies QoS:
+//
+//   RM1:  fixed (c_b, f_b); w is feasible iff QoS holds at the baseline VF.
+//   RM2:  f*(w)  = minimum frequency satisfying QoS at the baseline size.
+//   RM3:  (c*, f*)(w) = per size, minimum feasible frequency; among sizes,
+//         the one with the lowest estimated energy.
+//
+// The result is the energy curve E*(w) handed to the global optimizer, plus
+// the argmin settings to enforce once {w*_j} is chosen.
+#ifndef QOSRM_RM_LOCAL_OPT_HH
+#define QOSRM_RM_LOCAL_OPT_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "rm/energy_model.hh"
+#include "rm/perf_model.hh"
+
+namespace qosrm::rm {
+
+inline constexpr double kInfeasibleEnergy = std::numeric_limits<double>::infinity();
+
+struct LocalOptOptions {
+  bool allow_dvfs = true;    ///< false for RM1
+  bool allow_resize = true;  ///< false for RM1/RM2
+};
+
+/// Best feasible core-local choice for one allocation w.
+struct WayChoice {
+  bool feasible = false;
+  workload::Setting setting{};
+  double predicted_time_s = 0.0;
+  double energy_j = kInfeasibleEnergy;
+};
+
+struct LocalOptResult {
+  int min_ways = 2;
+  std::vector<WayChoice> choices;  ///< indexed by w - min_ways
+
+  [[nodiscard]] int max_ways() const noexcept {
+    return min_ways + static_cast<int>(choices.size()) - 1;
+  }
+  [[nodiscard]] const WayChoice& at(int w) const;
+
+  /// E*(w) for the global optimizer (kInfeasibleEnergy where QoS fails).
+  [[nodiscard]] std::vector<double> energy_curve() const;
+};
+
+class LocalOptimizer {
+ public:
+  LocalOptimizer(const PerfModel& perf, const OnlineEnergyModel& energy,
+                 const LocalOptOptions& options)
+      : perf_(&perf), energy_(&energy), opt_(options) {}
+
+  /// Runs the optimization from one core's counters. `ops` (optional)
+  /// accumulates the number of model evaluations, the unit of the RM
+  /// instruction-overhead model (paper Section III-E).
+  [[nodiscard]] LocalOptResult optimize(const CounterSnapshot& snap,
+                                        std::uint64_t* ops = nullptr) const;
+
+  [[nodiscard]] const LocalOptOptions& options() const noexcept { return opt_; }
+
+ private:
+  const PerfModel* perf_;
+  const OnlineEnergyModel* energy_;
+  LocalOptOptions opt_;
+};
+
+}  // namespace qosrm::rm
+
+#endif  // QOSRM_RM_LOCAL_OPT_HH

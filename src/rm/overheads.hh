@@ -1,0 +1,71 @@
+// RM overhead models (paper Section III-E).
+//
+// Three components:
+//   1. executing the RM algorithm in software - modelled as instructions
+//      proportional to the optimizer's model-evaluation/DP-step count,
+//      calibrated against the paper's 51K / 73K / 100K instructions for
+//      2/4/8-core systems;
+//   2. enforcing a VF change - 15 us / 3 uJ (Samsung Exynos 4210 numbers);
+//   3. resizing the core - pipeline drain of about ROB/IPC cycles.
+#ifndef QOSRM_RM_OVERHEADS_HH
+#define QOSRM_RM_OVERHEADS_HH
+
+#include <cstdint>
+
+#include "arch/core_config.hh"
+#include "arch/dvfs.hh"
+#include "power/power_model.hh"
+#include "workload/sim_db.hh"
+
+namespace qosrm::rm {
+
+struct OverheadParams {
+  double instr_base = 31e3;    ///< fixed algorithm cost (bookkeeping, curves)
+  double instr_per_op = 19.0;  ///< instructions per optimizer op (calibrated)
+  arch::DvfsTransitionCost dvfs{};
+};
+
+/// Time/energy cost charged to a core.
+struct EnforcementCost {
+  double time_s = 0.0;
+  double energy_j = 0.0;
+
+  EnforcementCost& operator+=(const EnforcementCost& other) noexcept {
+    time_s += other.time_s;
+    energy_j += other.energy_j;
+    return *this;
+  }
+};
+
+class OverheadModel {
+ public:
+  OverheadModel(const OverheadParams& params, const power::PowerModel& power)
+      : p_(params), power_(&power) {}
+
+  /// Instruction count of one RM invocation that performed `ops` optimizer
+  /// operations.
+  [[nodiscard]] double rm_instructions(std::uint64_t ops) const noexcept;
+
+  /// Cost of executing the RM algorithm on the invoking core at its current
+  /// setting, assuming it sustains `ipc` on the RM code.
+  [[nodiscard]] EnforcementCost rm_execution(std::uint64_t ops,
+                                             const workload::Setting& at,
+                                             double ipc = 2.0) const;
+
+  /// Cost of switching a core from `from` to `to`: DVFS transition when the
+  /// VF point changes, pipeline drain when the size changes. Way-mask
+  /// updates are free (a register write).
+  [[nodiscard]] EnforcementCost transition(const workload::Setting& from,
+                                           const workload::Setting& to,
+                                           double ipc = 2.0) const;
+
+  [[nodiscard]] const OverheadParams& params() const noexcept { return p_; }
+
+ private:
+  OverheadParams p_;
+  const power::PowerModel* power_;
+};
+
+}  // namespace qosrm::rm
+
+#endif  // QOSRM_RM_OVERHEADS_HH

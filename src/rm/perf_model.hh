@@ -1,0 +1,60 @@
+// Online performance models (paper Eq. 1-3).
+//
+// All three models share the interval-analytical skeleton of Eq. 1,
+//
+//   T_i+1(c, f, w) = (T_0,i * D_i/D(c) + T_1,i) * f_i/f + T_mem,i+1(c, w)
+//
+// and differ only in how they predict the memory stall time:
+//
+//   Model1 (naive):       T_mem = M(w) * L_mem            - ignores MLP
+//   Model2 (prior work):  T_mem = M(w)/MLP_i * L_mem      - constant MLP
+//   Model3 (proposed):    T_mem = LM_atd(c, w) * L_mem    - MLP-ATD counters
+//   Perfect (Fig. 9):     ground truth of the next interval from the
+//                         simulation database
+//
+// Note on Eq. 1 as printed: the compute term must shrink when the dispatch
+// width grows, so the width ratio is implemented as D_i/D(c) (see DESIGN.md).
+#ifndef QOSRM_RM_PERF_MODEL_HH
+#define QOSRM_RM_PERF_MODEL_HH
+
+#include <memory>
+
+#include "arch/system_config.hh"
+#include "rm/counters.hh"
+
+namespace qosrm::rm {
+
+enum class PerfModelKind { Model1 = 1, Model2 = 2, Model3 = 3, Perfect = 0 };
+
+[[nodiscard]] const char* perf_model_name(PerfModelKind kind) noexcept;
+
+class PerfModel {
+ public:
+  PerfModel(PerfModelKind kind, const arch::SystemConfig& system)
+      : kind_(kind), system_(system) {}
+
+  /// Predicted execution time of the upcoming interval at `target`, from the
+  /// past-interval counters in `snap`.
+  [[nodiscard]] double predict_time(const CounterSnapshot& snap,
+                                    const workload::Setting& target) const;
+
+  /// Predicted memory stall time component only.
+  [[nodiscard]] double predict_mem_time(const CounterSnapshot& snap,
+                                        const workload::Setting& target) const;
+
+  /// QoS check (paper Eq. 3): predicted T(target) <= alpha * predicted
+  /// T(baseline setting), both from the same counters.
+  [[nodiscard]] bool qos_ok(const CounterSnapshot& snap,
+                            const workload::Setting& target) const;
+
+  [[nodiscard]] PerfModelKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const arch::SystemConfig& system() const noexcept { return system_; }
+
+ private:
+  PerfModelKind kind_;
+  arch::SystemConfig system_;
+};
+
+}  // namespace qosrm::rm
+
+#endif  // QOSRM_RM_PERF_MODEL_HH

@@ -1,0 +1,91 @@
+#include "rm/resource_manager.hh"
+
+#include "common/check.hh"
+
+namespace qosrm::rm {
+
+const char* rm_policy_name(RmPolicy policy) noexcept {
+  switch (policy) {
+    case RmPolicy::Idle:
+      return "Idle";
+    case RmPolicy::Rm1:
+      return "RM1";
+    case RmPolicy::Rm2:
+      return "RM2";
+    case RmPolicy::Rm3:
+      return "RM3";
+  }
+  return "?";
+}
+
+ResourceManager::ResourceManager(const RmConfig& config,
+                                 const arch::SystemConfig& system,
+                                 const power::PowerModel& offline_power)
+    : cfg_(config), system_(system), perf_(config.model, system),
+      energy_(offline_power, config.energy), local_(perf_, energy_, local_options()),
+      cached_(static_cast<std::size_t>(system.cores)) {}
+
+LocalOptOptions ResourceManager::local_options() const noexcept {
+  if (cfg_.knobs.has_value()) return *cfg_.knobs;
+  LocalOptOptions opt;
+  opt.allow_dvfs = cfg_.policy == RmPolicy::Rm2 || cfg_.policy == RmPolicy::Rm3;
+  opt.allow_resize = cfg_.policy == RmPolicy::Rm3;
+  return opt;
+}
+
+void ResourceManager::reset() {
+  for (auto& entry : cached_) entry.reset();
+}
+
+RmDecision ResourceManager::invoke(int invoking_core,
+                                   std::span<const CounterSnapshot> snapshots) {
+  QOSRM_CHECK(static_cast<int>(snapshots.size()) == system_.cores);
+  QOSRM_CHECK(invoking_core >= 0 && invoking_core < system_.cores);
+
+  RmDecision decision;
+  const workload::Setting base = workload::baseline_setting(system_);
+  decision.settings.assign(static_cast<std::size_t>(system_.cores), base);
+
+  if (cfg_.policy == RmPolicy::Idle) return decision;
+
+  // Local optimization: fresh curve for the invoking core; cores never seen
+  // before also get one from their latest counters (cold start), matching
+  // Fig. 3 where other cores' curves are "already available".
+  for (int core = 0; core < system_.cores; ++core) {
+    const bool fresh = core == invoking_core;
+    if (fresh || !cached_[static_cast<std::size_t>(core)].has_value()) {
+      cached_[static_cast<std::size_t>(core)] =
+          local_.optimize(snapshots[static_cast<std::size_t>(core)],
+                          fresh ? &decision.ops : nullptr);
+    }
+  }
+
+  std::vector<EnergyCurve> curves;
+  curves.reserve(static_cast<std::size_t>(system_.cores));
+  for (int core = 0; core < system_.cores; ++core) {
+    const LocalOptResult& local = *cached_[static_cast<std::size_t>(core)];
+    EnergyCurve curve;
+    curve.min_ways = local.min_ways;
+    curve.energy = local.energy_curve();
+    curves.push_back(std::move(curve));
+  }
+
+  const GlobalOptResult global =
+      GlobalOptimizer::optimize(curves, system_.total_ways(), &decision.ops);
+  if (!global.feasible) {
+    // Should not happen (the baseline allocation is always feasible), but
+    // fall back to the baseline setting defensively.
+    decision.feasible = false;
+    return decision;
+  }
+
+  for (int core = 0; core < system_.cores; ++core) {
+    const LocalOptResult& local = *cached_[static_cast<std::size_t>(core)];
+    const WayChoice& choice = local.at(global.ways[static_cast<std::size_t>(core)]);
+    QOSRM_CHECK_MSG(choice.feasible, "global optimizer chose an infeasible way");
+    decision.settings[static_cast<std::size_t>(core)] = choice.setting;
+  }
+  return decision;
+}
+
+}  // namespace qosrm::rm

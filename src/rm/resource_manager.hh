@@ -1,0 +1,80 @@
+// The resource-manager policies evaluated in the paper.
+//
+//   Idle - keeps the baseline setting (the energy reference).
+//   RM1  - LLC partitioning only (fixed VF and core size).
+//   RM2  - LLC partitioning coordinated with per-core DVFS (Nejat et al.,
+//          IPDPS 2019 - the paper's prior-art baseline).
+//   RM3  - the proposed scheme: LLC partitioning + DVFS + core resizing.
+//
+// Invocation (paper Fig. 3): at a core's interval boundary the RM runs the
+// LOCAL optimization for that core from its fresh counters, combines the
+// resulting energy curve with the cached curves of the other cores in the
+// GLOBAL optimization, and returns the full system setting {w*, f*, c*}.
+#ifndef QOSRM_RM_RESOURCE_MANAGER_HH
+#define QOSRM_RM_RESOURCE_MANAGER_HH
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rm/global_opt.hh"
+#include "rm/local_opt.hh"
+#include "rm/overheads.hh"
+
+namespace qosrm::rm {
+
+enum class RmPolicy { Idle = 0, Rm1 = 1, Rm2 = 2, Rm3 = 3 };
+
+[[nodiscard]] const char* rm_policy_name(RmPolicy policy) noexcept;
+
+struct RmConfig {
+  RmPolicy policy = RmPolicy::Rm3;
+  PerfModelKind model = PerfModelKind::Model3;
+  EnergyModelOptions energy{};
+  /// Optional knob override for ablation studies (e.g. core resizing
+  /// without DVFS); when set it replaces the policy-derived knob set for
+  /// any non-idle policy.
+  std::optional<LocalOptOptions> knobs{};
+};
+
+struct RmDecision {
+  std::vector<workload::Setting> settings;  ///< per core
+  std::uint64_t ops = 0;  ///< optimizer operations of this invocation
+  bool feasible = true;   ///< false -> fell back to the baseline setting
+};
+
+class ResourceManager {
+ public:
+  ResourceManager(const RmConfig& config, const arch::SystemConfig& system,
+                  const power::PowerModel& offline_power);
+
+  /// One RM invocation on behalf of `invoking_core`. `snapshots` holds the
+  /// most recent counters of every core (the invoking core's entry must be
+  /// fresh). Returns the new system setting.
+  [[nodiscard]] RmDecision invoke(int invoking_core,
+                                  std::span<const CounterSnapshot> snapshots);
+
+  /// Drops all cached energy curves (e.g. when the workload changes).
+  void reset();
+
+  [[nodiscard]] const RmConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const arch::SystemConfig& system() const noexcept { return system_; }
+  [[nodiscard]] const PerfModel& perf_model() const noexcept { return perf_; }
+  [[nodiscard]] const OnlineEnergyModel& energy_model() const noexcept {
+    return energy_;
+  }
+
+ private:
+  [[nodiscard]] LocalOptOptions local_options() const noexcept;
+
+  RmConfig cfg_;
+  arch::SystemConfig system_;
+  PerfModel perf_;
+  OnlineEnergyModel energy_;
+  LocalOptimizer local_;
+  std::vector<std::optional<LocalOptResult>> cached_;  ///< per-core curves
+};
+
+}  // namespace qosrm::rm
+
+#endif  // QOSRM_RM_RESOURCE_MANAGER_HH

@@ -1,0 +1,53 @@
+// Experiment harness shared by the benches reproducing Figures 2, 6 and 9:
+// runs workload mixes under several RM configurations and reports energy
+// savings relative to the idle RM (cached per workload).
+#ifndef QOSRM_RMSIM_EXPERIMENT_HH
+#define QOSRM_RMSIM_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rmsim/interval_sim.hh"
+
+namespace qosrm::rmsim {
+
+/// One bar of Fig. 6 / Fig. 9: a workload run under a specific RM config.
+struct SavingsResult {
+  RunResult run;
+  double savings = 0.0;  ///< vs the idle RM on the same workload
+};
+
+class ExperimentRunner {
+ public:
+  ExperimentRunner(const workload::SimDb& db, const SimOptions& sim = {});
+
+  /// Runs `mix` under `config` and computes savings vs the idle reference
+  /// (computed once per workload and cached).
+  [[nodiscard]] SavingsResult run(const workload::WorkloadMix& mix,
+                                  const rm::RmConfig& config);
+
+  /// The idle-RM reference run for a workload.
+  [[nodiscard]] const RunResult& idle_reference(const workload::WorkloadMix& mix);
+
+  [[nodiscard]] const workload::SimDb& db() const noexcept { return *db_; }
+
+ private:
+  const workload::SimDb* db_;
+  IntervalSimulator sim_;
+  std::map<std::string, RunResult> idle_cache_;
+};
+
+/// Scenario weights for averaging (paper: 47 / 22.1 / 22.1 / 8.8 %), derived
+/// from the suite's category populations via the Fig. 1 mix table.
+[[nodiscard]] std::array<double, 4> scenario_weights(const workload::SpecSuite& suite);
+
+/// Weighted average over per-workload savings: workloads of one scenario are
+/// first averaged uniformly, then scenarios combine with `weights`.
+[[nodiscard]] double weighted_average_savings(
+    const std::vector<workload::Scenario>& scenario_of_row,
+    const std::vector<double>& savings, const std::array<double, 4>& weights);
+
+}  // namespace qosrm::rmsim
+
+#endif  // QOSRM_RMSIM_EXPERIMENT_HH

@@ -1,0 +1,107 @@
+// The multi-core RM simulator (paper Fig. 5 and Section IV-A/IV-D.1).
+//
+// Each core executes its application interval by interval; per-interval time
+// and energy come from the simulation database at the core's current
+// setting. The simulator advances to the next global event (the earliest
+// interval completion), invokes the RM on that core, applies the decided
+// system setting and charges the RM-execution and enforcement overheads.
+//
+// End-of-run rule (paper IV-D.1): every application restarts until it has
+// executed at least the instruction count of the LONGEST application in the
+// workload. Per-application core+memory energy is counted up to that bound;
+// uncore energy accrues until the last core finishes.
+#ifndef QOSRM_RMSIM_INTERVAL_SIM_HH
+#define QOSRM_RMSIM_INTERVAL_SIM_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rm/overheads.hh"
+#include "rm/resource_manager.hh"
+#include "workload/sim_db.hh"
+#include "workload/workload_gen.hh"
+
+namespace qosrm::rmsim {
+
+struct SimOptions {
+  bool model_overheads = true;  ///< RM execution + DVFS/resize enforcement
+  rm::OverheadParams overheads{};
+  /// Tolerance on the actual-vs-baseline QoS comparison (absorbs the
+  /// sub-interval enforcement costs - DVFS switches, RM execution - that
+  /// even an oracle RM cannot avoid; those are ~0.1% of an interval).
+  double qos_epsilon = 2e-3;
+  /// QoS relaxation override: when > 0, replaces the database system's
+  /// qos_alpha for both the RM's Eq. 3 check and the violation accounting
+  /// (paper Section III-C: "the alpha parameter can be used to relax the
+  /// QoS constraint"; the paper fixes it to 1).
+  double qos_alpha_override = 0.0;
+};
+
+/// Per-core outcome of one run.
+struct CoreResult {
+  int app = -1;
+  double counted_energy_j = 0.0;  ///< core+memory energy up to the bound
+  double executed_instructions = 0.0;
+  double finish_time_s = 0.0;
+  std::uint64_t intervals = 0;
+  std::uint64_t qos_violations = 0;
+  double violation_sum = 0.0;  ///< sum of Eq. 6 magnitudes
+  double violation_max = 0.0;
+};
+
+struct RunResult {
+  std::string workload;
+  workload::Scenario scenario = workload::Scenario::One;
+  rm::RmPolicy policy = rm::RmPolicy::Idle;
+  rm::PerfModelKind model = rm::PerfModelKind::Model3;
+
+  std::vector<CoreResult> cores;
+  double uncore_energy_j = 0.0;
+  double wall_time_s = 0.0;
+  std::uint64_t rm_invocations = 0;
+  std::uint64_t rm_ops = 0;
+
+  [[nodiscard]] double total_energy_j() const noexcept;
+  [[nodiscard]] std::uint64_t total_intervals() const noexcept;
+  [[nodiscard]] std::uint64_t total_violations() const noexcept;
+  [[nodiscard]] double violation_rate() const noexcept;
+};
+
+/// Observation hook: called after every completed interval with the core id,
+/// the setting it ran at, and the interval's time/energy.
+struct IntervalObservation {
+  int core = 0;
+  int app = 0;
+  int phase = 0;
+  workload::Setting setting{};
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double energy_j = 0.0;
+};
+using IntervalObserver = std::function<void(const IntervalObservation&)>;
+
+class IntervalSimulator {
+ public:
+  IntervalSimulator(const workload::SimDb& db, const SimOptions& options = {});
+
+  /// Runs `mix` under the given RM configuration.
+  [[nodiscard]] RunResult run(const workload::WorkloadMix& mix,
+                              const rm::RmConfig& rm_config,
+                              const IntervalObserver& observer = {}) const;
+
+  [[nodiscard]] const SimOptions& options() const noexcept { return opt_; }
+
+ private:
+  const workload::SimDb* db_;
+  SimOptions opt_;
+};
+
+/// Energy saving of `run` relative to the idle-RM reference:
+/// 1 - E_run / E_idle.
+[[nodiscard]] double energy_savings(const RunResult& run, const RunResult& idle);
+
+}  // namespace qosrm::rmsim
+
+#endif  // QOSRM_RMSIM_INTERVAL_SIM_HH

@@ -1,0 +1,103 @@
+#include "rmsim/qos_eval.hh"
+
+#include <cmath>
+
+#include "arch/dvfs.hh"
+#include "common/check.hh"
+#include "common/stats.hh"
+#include "rmsim/snapshot.hh"
+
+namespace qosrm::rmsim {
+
+QosEvaluator::QosEvaluator(const workload::SimDb& db, const QosEvalOptions& options)
+    : db_(&db), opt_(options) {
+  QOSRM_CHECK(opt_.current_f_stride >= 1);
+}
+
+QosEvalResult QosEvaluator::evaluate(rm::PerfModelKind model) const {
+  return evaluate_all({model}).front();
+}
+
+std::vector<QosEvalResult> QosEvaluator::evaluate_all(
+    const std::vector<rm::PerfModelKind>& models) const {
+  const workload::SimDb& db = *db_;
+  const arch::SystemConfig& sys = db.system();
+  const workload::Setting base = workload::baseline_setting(sys);
+
+  std::vector<QosEvalResult> results;
+  std::vector<WeightedStats> magnitude(models.size());
+  for (const rm::PerfModelKind m : models) {
+    QosEvalResult r;
+    r.model = m;
+    r.histogram = Histogram(0.0, opt_.histogram_max,
+                            static_cast<std::size_t>(opt_.histogram_bins));
+    results.push_back(std::move(r));
+  }
+
+  std::vector<rm::PerfModel> perf;
+  perf.reserve(models.size());
+  for (const rm::PerfModelKind m : models) perf.emplace_back(m, sys);
+
+  // Enumerate all settings once.
+  std::vector<workload::Setting> settings;
+  for (const arch::CoreSize c : arch::kAllCoreSizes) {
+    for (int f = 0; f < arch::VfTable::kNumPoints; ++f) {
+      for (int w = sys.llc.min_ways; w <= sys.llc.max_ways; ++w) {
+        settings.push_back({c, f, w});
+      }
+    }
+  }
+
+  const int n_apps = db.suite().size();
+  for (int app = 0; app < n_apps; ++app) {
+    const double app_weight = 1.0 / static_cast<double>(n_apps);
+    for (int phase = 0; phase < db.num_phases(app); ++phase) {
+      const double phase_weight =
+          db.suite().app(app).phases[static_cast<std::size_t>(phase)].weight *
+          app_weight;
+
+      // Ground-truth times of this phase at every setting (and baseline).
+      std::vector<double> t_act(settings.size());
+      for (std::size_t s = 0; s < settings.size(); ++s) {
+        t_act[s] = db.timing(app, phase, settings[s]).total_seconds;
+      }
+      const double t_act_base = db.timing(app, phase, base).total_seconds;
+
+      for (std::size_t cur = 0; cur < settings.size(); ++cur) {
+        if (settings[cur].f_idx % opt_.current_f_stride != 0) continue;
+        // Counters this phase would produce at the current setting. The
+        // perfect model is exact by construction and is evaluated in Fig. 9
+        // instead, so the oracle ref is not needed here.
+        const rm::CounterSnapshot snap =
+            make_snapshot(db, app, phase, settings[cur]);
+
+        for (std::size_t m = 0; m < models.size(); ++m) {
+          const double t_pred_base =
+              perf[m].predict_time(snap, base) * sys.qos_alpha;
+          for (std::size_t tgt = 0; tgt < settings.size(); ++tgt) {
+            const double t_pred = perf[m].predict_time(snap, settings[tgt]);
+            if (t_pred > t_pred_base) continue;  // RM would never select it
+            results[m].selectable_mass += phase_weight;
+            if (t_act[tgt] > t_act_base * (1.0 + opt_.actual_epsilon)) {
+              results[m].violating_mass += phase_weight;
+              const double v = (t_act[tgt] - t_act_base) / t_act_base;  // Eq. 6
+              magnitude[m].add(v, phase_weight);
+              results[m].histogram.add(v, phase_weight);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    QosEvalResult& r = results[m];
+    r.violation_probability =
+        r.selectable_mass > 0.0 ? r.violating_mass / r.selectable_mass : 0.0;
+    r.expected_violation = magnitude[m].mean();
+    r.violation_stddev = magnitude[m].stddev();
+  }
+  return results;
+}
+
+}  // namespace qosrm::rmsim

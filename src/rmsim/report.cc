@@ -1,0 +1,63 @@
+#include "rmsim/report.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str.hh"
+#include "rm/perf_model.hh"
+
+namespace qosrm::rmsim {
+
+std::string scenario_label(workload::Scenario s) {
+  return format("Scenario %d", static_cast<int>(s));
+}
+
+AsciiTable savings_grid(const std::vector<SavingsGridRow>& rows,
+                        const std::vector<std::string>& variant_names) {
+  std::vector<std::string> header = {"Workload", "Scenario"};
+  header.insert(header.end(), variant_names.begin(), variant_names.end());
+  AsciiTable table(header);
+  for (const SavingsGridRow& row : rows) {
+    std::vector<std::string> cells = {row.workload, scenario_label(row.scenario)};
+    for (const double s : row.savings) cells.push_back(AsciiTable::pct(s));
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+AsciiTable qos_summary(const std::vector<QosEvalResult>& results) {
+  AsciiTable table({"Model", "P(violation)", "E[violation]", "Stddev",
+                    "Selectable mass", "Violating mass"});
+  for (const QosEvalResult& r : results) {
+    table.add_row({rm::perf_model_name(r.model),
+                   AsciiTable::pct(r.violation_probability, 2),
+                   AsciiTable::pct(r.expected_violation, 2),
+                   AsciiTable::pct(r.violation_stddev, 2),
+                   AsciiTable::num(r.selectable_mass, 1),
+                   AsciiTable::num(r.violating_mass, 3)});
+  }
+  return table;
+}
+
+std::string qos_histograms(const std::vector<QosEvalResult>& results) {
+  // Fig. 8 normalizes every model against the global maximum bin.
+  double global_max = 0.0;
+  for (const QosEvalResult& r : results) {
+    global_max = std::max(global_max, r.histogram.max_count());
+  }
+  std::string out;
+  for (const QosEvalResult& r : results) {
+    out += format("%s (bins normalized to global max):\n",
+                  rm::perf_model_name(r.model));
+    const std::vector<double> norm = r.histogram.normalized_by(global_max);
+    for (std::size_t b = 0; b < norm.size(); ++b) {
+      const auto bar = static_cast<std::size_t>(std::lround(norm[b] * 50.0));
+      out += format("  [%5.1f%%,%5.1f%%) %-50s %.4f\n",
+                    r.histogram.bin_lo(b) * 100.0, r.histogram.bin_hi(b) * 100.0,
+                    std::string(bar, '#').c_str(), norm[b]);
+    }
+  }
+  return out;
+}
+
+}  // namespace qosrm::rmsim

@@ -1,0 +1,38 @@
+// Report formatting shared by bench binaries: paper-style ASCII tables for
+// energy savings grids and QoS evaluations.
+#ifndef QOSRM_RMSIM_REPORT_HH
+#define QOSRM_RMSIM_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "rmsim/interval_sim.hh"
+#include "rmsim/qos_eval.hh"
+
+namespace qosrm::rmsim {
+
+/// One row of a savings grid (e.g. paper Fig. 6): a workload with the
+/// savings of several RM variants side by side.
+struct SavingsGridRow {
+  std::string workload;
+  workload::Scenario scenario = workload::Scenario::One;
+  std::vector<double> savings;  ///< one per variant, aligned with headers
+};
+
+/// Renders a Fig. 6/9-style grid. `variant_names` label the savings columns.
+[[nodiscard]] AsciiTable savings_grid(const std::vector<SavingsGridRow>& rows,
+                                      const std::vector<std::string>& variant_names);
+
+/// Renders the Fig. 7 summary for a set of QoS-evaluation results.
+[[nodiscard]] AsciiTable qos_summary(const std::vector<QosEvalResult>& results);
+
+/// Renders the Fig. 8 histogram block (counts normalized to the global max).
+[[nodiscard]] std::string qos_histograms(const std::vector<QosEvalResult>& results);
+
+/// Human-readable scenario label ("Scenario 1" ...).
+[[nodiscard]] std::string scenario_label(workload::Scenario s);
+
+}  // namespace qosrm::rmsim
+
+#endif  // QOSRM_RMSIM_REPORT_HH

@@ -1,0 +1,46 @@
+#include "rmsim/snapshot.hh"
+
+#include "arch/dvfs.hh"
+#include "power/energy_meter.hh"
+
+namespace qosrm::rmsim {
+
+rm::CounterSnapshot make_snapshot(const workload::SimDb& db, int app, int phase,
+                                  const workload::Setting& current,
+                                  int oracle_phase) {
+  const workload::PhaseStats& st = db.stats(app, phase);
+  const arch::IntervalTiming timing = db.timing(app, phase, current);
+  const double f_hz = arch::VfTable::frequency_hz(current.f_idx);
+
+  rm::CounterSnapshot snap;
+  snap.current = current;
+  snap.instructions = st.interval_instructions;
+  snap.total_time_s = timing.total_seconds;
+  snap.t_width_s = timing.width_cycles / f_hz;
+  snap.t_ilp_s = timing.ilp_cycles / f_hz;
+  snap.t_branch_s = timing.branch_cycles / f_hz;
+  snap.t_cache_s = timing.cache_cycles / f_hz;
+  snap.t_mem_s = timing.mem_seconds;
+  snap.llc_accesses = st.llc_accesses;
+  snap.llc_misses = st.misses[static_cast<std::size_t>(current.w - 1)];
+  snap.writebacks = st.writebacks(current.w);
+  snap.measured_mlp = st.mlp_true(current.c, current.w);
+  snap.atd_misses = st.misses;
+  snap.atd_leading_misses = st.lm_atd;
+
+  // RAPL-like dynamic power sample from the measured interval.
+  power::EnergyMeter meter(db.power());
+  const power::IntervalEnergy e = db.energy(app, phase, current);
+  meter.record_interval(current.c, arch::VfTable::point(current.f_idx), e.core_j(),
+                        timing.total_seconds);
+  snap.power_sample = meter.sample();
+
+  if (oracle_phase >= 0) {
+    snap.oracle.db = &db;
+    snap.oracle.app = app;
+    snap.oracle.phase = oracle_phase;
+  }
+  return snap;
+}
+
+}  // namespace qosrm::rmsim

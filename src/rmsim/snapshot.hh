@@ -1,0 +1,22 @@
+// Builds the hardware-counter snapshot a core would hand to the RM after
+// executing one interval of a given phase at a given setting, from the
+// simulation database (the "HW perf. counters" + ATD boxes of paper Fig. 3).
+#ifndef QOSRM_RMSIM_SNAPSHOT_HH
+#define QOSRM_RMSIM_SNAPSHOT_HH
+
+#include "rm/counters.hh"
+#include "workload/sim_db.hh"
+
+namespace qosrm::rmsim {
+
+/// Snapshot of (app, phase) executed at `current`. If `oracle_phase` >= 0 the
+/// oracle block is filled with (db, app, oracle_phase) so the perfect model
+/// can look up the upcoming interval (paper Fig. 9).
+[[nodiscard]] rm::CounterSnapshot make_snapshot(const workload::SimDb& db, int app,
+                                                int phase,
+                                                const workload::Setting& current,
+                                                int oracle_phase = -1);
+
+}  // namespace qosrm::rmsim
+
+#endif  // QOSRM_RMSIM_SNAPSHOT_HH

@@ -1,0 +1,64 @@
+#include "workload/app_profile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hh"
+#include "common/rng.hh"
+
+namespace qosrm::workload {
+
+double StackProfile::total() const noexcept {
+  double t = cold_weight;
+  for (const double w : hit_weight) t += w;
+  return t;
+}
+
+StackProfile make_stack_profile(double hot, double sensitive, double center,
+                                double width, double cold) {
+  QOSRM_CHECK(hot >= 0.0 && sensitive >= 0.0 && cold >= 0.0);
+  QOSRM_CHECK(width > 0.0);
+  StackProfile p;
+  p.cold_weight = cold;
+  // Hot mass split across the two MRU positions.
+  p.hit_weight[0] += hot * 0.7;
+  p.hit_weight[1] += hot * 0.3;
+  // Sensitive mass: Gaussian bump over recency positions 2..15. Accesses in
+  // this band hit only when the allocation exceeds their recency position,
+  // which is what produces a steep miss curve around `center` ways.
+  double bump_total = 0.0;
+  std::array<double, 16> bump{};
+  for (int r = 2; r < 16; ++r) {
+    const double x = (static_cast<double>(r) - center) / width;
+    bump[static_cast<std::size_t>(r)] = std::exp(-0.5 * x * x);
+    bump_total += bump[static_cast<std::size_t>(r)];
+  }
+  QOSRM_CHECK(bump_total > 0.0);
+  for (int r = 2; r < 16; ++r) {
+    p.hit_weight[static_cast<std::size_t>(r)] +=
+        sensitive * bump[static_cast<std::size_t>(r)] / bump_total;
+  }
+  return p;
+}
+
+std::vector<int> make_phase_sequence(int num_phases, const std::vector<double>& weights,
+                                     int intervals, double stay, std::uint64_t seed) {
+  QOSRM_CHECK(num_phases > 0);
+  QOSRM_CHECK(static_cast<int>(weights.size()) == num_phases);
+  QOSRM_CHECK(intervals > 0);
+  QOSRM_CHECK(stay >= 0.0 && stay < 1.0);
+
+  Rng rng(seed);
+  std::vector<int> seq;
+  seq.reserve(static_cast<std::size_t>(intervals));
+  int current = static_cast<int>(rng.weighted_choice(weights));
+  for (int i = 0; i < intervals; ++i) {
+    seq.push_back(current);
+    if (!rng.bernoulli(stay)) {
+      current = static_cast<int>(rng.weighted_choice(weights));
+    }
+  }
+  return seq;
+}
+
+}  // namespace qosrm::workload

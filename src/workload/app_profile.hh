@@ -1,0 +1,94 @@
+// Synthetic application model.
+//
+// The paper evaluates on SPEC CPU2006 SimPoint phases; this library replaces
+// them with synthetic applications whose phases are described by a compact
+// parameter set controlling exactly the properties the paper's analysis
+// depends on:
+//
+//   * LLC reuse profile  -> cache sensitivity (MPKI as a function of ways)
+//   * load burstiness + dependence chains + instruction gaps
+//                        -> memory-level parallelism and its growth with ROB
+//   * inherent ILP       -> compute-time scaling with issue width
+//   * branch / private-cache stall components -> the frequency-scalable
+//                          non-memory part of execution time (Eq. 1's T1)
+//
+// Each application is a weighted set of phases plus a deterministic phase
+// sequence (the SimPoint trace of paper Fig. 5).
+#ifndef QOSRM_WORKLOAD_APP_PROFILE_HH
+#define QOSRM_WORKLOAD_APP_PROFILE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qosrm::workload {
+
+/// Relative mass of LLC accesses per reuse (recency) position. hit_weight[r]
+/// is the share of accesses that re-touch the r-th most recently used block
+/// of their set; cold_weight is the share of first-touch (streaming)
+/// accesses that miss at every allocation.
+struct StackProfile {
+  std::array<double, 16> hit_weight{};
+  double cold_weight = 0.0;
+
+  [[nodiscard]] double total() const noexcept;
+};
+
+/// Builds a profile with three components: `hot` mass at recency 0-1 (always
+/// hits), a bump of `sensitive` mass centred at recency `center` with the
+/// given `width` (this is what makes an application cache sensitive), and
+/// `cold` streaming mass.
+[[nodiscard]] StackProfile make_stack_profile(double hot, double sensitive,
+                                              double center, double width,
+                                              double cold);
+
+/// Parameters of one execution phase.
+struct PhaseParams {
+  std::string name;
+  double weight = 1.0;  ///< SimPoint weight within the application
+
+  // -- LLC access stream ---------------------------------------------------
+  double lpki = 4.0;        ///< LLC accesses per kilo-instruction
+  StackProfile reuse{};     ///< reuse profile (cache sensitivity)
+  double dep_frac = 0.0;    ///< P(load depends on previous load in burst)
+  double write_frac = 0.25; ///< fraction of blocks dirtied (writeback traffic)
+  double burst_size = 4.0;  ///< mean loads per burst (controls peak MLP)
+  double intra_gap = 30.0;  ///< mean instruction gap inside a burst
+                            ///< (controls how much ROB a burst spans)
+
+  // -- core-side characteristics -------------------------------------------
+  double ilp = 2.0;          ///< inherent instruction-level parallelism
+  double cpi_branch = 0.05;  ///< branch-stall cycles per instruction
+  double cpi_cache = 0.10;   ///< private-cache stall cycles per instruction
+};
+
+/// A complete application: phases, weights and the interval-granular phase
+/// sequence driving the RM simulator.
+struct AppProfile {
+  std::string name;
+  std::vector<PhaseParams> phases;
+  /// phase_sequence[i] = phase index executed in interval i; the application
+  /// finishes after phase_sequence.size() intervals and restarts.
+  std::vector<int> phase_sequence;
+  std::uint64_t trace_seed = 1;
+
+  [[nodiscard]] int num_phases() const noexcept {
+    return static_cast<int>(phases.size());
+  }
+  [[nodiscard]] int length_intervals() const noexcept {
+    return static_cast<int>(phase_sequence.size());
+  }
+};
+
+/// Builds a Markov-style phase sequence of `intervals` entries over
+/// `num_phases` phases: stays in the current phase with probability `stay`,
+/// otherwise jumps to a phase drawn by `weights`. Deterministic in `seed`.
+[[nodiscard]] std::vector<int> make_phase_sequence(int num_phases,
+                                                   const std::vector<double>& weights,
+                                                   int intervals, double stay,
+                                                   std::uint64_t seed);
+
+}  // namespace qosrm::workload
+
+#endif  // QOSRM_WORKLOAD_APP_PROFILE_HH

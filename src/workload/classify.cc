@@ -1,0 +1,57 @@
+#include "workload/classify.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hh"
+
+namespace qosrm::workload {
+
+AppClassification classify_app(const SimDb& db, int app,
+                               const ClassificationCriteria& crit) {
+  AppClassification cls;
+  cls.app = app;
+
+  const int wb = crit.baseline_ways;
+  const int w_lo = std::max(1, wb / 2);        // -50% allocation
+  const int w_hi = wb + wb / 2;                // +50% allocation
+  cls.mpki_base = db.app_mpki(app, wb);
+  cls.mpki_lo = db.app_mpki(app, w_lo);
+  cls.mpki_hi = db.app_mpki(app, w_hi);
+
+  if (cls.mpki_base >= crit.mpki_min) {
+    const double swing = std::max(std::abs(cls.mpki_lo - cls.mpki_base),
+                                  std::abs(cls.mpki_hi - cls.mpki_base));
+    cls.cache_sensitive = swing > crit.mpki_variation * cls.mpki_base;
+  }
+
+  cls.mlp_s = db.app_mlp(app, arch::CoreSize::S);
+  cls.mlp_m = db.app_mlp(app, arch::CoreSize::M);
+  cls.mlp_l = db.app_mlp(app, arch::CoreSize::L);
+  cls.parallelism_sensitive =
+      (cls.mlp_l - cls.mlp_s) > crit.mlp_variation * cls.mlp_m &&
+      cls.mlp_l >= crit.mlp_min_large;
+
+  return cls;
+}
+
+std::vector<AppClassification> classify_suite(const SimDb& db,
+                                              const ClassificationCriteria& crit) {
+  std::vector<AppClassification> out;
+  out.reserve(static_cast<std::size_t>(db.suite().size()));
+  for (int a = 0; a < db.suite().size(); ++a) {
+    out.push_back(classify_app(db, a, crit));
+  }
+  return out;
+}
+
+std::array<int, kNumCategories> category_histogram(
+    const std::vector<AppClassification>& cls) {
+  std::array<int, kNumCategories> hist{};
+  for (const auto& c : cls) {
+    ++hist[static_cast<std::size_t>(c.category())];
+  }
+  return hist;
+}
+
+}  // namespace qosrm::workload

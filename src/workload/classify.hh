@@ -1,0 +1,60 @@
+// Application categorization (paper Section IV-C, producing Table II).
+//
+//   Cache Sensitive (CS):   MPKI varies by more than 20% when the LLC
+//                           allocation changes by +-50% from the 8-way
+//                           baseline, and baseline MPKI >= 0.2.
+//   Parallelism Sensitive (PS): ground-truth MLP grows by more than 30% of
+//                           the M-core MLP when resizing S -> L (at baseline
+//                           allocation and VF), and MLP on L is >= 2.
+#ifndef QOSRM_WORKLOAD_CLASSIFY_HH
+#define QOSRM_WORKLOAD_CLASSIFY_HH
+
+#include <vector>
+
+#include "workload/sim_db.hh"
+#include "workload/spec_suite.hh"
+
+namespace qosrm::workload {
+
+struct ClassificationCriteria {
+  double mpki_min = 0.2;         ///< minimum baseline MPKI to count as CS
+  double mpki_variation = 0.20;  ///< relative MPKI swing threshold
+  double mlp_variation = 0.30;   ///< (MLP_L - MLP_S) / MLP_M threshold
+  double mlp_min_large = 2.0;    ///< minimum MLP on the L core for PS
+  int baseline_ways = 8;
+};
+
+struct AppClassification {
+  int app = -1;
+  bool cache_sensitive = false;
+  bool parallelism_sensitive = false;
+  double mpki_base = 0.0;  ///< MPKI at the baseline allocation
+  double mpki_lo = 0.0;    ///< MPKI at -50% allocation (4 ways)
+  double mpki_hi = 0.0;    ///< MPKI at +50% allocation (12 ways)
+  double mlp_s = 1.0;
+  double mlp_m = 1.0;
+  double mlp_l = 1.0;
+
+  [[nodiscard]] Category category() const noexcept {
+    if (cache_sensitive) {
+      return parallelism_sensitive ? Category::CS_PS : Category::CS_PI;
+    }
+    return parallelism_sensitive ? Category::CI_PS : Category::CI_PI;
+  }
+};
+
+/// Classifies one application from database ground truth.
+[[nodiscard]] AppClassification classify_app(const SimDb& db, int app,
+                                             const ClassificationCriteria& crit = {});
+
+/// Classifies the whole suite.
+[[nodiscard]] std::vector<AppClassification> classify_suite(
+    const SimDb& db, const ClassificationCriteria& crit = {});
+
+/// Number of applications per category.
+[[nodiscard]] std::array<int, kNumCategories> category_histogram(
+    const std::vector<AppClassification>& cls);
+
+}  // namespace qosrm::workload
+
+#endif  // QOSRM_WORKLOAD_CLASSIFY_HH

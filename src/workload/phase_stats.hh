@@ -1,0 +1,86 @@
+// Per-phase characterization: runs the canonical trace of a phase through
+// the cache substrate once and extracts everything the timing/energy models
+// and the resource managers need, for every core size and LLC allocation:
+//
+//   * exact miss curve M(w)                      (RecencyProfiler)
+//   * ground-truth leading misses LM_true(c, w)  (MlpOracle)
+//   * hardware-estimated LM_atd(c, w)            (MlpAtd over the emulated
+//                                                 out-of-order arrival stream)
+//
+// Counts are scaled from the trace's represented instruction span to the RM
+// interval (paper: 100M instructions).
+#ifndef QOSRM_WORKLOAD_PHASE_STATS_HH
+#define QOSRM_WORKLOAD_PHASE_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/core_config.hh"
+#include "arch/core_model.hh"
+#include "arch/system_config.hh"
+#include "workload/app_profile.hh"
+#include "workload/trace_synth.hh"
+
+namespace qosrm::workload {
+
+struct PhaseStats {
+  // Interval-scaled counts, indexed by [w-1] for w in [1, max_ways] and by
+  // core_size_index for c.
+  std::vector<double> misses;                                   ///< M(w)
+  std::array<std::vector<double>, arch::kNumCoreSizes> lm_true; ///< LM(c,w)
+  std::array<std::vector<double>, arch::kNumCoreSizes> lm_atd;  ///< estimate
+
+  double interval_instructions = 0.0;  ///< instructions per interval
+  double llc_accesses = 0.0;           ///< LLC accesses, interval-scaled
+  double write_frac = 0.0;             ///< dirty-block share of the phase
+  double scale = 1.0;                  ///< interval / represented instructions
+
+  // Core-side characteristics copied from the phase parameters.
+  double ilp = 1.0;
+  double cpi_branch = 0.0;
+  double cpi_cache = 0.0;
+
+  [[nodiscard]] int max_ways() const noexcept {
+    return static_cast<int>(misses.size());
+  }
+  [[nodiscard]] double mpki(int w) const noexcept;
+
+  /// Writebacks per interval at allocation w: in steady state every evicted
+  /// dirty block is written back, i.e. write_frac of the fills.
+  [[nodiscard]] double writebacks(int w) const noexcept;
+
+  /// DRAM transactions per interval at allocation w (fills + writebacks) -
+  /// the MA quantity of paper Eq. 5.
+  [[nodiscard]] double dram_accesses(int w) const noexcept;
+
+  /// Ground-truth MLP at (c, w): M(w) / LM_true(c, w), >= 1.
+  [[nodiscard]] double mlp_true(arch::CoreSize c, int w) const noexcept;
+
+  /// IntervalCharacteristics view for the ground-truth timing model.
+  [[nodiscard]] arch::IntervalCharacteristics characteristics() const noexcept;
+
+  /// MemoryBehaviour at (c, w) using ground-truth leading misses.
+  [[nodiscard]] arch::MemoryBehaviour memory_truth(arch::CoreSize c, int w,
+                                                   double mem_latency_s) const noexcept;
+};
+
+struct PhaseStatsOptions {
+  TraceSynthConfig synth{};
+  int mlp_index_bits = 10;       ///< MLP-ATD instruction-index width
+  int atd_sample_period = 1;     ///< set sampling inside the hardware models
+  double arrival_dispatch_ipc = 2.0;
+  double mem_latency_cycles = 260.0;  ///< at the 2 GHz baseline
+  int arrival_ways = 8;               ///< allocation assumed for the arrival stream
+};
+
+/// Characterizes one phase: synthesizes the trace (deterministic in `seed`)
+/// and extracts interval-scaled statistics for the given system.
+[[nodiscard]] PhaseStats characterize_phase(const PhaseParams& phase,
+                                            const arch::SystemConfig& system,
+                                            const PhaseStatsOptions& options,
+                                            std::uint64_t seed);
+
+}  // namespace qosrm::workload
+
+#endif  // QOSRM_WORKLOAD_PHASE_STATS_HH

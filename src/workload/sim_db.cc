@@ -1,0 +1,108 @@
+#include "workload/sim_db.hh"
+
+#include <utility>
+
+#include "common/check.hh"
+#include "common/thread_pool.hh"
+
+namespace qosrm::workload {
+
+Setting baseline_setting(const arch::SystemConfig& system) {
+  Setting s;
+  s.c = arch::kBaselineCoreSize;
+  s.f_idx = arch::VfTable::kBaselineIndex;
+  s.w = system.llc.ways_per_core_baseline;
+  return s;
+}
+
+SimDb::SimDb(const SpecSuite& suite, const arch::SystemConfig& system,
+             const power::PowerModel& power, const SimDbOptions& options)
+    : suite_(&suite), system_(system), power_(power) {
+  stats_.resize(static_cast<std::size_t>(suite.size()));
+
+  // Flatten (app, phase) pairs for the parallel sweep.
+  std::vector<std::pair<int, int>> jobs;
+  for (int a = 0; a < suite.size(); ++a) {
+    const auto n = static_cast<std::size_t>(suite.app(a).num_phases());
+    stats_[static_cast<std::size_t>(a)].resize(n);
+    for (std::size_t ph = 0; ph < n; ++ph) {
+      jobs.emplace_back(a, static_cast<int>(ph));
+    }
+  }
+
+  const PhaseStatsOptions phase_opts = options.phase;
+  auto run_job = [&](std::size_t j) {
+    const auto [a, ph] = jobs[j];
+    const AppProfile& app = suite.app(a);
+    const std::uint64_t seed =
+        app.trace_seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(ph + 1);
+    stats_[static_cast<std::size_t>(a)][static_cast<std::size_t>(ph)] =
+        characterize_phase(app.phases[static_cast<std::size_t>(ph)], system_,
+                           phase_opts, seed);
+  };
+
+  if (options.threads == 1) {
+    for (std::size_t j = 0; j < jobs.size(); ++j) run_job(j);
+  } else {
+    ThreadPool pool(options.threads == 0
+                        ? 0
+                        : static_cast<std::size_t>(options.threads));
+    parallel_for(pool, 0, jobs.size(), run_job);
+  }
+}
+
+const PhaseStats& SimDb::stats(int app, int phase) const {
+  QOSRM_CHECK(app >= 0 && app < suite_->size());
+  const auto& per_app = stats_[static_cast<std::size_t>(app)];
+  QOSRM_CHECK(phase >= 0 && phase < static_cast<int>(per_app.size()));
+  return per_app[static_cast<std::size_t>(phase)];
+}
+
+int SimDb::num_phases(int app) const {
+  QOSRM_CHECK(app >= 0 && app < suite_->size());
+  return static_cast<int>(stats_[static_cast<std::size_t>(app)].size());
+}
+
+arch::IntervalTiming SimDb::timing(int app, int phase, const Setting& s) const {
+  const PhaseStats& st = stats(app, phase);
+  return arch::evaluate_interval(st.characteristics(),
+                                 st.memory_truth(s.c, s.w, system_.mem_latency_s),
+                                 s.c, arch::VfTable::frequency_hz(s.f_idx));
+}
+
+power::IntervalEnergy SimDb::energy(int app, int phase, const Setting& s) const {
+  const PhaseStats& st = stats(app, phase);
+  const arch::IntervalTiming t = timing(app, phase, s);
+  // Memory energy covers both fills and writebacks (paper Eq. 5's MA).
+  return power_.interval_energy(s.c, arch::VfTable::point(s.f_idx), t,
+                                st.interval_instructions, st.dram_accesses(s.w));
+}
+
+double SimDb::baseline_time(int app, int phase) const {
+  return timing(app, phase, baseline_setting(system_)).total_seconds;
+}
+
+double SimDb::app_mpki(int app, int w) const {
+  const int phases = num_phases(app);
+  double acc = 0.0;
+  for (int ph = 0; ph < phases; ++ph) {
+    const double weight =
+        suite_->app(app).phases[static_cast<std::size_t>(ph)].weight;
+    acc += weight * stats(app, ph).mpki(w);
+  }
+  return acc;
+}
+
+double SimDb::app_mlp(int app, arch::CoreSize c) const {
+  const int phases = num_phases(app);
+  const int w = system_.llc.ways_per_core_baseline;
+  double acc = 0.0;
+  for (int ph = 0; ph < phases; ++ph) {
+    const double weight =
+        suite_->app(app).phases[static_cast<std::size_t>(ph)].weight;
+    acc += weight * stats(app, ph).mlp_true(c, w);
+  }
+  return acc;
+}
+
+}  // namespace qosrm::workload

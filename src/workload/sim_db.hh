@@ -1,0 +1,81 @@
+// The simulation database (paper Section IV-A).
+//
+// The paper runs Sniper+McPAT once per (phase, core configuration, VF
+// setting, LLC allocation) and stores the results; the RM simulator then
+// replays applications against that database. Here the database holds one
+// PhaseStats per (app, phase) - produced by the trace-driven cache substrate
+// - and evaluates ground-truth timing/energy for any (c, f, w) on demand
+// from the analytical core model, which is equivalent to materializing the
+// full cross product but cheaper to store.
+#ifndef QOSRM_WORKLOAD_SIM_DB_HH
+#define QOSRM_WORKLOAD_SIM_DB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/core_model.hh"
+#include "arch/dvfs.hh"
+#include "arch/system_config.hh"
+#include "power/power_model.hh"
+#include "workload/phase_stats.hh"
+#include "workload/spec_suite.hh"
+
+namespace qosrm::workload {
+
+/// A concrete resource setting for one core.
+struct Setting {
+  arch::CoreSize c = arch::kBaselineCoreSize;
+  int f_idx = arch::VfTable::kBaselineIndex;
+  int w = 8;
+
+  [[nodiscard]] bool operator==(const Setting&) const = default;
+};
+
+/// The baseline system setting (M core, 2 GHz, even LLC split).
+[[nodiscard]] Setting baseline_setting(const arch::SystemConfig& system);
+
+struct SimDbOptions {
+  PhaseStatsOptions phase{};
+  int threads = 0;  ///< build parallelism; 0 = hardware concurrency
+};
+
+class SimDb {
+ public:
+  /// Characterizes every phase of every suite application (parallel build).
+  SimDb(const SpecSuite& suite, const arch::SystemConfig& system,
+        const power::PowerModel& power, const SimDbOptions& options = {});
+
+  [[nodiscard]] const SpecSuite& suite() const noexcept { return *suite_; }
+  [[nodiscard]] const arch::SystemConfig& system() const noexcept { return system_; }
+  [[nodiscard]] const power::PowerModel& power() const noexcept { return power_; }
+
+  [[nodiscard]] const PhaseStats& stats(int app, int phase) const;
+  [[nodiscard]] int num_phases(int app) const;
+
+  /// Ground-truth interval timing of (app, phase) at setting s.
+  [[nodiscard]] arch::IntervalTiming timing(int app, int phase,
+                                            const Setting& s) const;
+
+  /// Ground-truth interval energy (core + memory; uncore is system-level).
+  [[nodiscard]] power::IntervalEnergy energy(int app, int phase,
+                                             const Setting& s) const;
+
+  /// Interval wall-clock time at the baseline setting (the QoS reference).
+  [[nodiscard]] double baseline_time(int app, int phase) const;
+
+  /// Weighted-average MPKI of an application at allocation w (phase weights).
+  [[nodiscard]] double app_mpki(int app, int w) const;
+
+  /// Weighted-average ground-truth MLP of an application at (c, baseline w).
+  [[nodiscard]] double app_mlp(int app, arch::CoreSize c) const;
+
+ private:
+  const SpecSuite* suite_;
+  arch::SystemConfig system_;
+  power::PowerModel power_;
+  std::vector<std::vector<PhaseStats>> stats_;  // [app][phase]
+};
+
+}  // namespace qosrm::workload
+
+#endif  // QOSRM_WORKLOAD_SIM_DB_HH

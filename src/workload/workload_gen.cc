@@ -1,0 +1,127 @@
+#include "workload/workload_gen.hh"
+
+#include <algorithm>
+
+#include "common/check.hh"
+#include "common/rng.hh"
+#include "common/str.hh"
+
+namespace qosrm::workload {
+
+Scenario scenario_of(Category a, Category b) noexcept {
+  const auto has = [&](Category c) { return a == c || b == c; };
+  if (has(Category::CS_PS)) return Scenario::One;
+  if (has(Category::CI_PS) && has(Category::CS_PI)) return Scenario::One;
+  if (has(Category::CS_PI)) return Scenario::Two;  // with CS-PI or CI-PI
+  if (has(Category::CI_PS)) return Scenario::Three;  // with CI-PS or CI-PI
+  return Scenario::Four;  // CI-PI x CI-PI
+}
+
+MixTable compute_mix_table(const std::array<int, kNumCategories>& population) {
+  MixTable t;
+  t.population = population;
+  int total = 0;
+  for (const int n : population) total += n;
+  QOSRM_CHECK(total > 0);
+  for (std::size_t c = 0; c < kNumCategories; ++c) {
+    t.category_prob[c] =
+        static_cast<double>(population[c]) / static_cast<double>(total);
+  }
+  for (std::size_t a = 0; a < kNumCategories; ++a) {
+    for (std::size_t b = 0; b < kNumCategories; ++b) {
+      t.pair_prob[a][b] = t.category_prob[a] * t.category_prob[b];
+      const Scenario s =
+          scenario_of(static_cast<Category>(a), static_cast<Category>(b));
+      t.scenario_weight[static_cast<std::size_t>(static_cast<int>(s) - 1)] +=
+          t.pair_prob[a][b];
+    }
+  }
+  return t;
+}
+
+namespace {
+
+/// Ordered (first-half category, second-half category) cells per scenario,
+/// matching the paper's construction rule for Scenario 1: "the first half
+/// can be from any category as long as the second half is selected from
+/// CS-PS; additionally, the second half can be CS-PI if the first half is
+/// CI-PS."
+std::vector<std::pair<Category, Category>> scenario_cells(Scenario s) {
+  using enum Category;
+  switch (s) {
+    case Scenario::One:
+      return {{CI_PI, CS_PS}, {CI_PS, CS_PS}, {CS_PI, CS_PS},
+              {CS_PS, CS_PS}, {CI_PS, CS_PI}};
+    case Scenario::Two:
+      return {{CI_PI, CS_PI}, {CS_PI, CS_PI}};
+    case Scenario::Three:
+      return {{CI_PI, CI_PS}, {CI_PS, CI_PS}};
+    case Scenario::Four:
+      return {{CI_PI, CI_PI}};
+  }
+  return {};
+}
+
+/// Draws an application of `cat`, preferring the least-used ones so a suite
+/// of workloads covers every application where possible.
+int draw_app(const SpecSuite& suite, Category cat, std::vector<int>& use_count,
+             Rng& rng) {
+  const std::vector<int> candidates = suite.apps_in_category(cat);
+  QOSRM_CHECK(!candidates.empty());
+  int best_use = std::numeric_limits<int>::max();
+  for (const int a : candidates) {
+    best_use = std::min(best_use, use_count[static_cast<std::size_t>(a)]);
+  }
+  std::vector<int> least;
+  for (const int a : candidates) {
+    if (use_count[static_cast<std::size_t>(a)] == best_use) least.push_back(a);
+  }
+  const int pick = least[rng.uniform_u64(least.size())];
+  ++use_count[static_cast<std::size_t>(pick)];
+  return pick;
+}
+
+}  // namespace
+
+std::vector<WorkloadMix> generate_workloads(const SpecSuite& suite,
+                                            const WorkloadGenOptions& options) {
+  QOSRM_CHECK(options.cores >= 2 && options.cores % 2 == 0);
+  QOSRM_CHECK(options.per_scenario >= 1);
+
+  Rng rng(options.seed);
+  std::vector<int> use_count(static_cast<std::size_t>(suite.size()), 0);
+
+  std::vector<WorkloadMix> out;
+  out.reserve(static_cast<std::size_t>(options.per_scenario) * 4);
+  int index = 1;
+  for (const Scenario s : kAllScenarios) {
+    const auto cells = scenario_cells(s);
+    // Relative cell weights follow the pairwise probabilities of Fig. 1.
+    const MixTable table = compute_mix_table(
+        {static_cast<int>(suite.apps_in_category(Category::CS_PS).size()),
+         static_cast<int>(suite.apps_in_category(Category::CS_PI).size()),
+         static_cast<int>(suite.apps_in_category(Category::CI_PS).size()),
+         static_cast<int>(suite.apps_in_category(Category::CI_PI).size())});
+    std::vector<double> cell_weight;
+    for (const auto& [a, b] : cells) {
+      cell_weight.push_back(table.pair_prob[static_cast<std::size_t>(a)]
+                                           [static_cast<std::size_t>(b)]);
+    }
+
+    for (int k = 0; k < options.per_scenario; ++k) {
+      const auto& [cat1, cat2] = cells[rng.weighted_choice(cell_weight)];
+      WorkloadMix mix;
+      mix.scenario = s;
+      mix.name = format("%dCore-W%d", options.cores, index++);
+      mix.app_ids.reserve(static_cast<std::size_t>(options.cores));
+      for (int core = 0; core < options.cores; ++core) {
+        const Category cat = core < options.cores / 2 ? cat1 : cat2;
+        mix.app_ids.push_back(draw_app(suite, cat, use_count, rng));
+      }
+      out.push_back(std::move(mix));
+    }
+  }
+  return out;
+}
+
+}  // namespace qosrm::workload

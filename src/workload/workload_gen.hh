@@ -1,0 +1,72 @@
+// Scenario-driven workload generation (paper Sections II and IV-C).
+//
+// Two-application category mixes partition into four scenarios (Fig. 1):
+//   Scenario 1: RM3 expected to beat RM2     - any mix involving CS-PS, plus
+//                                              the CI-PS x CS-PI mix
+//   Scenario 2: RM2 and RM3 comparable       - CS-PI with CS-PI or CI-PI
+//   Scenario 3: only RM3 effective           - CI-PS with CI-PS or CI-PI
+//   Scenario 4: neither RM effective         - CI-PI with CI-PI
+//
+// Multi-core workloads extend a mix: each core of the first half runs an
+// application drawn from the first category, each core of the second half
+// from the second category (paper uses Python random.choice; we use a
+// deterministic, coverage-encouraging equivalent).
+#ifndef QOSRM_WORKLOAD_WORKLOAD_GEN_HH
+#define QOSRM_WORKLOAD_WORKLOAD_GEN_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/spec_suite.hh"
+
+namespace qosrm::workload {
+
+enum class Scenario : int { One = 1, Two = 2, Three = 3, Four = 4 };
+
+inline constexpr std::array<Scenario, 4> kAllScenarios = {
+    Scenario::One, Scenario::Two, Scenario::Three, Scenario::Four};
+
+/// Scenario of an (unordered) category mix.
+[[nodiscard]] Scenario scenario_of(Category a, Category b) noexcept;
+
+/// Fig. 1 derived data: category populations, pairwise mix probabilities and
+/// scenario weights (paper: 47 / 22.1 / 22.1 / 8.8 %).
+struct MixTable {
+  std::array<int, kNumCategories> population{};
+  std::array<double, kNumCategories> category_prob{};
+  /// pair_prob[a][b] = P(App1 in a) * P(App2 in b) (the paper displays the
+  /// upper triangle of this matrix).
+  std::array<std::array<double, kNumCategories>, kNumCategories> pair_prob{};
+  /// Total probability mass of each scenario over ordered pairs (sums to 1).
+  std::array<double, 4> scenario_weight{};
+};
+
+/// Builds the mix table from category populations.
+[[nodiscard]] MixTable compute_mix_table(const std::array<int, kNumCategories>& population);
+
+/// One multiprogrammed workload.
+struct WorkloadMix {
+  std::string name;  ///< e.g. "4Core-W7"
+  Scenario scenario = Scenario::One;
+  std::vector<int> app_ids;  ///< one application per core
+};
+
+struct WorkloadGenOptions {
+  int cores = 4;
+  int per_scenario = 6;  ///< paper: six workloads per scenario
+  std::uint64_t seed = 2020;
+};
+
+/// Generates per-scenario workload suites, named {cores}Core-W{k} with k
+/// running 1..4*per_scenario in scenario order, exactly like the paper's
+/// 4Core-W1..W24 grouping. Selection prefers not-yet-used applications of
+/// the target category so the suite covers each application at least once
+/// where population allows (paper repeats generation until that holds).
+[[nodiscard]] std::vector<WorkloadMix> generate_workloads(
+    const SpecSuite& suite, const WorkloadGenOptions& options);
+
+}  // namespace qosrm::workload
+
+#endif  // QOSRM_WORKLOAD_WORKLOAD_GEN_HH

@@ -1,0 +1,118 @@
+#include "cache/atd.hh"
+
+#include <gtest/gtest.h>
+
+#include "cache/recency.hh"
+#include "common/rng.hh"
+
+namespace qosrm::cache {
+namespace {
+
+std::vector<LlcAccess> random_trace(int n, int sets, int tags, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LlcAccess> trace;
+  std::uint64_t inst = 0;
+  for (int i = 0; i < n; ++i) {
+    inst += 1 + rng.uniform_u64(50);
+    trace.push_back({inst, static_cast<std::uint32_t>(rng.uniform_u64(sets)),
+                     rng.uniform_u64(static_cast<std::uint64_t>(tags)), false});
+  }
+  return trace;
+}
+
+TEST(Atd, UnsampledMatchesExactProfiler) {
+  const auto trace = random_trace(20000, 32, 400, 5);
+  AtdConfig cfg;
+  cfg.sets = 32;
+  cfg.sample_period = 1;
+  Atd atd(cfg);
+  for (const auto& a : trace) atd.observe(a);
+
+  RecencyProfiler prof(32, 16);
+  const auto recency = prof.annotate(trace);
+  const MissCurve exact = MissCurve::from_recency(recency, 16);
+  const MissCurve estimated = atd.miss_curve();
+  for (int w = 1; w <= 16; ++w) {
+    EXPECT_DOUBLE_EQ(estimated.misses(w), exact.misses(w)) << "w=" << w;
+  }
+}
+
+TEST(Atd, SampledEstimateTracksExactCurve) {
+  const auto trace = random_trace(60000, 64, 1500, 9);
+  AtdConfig cfg;
+  cfg.sets = 64;
+  cfg.sample_period = 8;
+  Atd atd(cfg);
+  for (const auto& a : trace) atd.observe(a);
+
+  RecencyProfiler prof(64, 16);
+  const auto recency = prof.annotate(trace);
+  const MissCurve exact = MissCurve::from_recency(recency, 16);
+  for (const int w : {2, 4, 8, 12, 16}) {
+    const double est = atd.estimated_misses(w);
+    const double act = exact.misses(w);
+    // Set sampling is a statistical estimate: within 15% + small absolute slack.
+    EXPECT_NEAR(est, act, act * 0.15 + 50.0) << "w=" << w;
+  }
+}
+
+TEST(Atd, ObserveReturnsRecencyForSampledSets) {
+  AtdConfig cfg;
+  cfg.sets = 4;
+  cfg.sample_period = 2;
+  Atd atd(cfg);
+  EXPECT_EQ(atd.observe({1, 0, 10, false}), kRecencyMiss);  // sampled, cold
+  EXPECT_EQ(atd.observe({2, 0, 10, false}), 0);             // sampled, hit
+  EXPECT_EQ(atd.observe({3, 1, 10, false}), kRecencyMiss);  // unsampled
+  EXPECT_EQ(atd.observed(), 2u);
+}
+
+TEST(Atd, CountersAccumulateHitsPerPosition) {
+  AtdConfig cfg;
+  cfg.sets = 1;
+  Atd atd(cfg);
+  atd.observe({1, 0, 10, false});
+  atd.observe({2, 0, 11, false});
+  atd.observe({3, 0, 10, false});  // hit at position 1
+  EXPECT_EQ(atd.hit_counters()[1], 1u);
+  EXPECT_EQ(atd.atd_misses(), 2u);
+}
+
+TEST(Atd, ResetCountersKeepsTags) {
+  AtdConfig cfg;
+  cfg.sets = 1;
+  Atd atd(cfg);
+  atd.observe({1, 0, 10, false});
+  atd.reset_counters();
+  EXPECT_EQ(atd.atd_misses(), 0u);
+  EXPECT_EQ(atd.observe({2, 0, 10, false}), 0);  // still resident
+}
+
+TEST(Atd, CounterSaturationRespectsBitWidth) {
+  AtdConfig cfg;
+  cfg.sets = 1;
+  cfg.counter_bits = 8;
+  Atd atd(cfg);
+  for (int i = 0; i < 300; ++i) {
+    atd.observe({static_cast<std::uint64_t>(i), 0,
+                 static_cast<std::uint64_t>(i) + 1000, false});
+  }
+  EXPECT_EQ(atd.atd_misses(), 255u);
+}
+
+TEST(Atd, MissCurveMonotoneOnRandomStreams) {
+  for (const std::uint64_t seed : {3u, 17u, 23u}) {
+    const auto trace = random_trace(30000, 16, 300, seed);
+    AtdConfig cfg;
+    cfg.sets = 16;
+    Atd atd(cfg);
+    for (const auto& a : trace) atd.observe(a);
+    const MissCurve curve = atd.miss_curve();
+    for (int w = 2; w <= 16; ++w) {
+      EXPECT_LE(curve.misses(w), curve.misses(w - 1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qosrm::cache

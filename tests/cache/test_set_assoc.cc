@@ -1,0 +1,75 @@
+#include "cache/set_assoc_cache.hh"
+
+#include <gtest/gtest.h>
+
+namespace qosrm::cache {
+namespace {
+
+TEST(SetAssoc, GeometryDerivesSets) {
+  CacheGeometry g{32 * 1024, 4, 64};
+  EXPECT_EQ(g.sets(), 128);
+}
+
+TEST(SetAssoc, ColdMissThenHit) {
+  SetAssocCache cache({1024, 2, 64});
+  EXPECT_FALSE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x1000));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(SetAssoc, SameBlockDifferentBytesHit) {
+  SetAssocCache cache({1024, 2, 64});
+  cache.access(0x1000);
+  EXPECT_TRUE(cache.access(0x103F));  // same 64B block
+  EXPECT_FALSE(cache.access(0x1040)); // next block
+}
+
+TEST(SetAssoc, ConflictEviction) {
+  // 1 KB, 2-way, 64 B blocks -> 8 sets; addresses 8 blocks apart collide.
+  SetAssocCache cache({1024, 2, 64});
+  const std::uint64_t stride = 8 * 64;
+  cache.access(0x0);
+  cache.access(stride);
+  cache.access(2 * stride);  // evicts 0x0
+  EXPECT_FALSE(cache.access(0x0));
+}
+
+TEST(SetAssoc, LruVictimSelection) {
+  SetAssocCache cache({1024, 2, 64});
+  const std::uint64_t stride = 8 * 64;
+  cache.access(0x0);
+  cache.access(stride);
+  cache.access(0x0);          // 0x0 is now MRU
+  cache.access(2 * stride);   // evicts `stride`, not 0x0
+  EXPECT_TRUE(cache.access(0x0));
+  EXPECT_FALSE(cache.access(stride));
+}
+
+TEST(SetAssoc, MissRate) {
+  SetAssocCache cache({1024, 2, 64});
+  cache.access(0x0);  // miss
+  cache.access(0x0);  // hit
+  cache.access(0x0);  // hit
+  cache.access(0x40); // miss
+  EXPECT_DOUBLE_EQ(cache.miss_rate(), 0.5);
+}
+
+TEST(SetAssoc, ResetClearsContentsAndCounters) {
+  SetAssocCache cache({1024, 2, 64});
+  cache.access(0x0);
+  cache.reset();
+  EXPECT_EQ(cache.hits() + cache.misses(), 0u);
+  EXPECT_FALSE(cache.access(0x0));
+}
+
+TEST(SetAssoc, TableIL1Geometry) {
+  // Table I: L1 32 KB 4-way, L2 256 KB 8-way, both 64 B blocks.
+  SetAssocCache l1({32 * 1024, 4, 64});
+  SetAssocCache l2({256 * 1024, 8, 64});
+  EXPECT_EQ(l1.geometry().sets(), 128);
+  EXPECT_EQ(l2.geometry().sets(), 512);
+}
+
+}  // namespace
+}  // namespace qosrm::cache

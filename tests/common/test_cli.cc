@@ -1,0 +1,67 @@
+#include "common/cli.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qosrm {
+namespace {
+
+CliArgs parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return CliArgs(static_cast<int>(argv.size()),
+                 const_cast<char**>(argv.data()));
+}
+
+TEST(Cli, EqualsForm) {
+  const CliArgs args = parse({"--cores=8", "--seed=42"});
+  EXPECT_EQ(args.get_int("cores", 0), 8);
+  EXPECT_EQ(args.get_int("seed", 0), 42);
+}
+
+TEST(Cli, SpaceForm) {
+  const CliArgs args = parse({"--app", "mcf"});
+  EXPECT_EQ(args.get("app", ""), "mcf");
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const CliArgs args = parse({"--verbose"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_TRUE(args.has("verbose"));
+}
+
+TEST(Cli, FallbacksWhenMissing) {
+  const CliArgs args = parse({});
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+  EXPECT_FALSE(args.get_bool("missing", false));
+}
+
+TEST(Cli, DoubleParsing) {
+  const CliArgs args = parse({"--alpha=1.25"});
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 1.25);
+}
+
+TEST(Cli, BoolVariants) {
+  EXPECT_TRUE(parse({"--x=true"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=1"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=yes"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"--x=false"}).get_bool("x", true));
+}
+
+TEST(Cli, PositionalArgumentsPreserved) {
+  const CliArgs args = parse({"input.txt", "--n=3", "output.txt"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "output.txt");
+}
+
+TEST(Cli, FlagFollowedByFlagIsNotConsumedAsValue) {
+  const CliArgs args = parse({"--a", "--b=2"});
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_EQ(args.get_int("b", 0), 2);
+}
+
+}  // namespace
+}  // namespace qosrm

@@ -1,0 +1,82 @@
+#include "common/histogram.hh"
+
+#include <gtest/gtest.h>
+
+namespace qosrm {
+namespace {
+
+TEST(Histogram, BinsPartitionRange) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.bin_count(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(1), 0.375);
+}
+
+TEST(Histogram, AddFallsInCorrectBin) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);
+  h.add(0.3);
+  h.add(0.3);
+  h.add(0.9);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(2), 0.0);
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(2.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+}
+
+TEST(Histogram, UpperEdgeGoesToLastBin) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(1.0);  // hi is exclusive; clamps into the last bin
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(1.0, 0.25);
+  h.add(6.0, 0.75);
+  EXPECT_DOUBLE_EQ(h.count(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.count(1), 0.75);
+  EXPECT_DOUBLE_EQ(h.total(), 1.0);
+}
+
+TEST(Histogram, NormalizedPeaksAtOne) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);
+  h.add(0.1);
+  h.add(0.6);
+  const std::vector<double> n = h.normalized();
+  EXPECT_DOUBLE_EQ(n[0], 1.0);
+  EXPECT_DOUBLE_EQ(n[2], 0.5);
+}
+
+TEST(Histogram, NormalizedByExternalMax) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1);
+  const std::vector<double> n = h.normalized_by(4.0);
+  EXPECT_DOUBLE_EQ(n[0], 0.25);
+}
+
+TEST(Histogram, EmptyNormalizedStaysZero) {
+  Histogram h(0.0, 1.0, 3);
+  for (const double v : h.normalized()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Histogram, AsciiContainsEveryBin) {
+  Histogram h(0.0, 1.0, 3);
+  h.add(0.5);
+  const std::string s = h.ascii();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace qosrm

@@ -1,0 +1,76 @@
+#include "common/thread_pool.hh"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace qosrm {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, SizeReflectsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, hits.size(),
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  parallel_for(pool, 5, 5, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, NonZeroBeginRespected) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  parallel_for(pool, 10, 20, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), std::size_t{145});  // 10+11+...+19
+}
+
+TEST(ParallelFor, ConvenienceOverloadWorks) {
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ReusablePoolAcrossLoops) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    parallel_for(pool, 0, 50, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 250);
+}
+
+}  // namespace
+}  // namespace qosrm

@@ -1,0 +1,149 @@
+// End-to-end integration: full workloads through database, RMs and the
+// interval simulator, checking cross-module invariants.
+#include <gtest/gtest.h>
+
+#include "rmsim/experiment.hh"
+#include "support/shared_db.hh"
+#include "workload/classify.hh"
+
+namespace qosrm::rmsim {
+namespace {
+
+const workload::SimDb& db() { return qosrm::testing::shared_db(); }
+
+rm::RmConfig cfg(rm::RmPolicy policy,
+                 rm::PerfModelKind model = rm::PerfModelKind::Model3) {
+  rm::RmConfig c;
+  c.policy = policy;
+  c.model = model;
+  return c;
+}
+
+workload::WorkloadMix first_mix_of(workload::Scenario scenario, int cores) {
+  workload::WorkloadGenOptions opt;
+  opt.cores = cores;
+  opt.per_scenario = 1;
+  for (const auto& mix : generate_workloads(workload::spec_suite(), opt)) {
+    if (mix.scenario == scenario) return mix;
+  }
+  ADD_FAILURE() << "no mix for scenario";
+  return {};
+}
+
+TEST(EndToEnd, TwoCoreGeneratedWorkloadsRunUnderEveryPolicy) {
+  ExperimentRunner runner(db());
+  for (const workload::Scenario s :
+       {workload::Scenario::One, workload::Scenario::Three}) {
+    const auto mix = first_mix_of(s, 2);
+    for (const rm::RmPolicy policy :
+         {rm::RmPolicy::Rm1, rm::RmPolicy::Rm2, rm::RmPolicy::Rm3}) {
+      const SavingsResult r = runner.run(mix, cfg(policy));
+      EXPECT_GT(r.run.total_energy_j(), 0.0);
+      // Savings in a sane band: active RMs never cost more than 3% extra nor
+      // save more than 35%.
+      EXPECT_GT(r.savings, -0.03) << mix.name << rm_policy_name(policy);
+      EXPECT_LT(r.savings, 0.35) << mix.name << rm_policy_name(policy);
+    }
+  }
+}
+
+TEST(EndToEnd, ViolationRateStaysLow) {
+  // The paper claims a "low likelihood of violating QoS"; with Model3 the
+  // per-interval violation rate must stay in the low percent range and the
+  // mean magnitude small.
+  ExperimentRunner runner(db());
+  const auto mix = first_mix_of(workload::Scenario::One, 2);
+  const SavingsResult r = runner.run(mix, cfg(rm::RmPolicy::Rm3));
+  EXPECT_LT(r.run.violation_rate(), 0.35);
+  double sum = 0.0;
+  for (const CoreResult& c : r.run.cores) sum += c.violation_sum;
+  const auto n = r.run.total_violations();
+  if (n > 0) {
+    EXPECT_LT(sum / static_cast<double>(n), 0.06);  // mean magnitude < 6%
+  }
+}
+
+TEST(EndToEnd, EnergyAccountingClosed) {
+  // Total = sum of per-core counted energy + uncore; no component missing.
+  const IntervalSimulator sim(db());
+  workload::WorkloadMix mix;
+  mix.name = "closure";
+  mix.app_ids = {db().suite().index_of("gcc"), db().suite().index_of("lbm")};
+  double observed_energy = 0.0;
+  const RunResult r = sim.run(mix, cfg(rm::RmPolicy::Rm2),
+                              [&](const IntervalObservation& obs) {
+                                observed_energy += obs.energy_j;
+                              });
+  double counted = 0.0;
+  for (const CoreResult& c : r.cores) counted += c.counted_energy_j;
+  EXPECT_NEAR(observed_energy, counted, counted * 1e-9);
+  EXPECT_NEAR(r.total_energy_j(), counted + r.uncore_energy_j, 1e-9);
+}
+
+TEST(EndToEnd, ModelQualityOrderingHoldsInClosedLoop) {
+  // The naive Model1 can chase phantom savings (it hugely overestimates the
+  // baseline memory time, inflating the QoS budget), but it must pay for
+  // them with far more and far larger QoS violations than Model3 - the
+  // actual claim behind Fig. 7/9.
+  ExperimentRunner runner(db());
+  const auto mix = first_mix_of(workload::Scenario::One, 2);
+  const SavingsResult r1 =
+      runner.run(mix, cfg(rm::RmPolicy::Rm3, rm::PerfModelKind::Model1));
+  const SavingsResult r3 =
+      runner.run(mix, cfg(rm::RmPolicy::Rm3, rm::PerfModelKind::Model3));
+  auto max_violation = [](const SavingsResult& r) {
+    double m = 0.0;
+    for (const CoreResult& c : r.run.cores) m = std::max(m, c.violation_max);
+    return m;
+  };
+  if (r1.savings > r3.savings + 0.01) {
+    // Phantom savings must come with materially worse QoS behaviour.
+    EXPECT_GT(max_violation(r1), max_violation(r3));
+    EXPECT_GT(max_violation(r1), 0.05);
+  } else {
+    EXPECT_GT(r3.savings, r1.savings - 0.02);
+  }
+}
+
+TEST(EndToEnd, PerfectModelIsUpperBoundIsh) {
+  // The perfect model (ground-truth prediction incl. next phase) should do
+  // at least as well as Model3 up to small dynamic effects.
+  ExperimentRunner runner(db());
+  const auto mix = first_mix_of(workload::Scenario::One, 2);
+  rm::RmConfig perfect = cfg(rm::RmPolicy::Rm3, rm::PerfModelKind::Perfect);
+  perfect.energy.perfect = true;
+  const double sp = runner.run(mix, perfect).savings;
+  const double s3 =
+      runner.run(mix, cfg(rm::RmPolicy::Rm3, rm::PerfModelKind::Model3)).savings;
+  EXPECT_GT(sp, s3 - 0.03);
+}
+
+TEST(EndToEnd, PerfectModelNeverViolatesMeaningfully) {
+  ExperimentRunner runner(db());
+  const auto mix = first_mix_of(workload::Scenario::One, 2);
+  rm::RmConfig perfect = cfg(rm::RmPolicy::Rm3, rm::PerfModelKind::Perfect);
+  perfect.energy.perfect = true;
+  const SavingsResult r = runner.run(mix, perfect);
+  // With exact predictions the only violations possible come from
+  // enforcement overheads; the magnitude check must stay tiny.
+  double max_violation = 0.0;
+  for (const CoreResult& c : r.run.cores) {
+    max_violation = std::max(max_violation, c.violation_max);
+  }
+  EXPECT_LT(max_violation, 0.01);
+}
+
+TEST(EndToEnd, FourCoreWorkloadRuns) {
+  const workload::SimDb& db4 = qosrm::testing::shared_db(4);
+  ExperimentRunner runner(db4);
+  workload::WorkloadGenOptions opt;
+  opt.cores = 4;
+  opt.per_scenario = 1;
+  const auto mixes = generate_workloads(workload::spec_suite(), opt);
+  const SavingsResult r = runner.run(mixes[0], cfg(rm::RmPolicy::Rm3));
+  EXPECT_EQ(r.run.cores.size(), 4u);
+  EXPECT_GT(r.savings, -0.02);
+}
+
+}  // namespace
+}  // namespace qosrm::rmsim

@@ -1,0 +1,118 @@
+// Reproduction-shape assertions: the qualitative results of the paper's
+// evaluation section must hold on generated workloads. These are the
+// "who wins, by roughly what factor" checks of DESIGN.md.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "rmsim/experiment.hh"
+#include "support/shared_db.hh"
+
+namespace qosrm::rmsim {
+namespace {
+
+using workload::Scenario;
+
+const workload::SimDb& db() { return qosrm::testing::shared_db(); }
+
+rm::RmConfig cfg(rm::RmPolicy policy) {
+  rm::RmConfig c;
+  c.policy = policy;
+  c.model = rm::PerfModelKind::Model3;
+  return c;
+}
+
+/// Mean savings per scenario per policy over a small generated 2-core suite.
+class PaperShapes : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    runner_ = new ExperimentRunner(db());
+    workload::WorkloadGenOptions opt;
+    opt.cores = 2;
+    opt.per_scenario = 3;
+    const auto mixes = generate_workloads(workload::spec_suite(), opt);
+    for (const auto& mix : mixes) {
+      for (const rm::RmPolicy policy :
+           {rm::RmPolicy::Rm1, rm::RmPolicy::Rm2, rm::RmPolicy::Rm3}) {
+        const double s = runner_->run(mix, cfg(policy)).savings;
+        sums_[{mix.scenario, policy}] += s;
+        counts_[{mix.scenario, policy}] += 1;
+      }
+    }
+  }
+  static void TearDownTestSuite() {
+    delete runner_;
+    runner_ = nullptr;
+  }
+
+  static double mean(Scenario s, rm::RmPolicy p) {
+    return sums_[{s, p}] / counts_[{s, p}];
+  }
+
+  static ExperimentRunner* runner_;
+  static std::map<std::pair<Scenario, rm::RmPolicy>, double> sums_;
+  static std::map<std::pair<Scenario, rm::RmPolicy>, int> counts_;
+};
+
+ExperimentRunner* PaperShapes::runner_ = nullptr;
+std::map<std::pair<Scenario, rm::RmPolicy>, double> PaperShapes::sums_;
+std::map<std::pair<Scenario, rm::RmPolicy>, int> PaperShapes::counts_;
+
+TEST_F(PaperShapes, Scenario1Rm3BeatsRm2Clearly) {
+  // Paper Fig. 2/6: RM3 well above RM2 whenever CS-PS applications are in
+  // the mix (70% relative in Fig. 2; 60% or more in several Fig. 6 bars).
+  const double rm2 = mean(Scenario::One, rm::RmPolicy::Rm2);
+  const double rm3 = mean(Scenario::One, rm::RmPolicy::Rm3);
+  EXPECT_GT(rm3, rm2 * 1.3);
+  EXPECT_GT(rm3, 0.05);
+}
+
+TEST_F(PaperShapes, Scenario2Rm2AndRm3Comparable) {
+  const double rm2 = mean(Scenario::Two, rm::RmPolicy::Rm2);
+  const double rm3 = mean(Scenario::Two, rm::RmPolicy::Rm3);
+  EXPECT_NEAR(rm3, rm2, std::max(0.035, rm2 * 0.8));
+}
+
+TEST_F(PaperShapes, Scenario3OnlyRm3Effective) {
+  // Paper: RM1/RM2 are NOT effective (apps insensitive to LLC allocation);
+  // RM3 saves substantially (8.5% vs 1.7% average in Fig. 6 terms).
+  EXPECT_LT(mean(Scenario::Three, rm::RmPolicy::Rm1), 0.02);
+  EXPECT_LT(mean(Scenario::Three, rm::RmPolicy::Rm2), 0.02);
+  EXPECT_GT(mean(Scenario::Three, rm::RmPolicy::Rm3), 0.04);
+  EXPECT_GT(mean(Scenario::Three, rm::RmPolicy::Rm3),
+            mean(Scenario::Three, rm::RmPolicy::Rm2) + 0.03);
+}
+
+TEST_F(PaperShapes, Scenario4NothingWorks) {
+  for (const rm::RmPolicy policy :
+       {rm::RmPolicy::Rm1, rm::RmPolicy::Rm2, rm::RmPolicy::Rm3}) {
+    EXPECT_LT(mean(Scenario::Four, policy), 0.02);
+    EXPECT_GT(mean(Scenario::Four, policy), -0.02);
+  }
+}
+
+TEST_F(PaperShapes, Rm1WeakestOverall) {
+  for (const Scenario s :
+       {Scenario::One, Scenario::Two, Scenario::Three, Scenario::Four}) {
+    EXPECT_LE(mean(s, rm::RmPolicy::Rm1),
+              mean(s, rm::RmPolicy::Rm3) + 0.01);
+  }
+}
+
+TEST_F(PaperShapes, WeightedAverageInPaperBand) {
+  // Paper: ~10% average savings for RM3 with weights 47/22.1/22.1/8.8.
+  const auto weights = scenario_weights(workload::spec_suite());
+  std::vector<workload::Scenario> scen;
+  std::vector<double> savings;
+  for (const Scenario s :
+       {Scenario::One, Scenario::Two, Scenario::Three, Scenario::Four}) {
+    scen.push_back(s);
+    savings.push_back(mean(s, rm::RmPolicy::Rm3));
+  }
+  const double avg = weighted_average_savings(scen, savings, weights);
+  EXPECT_GT(avg, 0.05);
+  EXPECT_LT(avg, 0.20);
+}
+
+}  // namespace
+}  // namespace qosrm::rmsim

@@ -1,0 +1,64 @@
+#include "power/energy_meter.hh"
+
+#include <gtest/gtest.h>
+
+namespace qosrm::power {
+namespace {
+
+using arch::CoreSize;
+
+TEST(EnergyMeter, InvalidBeforeFirstSample) {
+  PowerModel pm;
+  EnergyMeter meter(pm);
+  EXPECT_FALSE(meter.sample().valid);
+}
+
+TEST(EnergyMeter, SeparatesDynamicFromStatic) {
+  PowerModel pm;
+  EnergyMeter meter(pm);
+  const arch::OperatingPoint vf = arch::VfTable::baseline();
+  const double duration = 0.05;
+  const double static_j = pm.core_static_power(CoreSize::M, vf.voltage) * duration;
+  const double dynamic_j = 0.080;
+  meter.record_interval(CoreSize::M, vf, static_j + dynamic_j, duration);
+
+  const PowerSample& s = meter.sample();
+  EXPECT_TRUE(s.valid);
+  EXPECT_EQ(s.size, CoreSize::M);
+  EXPECT_DOUBLE_EQ(s.voltage, vf.voltage);
+  EXPECT_DOUBLE_EQ(s.freq_hz, vf.freq_hz);
+  EXPECT_NEAR(s.dynamic_energy_j, dynamic_j, 1e-12);
+  EXPECT_NEAR(s.dynamic_power_w, dynamic_j / duration, 1e-9);
+  EXPECT_DOUBLE_EQ(s.duration_s, duration);
+}
+
+TEST(EnergyMeter, ClampsNegativeDynamicToZero) {
+  // Measured energy below the static estimate (measurement noise) must not
+  // produce a negative dynamic sample.
+  PowerModel pm;
+  EnergyMeter meter(pm);
+  const arch::OperatingPoint vf = arch::VfTable::baseline();
+  meter.record_interval(CoreSize::M, vf, 1e-6, 0.05);
+  EXPECT_DOUBLE_EQ(meter.sample().dynamic_energy_j, 0.0);
+}
+
+TEST(EnergyMeter, LatestSampleWins) {
+  PowerModel pm;
+  EnergyMeter meter(pm);
+  const arch::OperatingPoint vf = arch::VfTable::baseline();
+  meter.record_interval(CoreSize::M, vf, 0.2, 0.05);
+  meter.record_interval(CoreSize::L, vf, 0.3, 0.05);
+  EXPECT_EQ(meter.sample().size, CoreSize::L);
+}
+
+TEST(EnergyMeter, StaticPowerTableMatchesOfflineModel) {
+  PowerModel pm;
+  EnergyMeter meter(pm);
+  for (const CoreSize c : arch::kAllCoreSizes) {
+    EXPECT_DOUBLE_EQ(meter.static_power(c, 1.1),
+                     pm.core_static_power(c, 1.1));
+  }
+}
+
+}  // namespace
+}  // namespace qosrm::power

@@ -1,0 +1,105 @@
+#include "power/power_model.hh"
+
+#include <gtest/gtest.h>
+
+#include "arch/core_model.hh"
+#include "arch/dvfs.hh"
+
+namespace qosrm::power {
+namespace {
+
+using arch::CoreSize;
+
+TEST(PowerModel, DynamicEnergyQuadraticInVoltage) {
+  PowerModel pm;
+  const double e1 = pm.core_dynamic_energy(CoreSize::M, 1.0, 1e8, 0.0);
+  const double e2 = pm.core_dynamic_energy(CoreSize::M, 1.25, 1e8, 0.0);
+  EXPECT_NEAR(e2 / e1, 1.25 * 1.25, 1e-9);
+}
+
+TEST(PowerModel, DynamicEnergyLinearInInstructions) {
+  PowerModel pm;
+  const double e1 = pm.core_dynamic_energy(CoreSize::M, 1.0, 1e8, 0.0);
+  const double e2 = pm.core_dynamic_energy(CoreSize::M, 1.0, 3e8, 0.0);
+  EXPECT_NEAR(e2 / e1, 3.0, 1e-9);
+}
+
+TEST(PowerModel, DynamicEnergyScalesWithCoreSize) {
+  PowerModel pm;
+  const double es = pm.core_dynamic_energy(CoreSize::S, 1.0, 1e8, 0.0);
+  const double em = pm.core_dynamic_energy(CoreSize::M, 1.0, 1e8, 0.0);
+  const double el = pm.core_dynamic_energy(CoreSize::L, 1.0, 1e8, 0.0);
+  EXPECT_LT(es, em);
+  EXPECT_LT(em, el);
+  EXPECT_NEAR(el / em, arch::core_params(CoreSize::L).epi_scale, 1e-9);
+}
+
+TEST(PowerModel, StalledCyclesCostClockEnergy) {
+  PowerModel pm;
+  const double base = pm.core_dynamic_energy(CoreSize::M, 1.0, 1e8, 0.0);
+  const double with_stalls = pm.core_dynamic_energy(CoreSize::M, 1.0, 1e8, 5e7);
+  EXPECT_GT(with_stalls, base);
+  EXPECT_NEAR(with_stalls - base, pm.params().stall_epc_joule * 5e7, 1e-12);
+}
+
+TEST(PowerModel, StaticPowerLinearInVoltageAndArea) {
+  PowerModel pm;
+  EXPECT_NEAR(pm.core_static_power(CoreSize::M, 1.0), pm.params().leak_watt, 1e-12);
+  EXPECT_NEAR(pm.core_static_power(CoreSize::M, 0.8) /
+                  pm.core_static_power(CoreSize::M, 1.0),
+              0.8, 1e-9);
+  EXPECT_GT(pm.core_static_power(CoreSize::L, 1.0),
+            pm.core_static_power(CoreSize::S, 1.0));
+}
+
+TEST(PowerModel, MemoryEnergyPerAccess) {
+  PowerModel pm;
+  EXPECT_NEAR(pm.memory_energy(1e6), pm.params().mem_energy_joule * 1e6, 1e-12);
+}
+
+TEST(PowerModel, UncorePowerGrowsWithCores) {
+  PowerModel pm;
+  EXPECT_GT(pm.uncore_power(8), pm.uncore_power(2));
+  EXPECT_NEAR(pm.uncore_power(4) - pm.uncore_power(2),
+              2.0 * pm.params().uncore_per_core_watt, 1e-12);
+}
+
+TEST(PowerModel, IntervalEnergyDecomposition) {
+  PowerModel pm;
+  const arch::IntervalCharacteristics chars{100e6, 4.0, 0.05, 0.1};
+  const arch::MemoryBehaviour mem{5e5, 1e5, 100e-9};
+  const arch::OperatingPoint vf = arch::VfTable::baseline();
+  const auto timing = arch::evaluate_interval(chars, mem, CoreSize::M, vf.freq_hz);
+  const IntervalEnergy e = pm.interval_energy(CoreSize::M, vf, timing, 100e6, 5e5);
+
+  EXPECT_GT(e.core_dynamic_j, 0.0);
+  EXPECT_GT(e.core_static_j, 0.0);
+  EXPECT_NEAR(e.memory_j, 5e5 * pm.params().mem_energy_joule, 1e-12);
+  EXPECT_NEAR(e.total_j(), e.core_dynamic_j + e.core_static_j + e.memory_j, 1e-15);
+  EXPECT_NEAR(e.core_static_j,
+              pm.core_static_power(CoreSize::M, vf.voltage) * timing.total_seconds,
+              1e-12);
+}
+
+TEST(PowerModel, CalibrationMagnitudesAreSane) {
+  // An M core at 2 GHz / 1 V running IPC ~2 should draw watt-scale dynamic
+  // power - the regime where the paper's DVFS-vs-size trades are meaningful.
+  PowerModel pm;
+  const double dyn_j = pm.core_dynamic_energy(CoreSize::M, 1.0, 100e6, 0.0);
+  const double seconds = 100e6 / 2.0 / 2e9;
+  const double watts = dyn_j / seconds;
+  EXPECT_GT(watts, 1.0);
+  EXPECT_LT(watts, 20.0);
+}
+
+TEST(PowerModel, DvfsEnergyTradeIsQuadraticNotLinear) {
+  // Same work at a higher VF point costs ~V^2 more dynamic energy - the
+  // "quadratic energy cost" the paper attributes to DVFS compensation.
+  PowerModel pm;
+  const double lo = pm.core_dynamic_energy(CoreSize::M, 0.8, 1e8, 0.0);
+  const double hi = pm.core_dynamic_energy(CoreSize::M, 1.25, 1e8, 0.0);
+  EXPECT_NEAR(hi / lo, (1.25 / 0.8) * (1.25 / 0.8), 1e-9);
+}
+
+}  // namespace
+}  // namespace qosrm::power

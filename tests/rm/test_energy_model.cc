@@ -1,0 +1,127 @@
+#include "rm/energy_model.hh"
+
+#include <gtest/gtest.h>
+
+#include "rm/perf_model.hh"
+
+#include "rmsim/snapshot.hh"
+#include "support/shared_db.hh"
+
+namespace qosrm::rm {
+namespace {
+
+using workload::Setting;
+
+const workload::SimDb& db() { return qosrm::testing::shared_db(); }
+
+CounterSnapshot snapshot_at(const Setting& s, const char* app_name = "mcf") {
+  const int app = db().suite().index_of(app_name);
+  return rmsim::make_snapshot(db(), app, 0, s, 0);
+}
+
+TEST(EnergyModel, EstimateAtCurrentSettingMatchesMeasurement) {
+  const Setting base = workload::baseline_setting(db().system());
+  const CounterSnapshot snap = snapshot_at(base);
+  const OnlineEnergyModel model(db().power());
+  const int app = db().suite().index_of("mcf");
+  const double actual = db().energy(app, 0, base).total_j();
+  const double estimate = model.estimate(snap, base, snap.total_time_s);
+  EXPECT_NEAR(estimate, actual, actual * 0.05);
+}
+
+TEST(EnergyModel, MemoryTermFollowsEqFive) {
+  const Setting base = workload::baseline_setting(db().system());
+  const CounterSnapshot snap = snapshot_at(base);
+  const OnlineEnergyModel model(db().power());
+  // MA covers fills plus writebacks; DM is the ATD-predicted miss
+  // difference between target and current w, scaled by the writeback ratio.
+  const double e8 = model.memory_energy(snap, 8);
+  const double e14 = model.memory_energy(snap, 14);
+  EXPECT_NEAR(e8,
+              (snap.llc_misses + snap.writebacks) *
+                  db().power().params().mem_energy_joule,
+              1e-9);
+  const double wb_ratio = snap.writebacks / snap.llc_misses;
+  const double dm = snap.atd_misses_at(14) - snap.atd_misses_at(8);
+  EXPECT_NEAR(e14 - e8,
+              dm * (1.0 + wb_ratio) * db().power().params().mem_energy_joule,
+              1e-6);
+  EXPECT_LT(e14, e8);  // more cache -> fewer memory accesses
+}
+
+TEST(EnergyModel, VoltageScalingQuadratic) {
+  const Setting base = workload::baseline_setting(db().system());
+  const CounterSnapshot snap = snapshot_at(base);
+  const OnlineEnergyModel model(db().power());
+  Setting hi = base;
+  hi.f_idx = arch::VfTable::kNumPoints - 1;  // 1.25 V
+  const double t = snap.total_time_s;
+  // Estimate at high voltage must exceed baseline by roughly the dynamic
+  // share times (1.25^2 - 1).
+  const double e_base = model.estimate(snap, base, t);
+  const double e_hi = model.estimate(snap, hi, t);
+  EXPECT_GT(e_hi, e_base * 1.15);
+}
+
+TEST(EnergyModel, CrossSizeEstimateTracksGroundTruth) {
+  // The headline fix: estimating a DIFFERENT core size from an M-core sample
+  // must not be systematically biased. Check both directions within 10%.
+  const Setting base = workload::baseline_setting(db().system());
+  const int app = db().suite().index_of("libquantum");
+  const CounterSnapshot snap = rmsim::make_snapshot(db(), app, 0, base, 0);
+  const OnlineEnergyModel model(db().power());
+  const PerfModel perf(PerfModelKind::Model3, db().system());
+
+  for (const arch::CoreSize c : {arch::CoreSize::S, arch::CoreSize::L}) {
+    Setting target = base;
+    target.c = c;
+    const double t_pred = perf.predict_time(snap, target);
+    const double estimate = model.estimate(snap, target, t_pred);
+    const double actual = db().energy(app, 0, target).total_j();
+    EXPECT_NEAR(estimate, actual, actual * 0.10) << arch::core_size_name(c);
+  }
+}
+
+TEST(EnergyModel, LiteralEq4UnderestimatesFastSettings) {
+  // Documented deviation: the literal power-times-predicted-time form
+  // underestimates settings that retire the interval in less time.
+  const Setting base = workload::baseline_setting(db().system());
+  const int app = db().suite().index_of("soplex");
+  const CounterSnapshot snap = rmsim::make_snapshot(db(), app, 0, base, 0);
+  EnergyModelOptions literal;
+  literal.literal_eq4 = true;
+  const OnlineEnergyModel model_literal(db().power(), literal);
+  const OnlineEnergyModel model_default(db().power());
+  const PerfModel perf(PerfModelKind::Model3, db().system());
+
+  Setting fast = base;
+  fast.c = arch::CoreSize::L;  // same f, fewer cycles -> shorter time
+  const double t_pred = perf.predict_time(snap, fast);
+  EXPECT_LT(model_literal.estimate(snap, fast, t_pred),
+            model_default.estimate(snap, fast, t_pred));
+}
+
+TEST(EnergyModel, PerfectModeReturnsGroundTruth) {
+  const Setting base = workload::baseline_setting(db().system());
+  const int app = db().suite().index_of("mcf");
+  const CounterSnapshot snap = rmsim::make_snapshot(db(), app, 0, base, 0);
+  EnergyModelOptions opt;
+  opt.perfect = true;
+  const OnlineEnergyModel model(db().power(), opt);
+  const Setting target{arch::CoreSize::L, 2, 12};
+  EXPECT_DOUBLE_EQ(model.estimate(snap, target, /*predicted_time_s=*/0.0),
+                   db().energy(app, 0, target).total_j());
+}
+
+TEST(EnergyModel, StaticTermScalesWithPredictedTime) {
+  const Setting base = workload::baseline_setting(db().system());
+  const CounterSnapshot snap = snapshot_at(base);
+  const OnlineEnergyModel model(db().power());
+  const double e1 = model.estimate(snap, base, 0.040);
+  const double e2 = model.estimate(snap, base, 0.080);
+  const double p_static = db().power().core_static_power(base.c, 1.0);
+  EXPECT_NEAR(e2 - e1, p_static * 0.040, 1e-9);
+}
+
+}  // namespace
+}  // namespace qosrm::rm

@@ -1,0 +1,153 @@
+#include "rm/global_opt.hh"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.hh"
+
+namespace qosrm::rm {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+EnergyCurve curve(int min_ways, std::vector<double> energy) {
+  return {min_ways, std::move(energy)};
+}
+
+TEST(GlobalOpt, SingleCoreTakesWholeBudget) {
+  const std::vector<EnergyCurve> curves = {curve(2, {5, 4, 3, 2, 1})};
+  const auto r = GlobalOptimizer::optimize(curves, 4);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.ways, (std::vector<int>{4}));
+  EXPECT_DOUBLE_EQ(r.total_energy, 3.0);
+}
+
+TEST(GlobalOpt, TwoCoreConvolutionPicksMinimum) {
+  // Budget 6: (2,4)=9+1=10, (3,3)=5+10=15, (4,2)=1+9=10; ties resolve
+  // to the first split found (2,4).
+  const std::vector<EnergyCurve> curves = {curve(2, {9, 5, 1}),
+                                           curve(2, {9, 10, 1})};
+  const auto r = GlobalOptimizer::optimize(curves, 6);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.ways, (std::vector<int>{2, 4}));
+  EXPECT_DOUBLE_EQ(r.total_energy, 10.0);
+}
+
+TEST(GlobalOpt, InfeasibleEntriesAreSkipped) {
+  const std::vector<EnergyCurve> curves = {curve(2, {kInf, 5, 1}),
+                                           curve(2, {1, kInf, kInf})};
+  // Budget 6: (3,3) and (2,4) hit infinities; only (4,2) = 1 + 1 works.
+  const auto r = GlobalOptimizer::optimize(curves, 6);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.ways, (std::vector<int>{4, 2}));
+  EXPECT_DOUBLE_EQ(r.total_energy, 2.0);
+}
+
+TEST(GlobalOpt, WhollyInfeasibleBudgetReported) {
+  const std::vector<EnergyCurve> curves = {curve(2, {kInf, kInf}),
+                                           curve(2, {1, 1})};
+  EXPECT_FALSE(GlobalOptimizer::optimize(curves, 5).feasible);
+}
+
+TEST(GlobalOpt, BudgetOutsideReachIsInfeasible) {
+  const std::vector<EnergyCurve> curves = {curve(2, {1, 1}), curve(2, {1, 1})};
+  EXPECT_FALSE(GlobalOptimizer::optimize(curves, 3).feasible);  // min is 4
+  EXPECT_FALSE(GlobalOptimizer::optimize(curves, 7).feasible);  // max is 6
+  EXPECT_TRUE(GlobalOptimizer::optimize(curves, 4).feasible);
+  EXPECT_TRUE(GlobalOptimizer::optimize(curves, 6).feasible);
+}
+
+TEST(GlobalOpt, AllocationAlwaysSumsToBudget) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<EnergyCurve> curves;
+    const int cores = 2 + static_cast<int>(rng.uniform_u64(5));
+    for (int c = 0; c < cores; ++c) {
+      std::vector<double> e;
+      for (int w = 2; w <= 16; ++w) e.push_back(rng.uniform(1.0, 100.0));
+      curves.push_back(curve(2, std::move(e)));
+    }
+    const int budget = 8 * cores;
+    const auto r = GlobalOptimizer::optimize(curves, budget);
+    ASSERT_TRUE(r.feasible);
+    int total = 0;
+    for (const int w : r.ways) {
+      EXPECT_GE(w, 2);
+      EXPECT_LE(w, 16);
+      total += w;
+    }
+    EXPECT_EQ(total, budget);
+  }
+}
+
+// The pairwise-reduction optimizer must agree with exhaustive search.
+class GlobalOptVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(GlobalOptVsBruteForce, MatchesExhaustiveSearch) {
+  const int cores = GetParam();
+  Rng rng(static_cast<std::uint64_t>(cores) * 7919);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<EnergyCurve> curves;
+    for (int c = 0; c < cores; ++c) {
+      std::vector<double> e;
+      for (int w = 2; w <= 16; ++w) {
+        // Sprinkle infeasible entries to stress the backtracking.
+        e.push_back(rng.bernoulli(0.15) ? kInf : rng.uniform(1.0, 50.0));
+      }
+      curves.push_back(curve(2, std::move(e)));
+    }
+    const int budget = 8 * cores;
+    const auto fast = GlobalOptimizer::optimize(curves, budget);
+    const auto slow = GlobalOptimizer::brute_force(curves, budget);
+    ASSERT_EQ(fast.feasible, slow.feasible) << "trial " << trial;
+    if (fast.feasible) {
+      EXPECT_NEAR(fast.total_energy, slow.total_energy, 1e-9) << "trial " << trial;
+      // Verify the reported allocation really attains the reported energy.
+      double check = 0.0;
+      for (int c = 0; c < cores; ++c) {
+        check += curves[static_cast<std::size_t>(c)]
+                     .energy[static_cast<std::size_t>(fast.ways[static_cast<std::size_t>(c)] - 2)];
+      }
+      EXPECT_NEAR(check, fast.total_energy, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, GlobalOptVsBruteForce,
+                         ::testing::Values(2, 3, 4, 5));
+
+TEST(GlobalOpt, OpsCountGrowsPolynomially) {
+  // The paper's first advantage: polynomial complexity in the core count.
+  auto ops_for = [](int cores) {
+    std::vector<EnergyCurve> curves(
+        static_cast<std::size_t>(cores),
+        curve(2, std::vector<double>(15, 1.0)));
+    std::uint64_t ops = 0;
+    (void)GlobalOptimizer::optimize(curves, 8 * cores, &ops);
+    return ops;
+  };
+  const std::uint64_t ops2 = ops_for(2);
+  const std::uint64_t ops4 = ops_for(4);
+  const std::uint64_t ops8 = ops_for(8);
+  EXPECT_LT(ops4, ops2 * 8);
+  EXPECT_LT(ops8, ops4 * 8);
+  EXPECT_GT(ops4, ops2);
+  EXPECT_GT(ops8, ops4);
+}
+
+TEST(GlobalOpt, PrefersFeasibleEvenSplitWhenSymmetric) {
+  // Identical strictly convex curves: the even split is optimal.
+  std::vector<double> e;
+  for (int w = 2; w <= 16; ++w) {
+    e.push_back((w - 8.0) * (w - 8.0));
+  }
+  const std::vector<EnergyCurve> curves = {curve(2, e), curve(2, e),
+                                           curve(2, e), curve(2, e)};
+  const auto r = GlobalOptimizer::optimize(curves, 32);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.ways, (std::vector<int>{8, 8, 8, 8}));
+}
+
+}  // namespace
+}  // namespace qosrm::rm

@@ -1,0 +1,135 @@
+#include "rm/resource_manager.hh"
+
+#include <gtest/gtest.h>
+
+#include "rmsim/snapshot.hh"
+#include "support/shared_db.hh"
+
+namespace qosrm::rm {
+namespace {
+
+using workload::Setting;
+
+const workload::SimDb& db() { return qosrm::testing::shared_db(); }
+
+std::vector<CounterSnapshot> snapshots_for(const std::vector<const char*>& apps) {
+  std::vector<CounterSnapshot> snaps;
+  for (const char* name : apps) {
+    snaps.push_back(rmsim::make_snapshot(db(), db().suite().index_of(name), 0,
+                                         workload::baseline_setting(db().system())));
+  }
+  return snaps;
+}
+
+RmConfig config(RmPolicy policy, PerfModelKind model = PerfModelKind::Model3) {
+  RmConfig cfg;
+  cfg.policy = policy;
+  cfg.model = model;
+  return cfg;
+}
+
+TEST(ResourceManager, IdleKeepsBaselineEverywhere) {
+  ResourceManager manager(config(RmPolicy::Idle), db().system(), db().power());
+  const auto snaps = snapshots_for({"mcf", "libquantum"});
+  const RmDecision d = manager.invoke(0, snaps);
+  const Setting base = workload::baseline_setting(db().system());
+  for (const Setting& s : d.settings) EXPECT_TRUE(s == base);
+  EXPECT_EQ(d.ops, 0u);
+}
+
+TEST(ResourceManager, WayBudgetAlwaysRespected) {
+  for (const RmPolicy policy : {RmPolicy::Rm1, RmPolicy::Rm2, RmPolicy::Rm3}) {
+    ResourceManager manager(config(policy), db().system(), db().power());
+    const auto snaps = snapshots_for({"mcf", "libquantum"});
+    const RmDecision d = manager.invoke(0, snaps);
+    int total = 0;
+    for (const Setting& s : d.settings) total += s.w;
+    EXPECT_EQ(total, db().system().total_ways()) << rm_policy_name(policy);
+  }
+}
+
+TEST(ResourceManager, Rm1NeverTouchesFrequencyOrSize) {
+  ResourceManager manager(config(RmPolicy::Rm1), db().system(), db().power());
+  const auto snaps = snapshots_for({"mcf", "bwaves"});
+  const RmDecision d = manager.invoke(1, snaps);
+  for (const Setting& s : d.settings) {
+    EXPECT_EQ(s.c, arch::kBaselineCoreSize);
+    EXPECT_EQ(s.f_idx, arch::VfTable::kBaselineIndex);
+  }
+}
+
+TEST(ResourceManager, Rm2AdjustsFrequencyNotSize) {
+  ResourceManager manager(config(RmPolicy::Rm2), db().system(), db().power());
+  const auto snaps = snapshots_for({"mcf", "libquantum"});
+  const RmDecision d = manager.invoke(0, snaps);
+  bool any_f_change = false;
+  for (const Setting& s : d.settings) {
+    EXPECT_EQ(s.c, arch::kBaselineCoreSize);
+    any_f_change |= s.f_idx != arch::VfTable::kBaselineIndex;
+  }
+  EXPECT_TRUE(any_f_change);
+}
+
+TEST(ResourceManager, Rm3CanResizeCores) {
+  ResourceManager manager(config(RmPolicy::Rm3), db().system(), db().power());
+  const auto snaps = snapshots_for({"libquantum", "bwaves"});
+  const RmDecision d = manager.invoke(0, snaps);
+  bool any_resize = false;
+  for (const Setting& s : d.settings) {
+    any_resize |= s.c != arch::kBaselineCoreSize;
+  }
+  EXPECT_TRUE(any_resize);
+}
+
+TEST(ResourceManager, CacheSensitiveAppGainsWaysFromInsensitiveOne) {
+  ResourceManager manager(config(RmPolicy::Rm3), db().system(), db().power());
+  // mcf is cache-sensitive; bwaves is streaming (flat miss curve).
+  const auto snaps = snapshots_for({"mcf", "bwaves"});
+  const RmDecision d = manager.invoke(0, snaps);
+  EXPECT_GT(d.settings[0].w, d.settings[1].w);
+}
+
+TEST(ResourceManager, DecisionsSatisfyPredictedQos) {
+  ResourceManager manager(config(RmPolicy::Rm3), db().system(), db().power());
+  const auto snaps = snapshots_for({"mcf", "xalancbmk"});
+  const RmDecision d = manager.invoke(0, snaps);
+  const PerfModel& perf = manager.perf_model();
+  for (std::size_t k = 0; k < snaps.size(); ++k) {
+    EXPECT_TRUE(perf.qos_ok(snaps[k], d.settings[k])) << "core " << k;
+  }
+}
+
+TEST(ResourceManager, CachedCurvesReusedAcrossInvocations) {
+  ResourceManager manager(config(RmPolicy::Rm3), db().system(), db().power());
+  const auto snaps = snapshots_for({"mcf", "libquantum"});
+  const RmDecision first = manager.invoke(0, snaps);
+  // Second invocation on core 1: core 0's cached curve is reused, so total
+  // ops are lower than a cold start that computes curves for both cores.
+  const RmDecision second = manager.invoke(1, snaps);
+  EXPECT_GT(first.ops, 0u);
+  EXPECT_GT(second.ops, 0u);
+  // Decisions stay consistent (same counters -> same curves -> same split).
+  EXPECT_EQ(first.settings[0].w + first.settings[1].w,
+            second.settings[0].w + second.settings[1].w);
+}
+
+TEST(ResourceManager, ResetForcesCurveRebuild) {
+  ResourceManager manager(config(RmPolicy::Rm3), db().system(), db().power());
+  const auto snaps = snapshots_for({"mcf", "libquantum"});
+  (void)manager.invoke(0, snaps);
+  manager.reset();
+  const RmDecision d = manager.invoke(0, snaps);
+  int total = 0;
+  for (const Setting& s : d.settings) total += s.w;
+  EXPECT_EQ(total, db().system().total_ways());
+}
+
+TEST(ResourceManager, PolicyNames) {
+  EXPECT_STREQ(rm_policy_name(RmPolicy::Idle), "Idle");
+  EXPECT_STREQ(rm_policy_name(RmPolicy::Rm1), "RM1");
+  EXPECT_STREQ(rm_policy_name(RmPolicy::Rm2), "RM2");
+  EXPECT_STREQ(rm_policy_name(RmPolicy::Rm3), "RM3");
+}
+
+}  // namespace
+}  // namespace qosrm::rm

@@ -1,0 +1,117 @@
+// Tests for the extension features beyond the paper's fixed operating
+// point: QoS relaxation (alpha), knob-restricted RMs and writeback traffic.
+#include <gtest/gtest.h>
+
+#include "rmsim/experiment.hh"
+#include "support/shared_db.hh"
+
+namespace qosrm::rmsim {
+namespace {
+
+const workload::SimDb& db() { return qosrm::testing::shared_db(); }
+
+workload::WorkloadMix mix2(const char* a, const char* b) {
+  workload::WorkloadMix mix;
+  mix.name = std::string(a) + "+" + b;
+  mix.scenario = workload::Scenario::One;
+  mix.app_ids = {db().suite().index_of(a), db().suite().index_of(b)};
+  return mix;
+}
+
+TEST(QosAlpha, RelaxedConstraintUnlocksMoreSavings) {
+  const auto mix = mix2("mcf", "libquantum");
+  rm::RmConfig cfg;
+  cfg.policy = rm::RmPolicy::Rm3;
+  cfg.model = rm::PerfModelKind::Model3;
+
+  SimOptions strict;  // alpha = 1 (paper operating point)
+  SimOptions relaxed;
+  relaxed.qos_alpha_override = 1.15;
+
+  ExperimentRunner strict_runner(db(), strict);
+  ExperimentRunner relaxed_runner(db(), relaxed);
+  const double s_strict = strict_runner.run(mix, cfg).savings;
+  const double s_relaxed = relaxed_runner.run(mix, cfg).savings;
+  EXPECT_GT(s_relaxed, s_strict + 0.01);
+}
+
+TEST(QosAlpha, RelaxedRunsSlowerButWithinBound) {
+  const auto mix = mix2("mcf", "libquantum");
+  rm::RmConfig cfg;
+  cfg.policy = rm::RmPolicy::Rm2;
+  cfg.model = rm::PerfModelKind::Model3;
+  SimOptions relaxed;
+  relaxed.qos_alpha_override = 1.10;
+  ExperimentRunner runner(db(), relaxed);
+  const SavingsResult r = runner.run(mix, cfg);
+  const RunResult& idle = runner.idle_reference(mix);
+  // Wall time grows under relaxation but stays within ~alpha of the idle run.
+  EXPECT_GT(r.run.wall_time_s, idle.wall_time_s * 0.99);
+  EXPECT_LT(r.run.wall_time_s, idle.wall_time_s * 1.15);
+}
+
+TEST(KnobOverride, ResizeOnlyRmKeepsBaselineFrequency) {
+  // w + c without DVFS: the frequency knob must stay untouched. Note that
+  // upsizing alone rarely pays off - a bigger core at the baseline VF costs
+  // more switching energy with no way to convert the time gain - which is
+  // exactly the coordination argument of the paper (see the knob-ablation
+  // bench); so no resize activity is required here, only the invariant.
+  rm::RmConfig cfg;
+  cfg.policy = rm::RmPolicy::Rm3;
+  cfg.model = rm::PerfModelKind::Model3;
+  cfg.knobs = rm::LocalOptOptions{false, true};  // w + c, no DVFS
+
+  const IntervalSimulator sim(db());
+  std::uint64_t observed = 0;
+  const RunResult r = sim.run(mix2("bwaves", "libquantum"), cfg,
+                              [&](const IntervalObservation& obs) {
+                                ++observed;
+                                EXPECT_EQ(obs.setting.f_idx,
+                                          arch::VfTable::kBaselineIndex);
+                              });
+  EXPECT_GT(observed, 0u);
+  EXPECT_GT(r.total_intervals(), 0u);
+}
+
+TEST(KnobOverride, FullKnobsDominateRestrictedOnes) {
+  const auto mix = mix2("mcf", "libquantum");
+  ExperimentRunner runner(db());
+  double best_restricted = -1.0;
+  for (const rm::LocalOptOptions knobs :
+       {rm::LocalOptOptions{false, false}, rm::LocalOptOptions{true, false},
+        rm::LocalOptOptions{false, true}}) {
+    rm::RmConfig cfg;
+    cfg.policy = rm::RmPolicy::Rm3;
+    cfg.knobs = knobs;
+    best_restricted = std::max(best_restricted, runner.run(mix, cfg).savings);
+  }
+  rm::RmConfig full;
+  full.policy = rm::RmPolicy::Rm3;
+  EXPECT_GT(runner.run(mix, full).savings, best_restricted - 0.01);
+}
+
+TEST(Writebacks, CountedInPhaseStats) {
+  const workload::PhaseStats& st = db().stats(db().suite().index_of("lbm"), 0);
+  EXPECT_GT(st.write_frac, 0.3);  // lbm is write-heavy
+  EXPECT_NEAR(st.writebacks(8), st.misses[7] * st.write_frac, 1e-9);
+  EXPECT_NEAR(st.dram_accesses(8), st.misses[7] * (1.0 + st.write_frac), 1e-9);
+}
+
+TEST(Writebacks, RaiseMemoryEnergy) {
+  // Energy with writebacks must exceed the fills-only cost.
+  const int lbm = db().suite().index_of("lbm");
+  const workload::Setting base = workload::baseline_setting(db().system());
+  const power::IntervalEnergy e = db().energy(lbm, 0, base);
+  const workload::PhaseStats& st = db().stats(lbm, 0);
+  const double fills_only =
+      st.misses[7] * db().power().params().mem_energy_joule;
+  EXPECT_GT(e.memory_j, fills_only * 1.2);
+}
+
+TEST(Writebacks, FewerWaysMeanMoreWritebackTraffic) {
+  const workload::PhaseStats& st = db().stats(db().suite().index_of("mcf"), 0);
+  EXPECT_GE(st.writebacks(4), st.writebacks(12));
+}
+
+}  // namespace
+}  // namespace qosrm::rmsim

@@ -1,0 +1,136 @@
+#include "rmsim/interval_sim.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/shared_db.hh"
+
+namespace qosrm::rmsim {
+namespace {
+
+const workload::SimDb& db() { return qosrm::testing::shared_db(); }
+
+workload::WorkloadMix mix2(const char* a, const char* b) {
+  workload::WorkloadMix mix;
+  mix.name = std::string(a) + "+" + b;
+  mix.scenario = workload::Scenario::One;
+  mix.app_ids = {db().suite().index_of(a), db().suite().index_of(b)};
+  return mix;
+}
+
+rm::RmConfig cfg(rm::RmPolicy policy,
+                 rm::PerfModelKind model = rm::PerfModelKind::Model3) {
+  rm::RmConfig c;
+  c.policy = policy;
+  c.model = model;
+  return c;
+}
+
+TEST(IntervalSim, RunsToInstructionBound) {
+  const IntervalSimulator sim(db());
+  const RunResult r = sim.run(mix2("mcf", "libquantum"), cfg(rm::RmPolicy::Idle));
+  const double interval = db().system().interval_instructions;
+  const double bound =
+      std::max(db().suite().app(r.cores[0].app).length_intervals(),
+               db().suite().app(r.cores[1].app).length_intervals()) *
+      interval;
+  for (const CoreResult& c : r.cores) {
+    EXPECT_GE(c.executed_instructions, bound);
+    EXPECT_EQ(c.executed_instructions,
+              static_cast<double>(c.intervals) * interval);
+  }
+}
+
+TEST(IntervalSim, IdleRmNeverViolatesQos) {
+  const IntervalSimulator sim(db());
+  const RunResult r = sim.run(mix2("mcf", "xalancbmk"), cfg(rm::RmPolicy::Idle));
+  EXPECT_EQ(r.total_violations(), 0u);
+  EXPECT_EQ(r.rm_invocations, 0u);
+}
+
+TEST(IntervalSim, EnergyAndTimePositive) {
+  const IntervalSimulator sim(db());
+  const RunResult r = sim.run(mix2("gcc", "namd"), cfg(rm::RmPolicy::Rm3));
+  EXPECT_GT(r.total_energy_j(), 0.0);
+  EXPECT_GT(r.wall_time_s, 0.0);
+  EXPECT_GT(r.uncore_energy_j, 0.0);
+  EXPECT_NEAR(r.uncore_energy_j,
+              db().power().uncore_power(2) * r.wall_time_s, 1e-9);
+}
+
+TEST(IntervalSim, ActiveRmInvokedOncePerBoundary) {
+  const IntervalSimulator sim(db());
+  const RunResult r = sim.run(mix2("mcf", "libquantum"), cfg(rm::RmPolicy::Rm2));
+  // One invocation per completed interval except final ones per core.
+  EXPECT_GE(r.rm_invocations, r.total_intervals() - 2 * 2);
+  EXPECT_GT(r.rm_ops, 0u);
+}
+
+TEST(IntervalSim, DeterministicRuns) {
+  const IntervalSimulator sim(db());
+  const RunResult a = sim.run(mix2("mcf", "libquantum"), cfg(rm::RmPolicy::Rm3));
+  const RunResult b = sim.run(mix2("mcf", "libquantum"), cfg(rm::RmPolicy::Rm3));
+  EXPECT_DOUBLE_EQ(a.total_energy_j(), b.total_energy_j());
+  EXPECT_EQ(a.total_violations(), b.total_violations());
+  EXPECT_DOUBLE_EQ(a.wall_time_s, b.wall_time_s);
+}
+
+TEST(IntervalSim, ObserverSeesEveryInterval) {
+  const IntervalSimulator sim(db());
+  std::uint64_t observed = 0;
+  double energy_sum = 0.0;
+  const RunResult r =
+      sim.run(mix2("povray", "sjeng"), cfg(rm::RmPolicy::Idle),
+              [&](const IntervalObservation& obs) {
+                ++observed;
+                energy_sum += obs.energy_j;
+                EXPECT_GE(obs.core, 0);
+                EXPECT_LT(obs.core, 2);
+                EXPECT_GT(obs.duration_s, 0.0);
+              });
+  EXPECT_EQ(observed, r.total_intervals());
+  double counted = 0.0;
+  for (const CoreResult& c : r.cores) counted += c.counted_energy_j;
+  EXPECT_NEAR(energy_sum, counted, counted * 1e-9);
+}
+
+TEST(IntervalSim, OverheadsIncreaseEnergy) {
+  SimOptions with;
+  with.model_overheads = true;
+  SimOptions without;
+  without.model_overheads = false;
+  const IntervalSimulator sim_with(db(), with);
+  const IntervalSimulator sim_without(db(), without);
+  const auto mix = mix2("mcf", "libquantum");
+  const RunResult a = sim_with.run(mix, cfg(rm::RmPolicy::Rm3));
+  const RunResult b = sim_without.run(mix, cfg(rm::RmPolicy::Rm3));
+  EXPECT_GE(a.total_energy_j(), b.total_energy_j());
+}
+
+TEST(IntervalSim, ShorterAppRestartsUntilBound) {
+  // povray (32 intervals) paired with mcf (64): povray must restart and
+  // execute as many intervals as the longer app requires.
+  const IntervalSimulator sim(db());
+  const RunResult r = sim.run(mix2("povray", "mcf"), cfg(rm::RmPolicy::Idle));
+  const int povray = db().suite().index_of("povray");
+  ASSERT_EQ(r.cores[0].app, povray);
+  EXPECT_GT(r.cores[0].intervals,
+            static_cast<std::uint64_t>(
+                db().suite().app(povray).length_intervals()));
+}
+
+TEST(IntervalSim, SavingsAgainstSelfIsZero) {
+  const IntervalSimulator sim(db());
+  const RunResult idle = sim.run(mix2("gcc", "wrf"), cfg(rm::RmPolicy::Idle));
+  EXPECT_DOUBLE_EQ(energy_savings(idle, idle), 0.0);
+}
+
+TEST(IntervalSim, ActiveRmSavesEnergyOnFavourableMix) {
+  const IntervalSimulator sim(db());
+  const auto mix = mix2("mcf", "libquantum");
+  const RunResult idle = sim.run(mix, cfg(rm::RmPolicy::Idle));
+  const RunResult rm3 = sim.run(mix, cfg(rm::RmPolicy::Rm3));
+  EXPECT_GT(energy_savings(rm3, idle), 0.05);
+}
+
+}  // namespace
+}  // namespace qosrm::rmsim

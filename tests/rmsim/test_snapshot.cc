@@ -1,0 +1,88 @@
+#include "rmsim/snapshot.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/shared_db.hh"
+
+namespace qosrm::rmsim {
+namespace {
+
+const workload::SimDb& db() { return qosrm::testing::shared_db(); }
+
+TEST(Snapshot, ComponentsSumToTotalTime) {
+  const workload::Setting base = workload::baseline_setting(db().system());
+  const rm::CounterSnapshot snap = make_snapshot(db(), 0, 0, base);
+  EXPECT_NEAR(snap.t_width_s + snap.t_ilp_s + snap.t_branch_s + snap.t_cache_s +
+                  snap.t_mem_s,
+              snap.total_time_s, snap.total_time_s * 1e-9);
+}
+
+TEST(Snapshot, CurrentSettingRecorded) {
+  const workload::Setting s{arch::CoreSize::L, 3, 11};
+  const rm::CounterSnapshot snap = make_snapshot(db(), 2, 1, s);
+  EXPECT_TRUE(snap.current == s);
+}
+
+TEST(Snapshot, AtdCurvesCoverAllAllocations) {
+  const workload::Setting base = workload::baseline_setting(db().system());
+  const rm::CounterSnapshot snap = make_snapshot(db(), 5, 0, base);
+  EXPECT_EQ(snap.max_ways(), 16);
+  for (int c = 0; c < arch::kNumCoreSizes; ++c) {
+    EXPECT_EQ(snap.atd_leading_misses[static_cast<std::size_t>(c)].size(), 16u);
+  }
+}
+
+TEST(Snapshot, MissesMatchDbAtCurrentAllocation) {
+  const workload::Setting base = workload::baseline_setting(db().system());
+  const int app = db().suite().index_of("mcf");
+  const rm::CounterSnapshot snap = make_snapshot(db(), app, 0, base);
+  EXPECT_DOUBLE_EQ(snap.llc_misses, db().stats(app, 0).misses[7]);
+  EXPECT_DOUBLE_EQ(snap.atd_misses_at(8), snap.llc_misses);
+}
+
+TEST(Snapshot, PowerSampleValidAndConsistent) {
+  const workload::Setting base = workload::baseline_setting(db().system());
+  const int app = db().suite().index_of("soplex");
+  const rm::CounterSnapshot snap = make_snapshot(db(), app, 0, base);
+  ASSERT_TRUE(snap.power_sample.valid);
+  EXPECT_EQ(snap.power_sample.size, base.c);
+  EXPECT_DOUBLE_EQ(snap.power_sample.freq_hz, 2e9);
+  // Sampled dynamic energy = measured core energy minus the static table.
+  const double core_j = db().energy(app, 0, base).core_j();
+  const double static_j =
+      db().power().core_static_power(base.c, 1.0) * snap.total_time_s;
+  EXPECT_NEAR(snap.power_sample.dynamic_energy_j, core_j - static_j,
+              core_j * 1e-9);
+}
+
+TEST(Snapshot, MeasuredMlpMatchesGroundTruth) {
+  const workload::Setting base = workload::baseline_setting(db().system());
+  const int app = db().suite().index_of("bwaves");
+  const rm::CounterSnapshot snap = make_snapshot(db(), app, 0, base);
+  EXPECT_DOUBLE_EQ(snap.measured_mlp,
+                   db().stats(app, 0).mlp_true(base.c, base.w));
+}
+
+TEST(Snapshot, OracleAbsentByDefaultPresentOnRequest) {
+  const workload::Setting base = workload::baseline_setting(db().system());
+  EXPECT_FALSE(make_snapshot(db(), 0, 0, base).oracle.valid());
+  const rm::CounterSnapshot with = make_snapshot(db(), 0, 0, base, 1);
+  ASSERT_TRUE(with.oracle.valid());
+  EXPECT_EQ(with.oracle.app, 0);
+  EXPECT_EQ(with.oracle.phase, 1);
+  EXPECT_EQ(with.oracle.db, &db());
+}
+
+TEST(Snapshot, TimesScaleWithCurrentFrequency) {
+  const int app = db().suite().index_of("povray");
+  workload::Setting slow = workload::baseline_setting(db().system());
+  slow.f_idx = 0;
+  const rm::CounterSnapshot at_base =
+      make_snapshot(db(), app, 0, workload::baseline_setting(db().system()));
+  const rm::CounterSnapshot at_slow = make_snapshot(db(), app, 0, slow);
+  EXPECT_NEAR(at_slow.t_width_s, at_base.t_width_s * 2.0, at_base.t_width_s * 0.01);
+  EXPECT_DOUBLE_EQ(at_slow.t_mem_s, at_base.t_mem_s);
+}
+
+}  // namespace
+}  // namespace qosrm::rmsim

@@ -1,0 +1,31 @@
+// Shared SimDb instance for database-heavy tests: characterizing the full
+// 27-app suite takes a few seconds, so tests within one binary share one
+// database per core count.
+#ifndef QOSRM_TESTS_SUPPORT_SHARED_DB_HH
+#define QOSRM_TESTS_SUPPORT_SHARED_DB_HH
+
+#include <map>
+#include <memory>
+
+#include "power/power_model.hh"
+#include "workload/sim_db.hh"
+
+namespace qosrm::testing {
+
+inline const workload::SimDb& shared_db(int cores = 2) {
+  static std::map<int, std::unique_ptr<workload::SimDb>> dbs;
+  auto it = dbs.find(cores);
+  if (it == dbs.end()) {
+    arch::SystemConfig system;
+    system.cores = cores;
+    const power::PowerModel power;
+    it = dbs.emplace(cores, std::make_unique<workload::SimDb>(
+                                workload::spec_suite(), system, power))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace qosrm::testing
+
+#endif  // QOSRM_TESTS_SUPPORT_SHARED_DB_HH

@@ -1,0 +1,69 @@
+#include "workload/app_profile.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace qosrm::workload {
+namespace {
+
+TEST(StackProfile, MassDistributionSumsToComponents) {
+  const StackProfile p = make_stack_profile(0.4, 0.4, 8.0, 2.0, 0.2);
+  EXPECT_NEAR(p.total(), 1.0, 1e-9);
+  EXPECT_NEAR(p.hit_weight[0] + p.hit_weight[1], 0.4, 1e-9);
+  EXPECT_NEAR(p.cold_weight, 0.2, 1e-9);
+}
+
+TEST(StackProfile, SensitiveBandPeaksAtCenter) {
+  const StackProfile p = make_stack_profile(0.0, 1.0, 8.0, 2.0, 0.0);
+  for (int r = 2; r < 16; ++r) {
+    EXPECT_LE(p.hit_weight[static_cast<std::size_t>(r)], p.hit_weight[8]);
+  }
+  EXPECT_GT(p.hit_weight[8], 0.1);
+}
+
+TEST(StackProfile, WiderBandSpreadsMass) {
+  const StackProfile narrow = make_stack_profile(0.0, 1.0, 8.0, 1.2, 0.0);
+  const StackProfile wide = make_stack_profile(0.0, 1.0, 8.0, 4.0, 0.0);
+  EXPECT_GT(narrow.hit_weight[8], wide.hit_weight[8]);
+  EXPECT_LT(narrow.hit_weight[14], wide.hit_weight[14]);
+}
+
+TEST(PhaseSequence, LengthAndRange) {
+  const auto seq = make_phase_sequence(3, {0.5, 0.3, 0.2}, 50, 0.6, 1);
+  EXPECT_EQ(seq.size(), 50u);
+  for (const int ph : seq) {
+    EXPECT_GE(ph, 0);
+    EXPECT_LT(ph, 3);
+  }
+}
+
+TEST(PhaseSequence, DeterministicInSeed) {
+  const auto a = make_phase_sequence(4, {1, 1, 1, 1}, 100, 0.7, 42);
+  const auto b = make_phase_sequence(4, {1, 1, 1, 1}, 100, 0.7, 42);
+  const auto c = make_phase_sequence(4, {1, 1, 1, 1}, 100, 0.7, 43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(PhaseSequence, HighStayProbabilityProducesRuns) {
+  const auto seq = make_phase_sequence(4, {1, 1, 1, 1}, 400, 0.9, 7);
+  int transitions = 0;
+  for (std::size_t i = 1; i < seq.size(); ++i) transitions += seq[i] != seq[i - 1];
+  // With stay=0.9 and 4 phases, expected transition rate is well below 0.2.
+  EXPECT_LT(transitions, 80);
+}
+
+TEST(PhaseSequence, VisitsAllPhasesEventually) {
+  const auto seq = make_phase_sequence(3, {1, 1, 1}, 500, 0.5, 11);
+  std::set<int> seen(seq.begin(), seq.end());
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(PhaseSequence, SinglePhaseIsConstant) {
+  const auto seq = make_phase_sequence(1, {1.0}, 20, 0.5, 3);
+  for (const int ph : seq) EXPECT_EQ(ph, 0);
+}
+
+}  // namespace
+}  // namespace qosrm::workload

@@ -1,0 +1,122 @@
+#include "workload/sim_db.hh"
+
+#include <gtest/gtest.h>
+
+#include "support/shared_db.hh"
+
+namespace qosrm::workload {
+namespace {
+
+const SimDb& db() { return qosrm::testing::shared_db(); }
+
+TEST(SimDb, BaselineSettingMatchesTableI) {
+  const Setting base = baseline_setting(db().system());
+  EXPECT_EQ(base.c, arch::kBaselineCoreSize);
+  EXPECT_EQ(base.f_idx, arch::VfTable::kBaselineIndex);
+  EXPECT_EQ(base.w, 8);
+}
+
+TEST(SimDb, EveryPhaseCharacterized) {
+  for (int a = 0; a < db().suite().size(); ++a) {
+    EXPECT_EQ(db().num_phases(a), db().suite().app(a).num_phases());
+    for (int ph = 0; ph < db().num_phases(a); ++ph) {
+      EXPECT_GT(db().stats(a, ph).llc_accesses, 0.0);
+    }
+  }
+}
+
+TEST(SimDb, TimingFasterWithMoreWaysForCacheSensitiveApp) {
+  const int mcf = db().suite().index_of("mcf");
+  ASSERT_GE(mcf, 0);
+  const Setting base = baseline_setting(db().system());
+  Setting more = base;
+  more.w = 14;
+  Setting fewer = base;
+  fewer.w = 3;
+  EXPECT_LT(db().timing(mcf, 0, more).total_seconds,
+            db().timing(mcf, 0, base).total_seconds);
+  EXPECT_GT(db().timing(mcf, 0, fewer).total_seconds,
+            db().timing(mcf, 0, base).total_seconds);
+}
+
+TEST(SimDb, TimingFasterAtHigherFrequency) {
+  const Setting base = baseline_setting(db().system());
+  Setting fast = base;
+  fast.f_idx = arch::VfTable::kNumPoints - 1;
+  Setting slow = base;
+  slow.f_idx = 0;
+  for (const int a : {0, 10, 20}) {
+    EXPECT_LT(db().timing(a, 0, fast).total_seconds,
+              db().timing(a, 0, base).total_seconds);
+    EXPECT_GT(db().timing(a, 0, slow).total_seconds,
+              db().timing(a, 0, base).total_seconds);
+  }
+}
+
+TEST(SimDb, EnergyComponentsPositiveAndComposable) {
+  const Setting base = baseline_setting(db().system());
+  for (const int a : {1, 13, 26}) {
+    const power::IntervalEnergy e = db().energy(a, 0, base);
+    EXPECT_GT(e.core_dynamic_j, 0.0);
+    EXPECT_GT(e.core_static_j, 0.0);
+    EXPECT_GE(e.memory_j, 0.0);
+    EXPECT_NEAR(e.total_j(), e.core_dynamic_j + e.core_static_j + e.memory_j,
+                1e-15);
+  }
+}
+
+TEST(SimDb, HigherVoltageCostsMoreDynamicEnergy) {
+  const Setting base = baseline_setting(db().system());
+  Setting fast = base;
+  fast.f_idx = arch::VfTable::kNumPoints - 1;
+  const int mcf = db().suite().index_of("mcf");
+  EXPECT_GT(db().energy(mcf, 0, fast).core_dynamic_j,
+            db().energy(mcf, 0, base).core_dynamic_j);
+}
+
+TEST(SimDb, BaselineTimeIsConsistent) {
+  const Setting base = baseline_setting(db().system());
+  for (int a = 0; a < db().suite().size(); a += 5) {
+    EXPECT_DOUBLE_EQ(db().baseline_time(a, 0),
+                     db().timing(a, 0, base).total_seconds);
+  }
+}
+
+TEST(SimDb, AppMpkiAggregatesPhases) {
+  const int mcf = db().suite().index_of("mcf");
+  const double mpki8 = db().app_mpki(mcf, 8);
+  EXPECT_GT(mpki8, 0.2);
+  // Aggregate must be within the per-phase min/max envelope.
+  double lo = 1e300, hi = 0.0;
+  for (int ph = 0; ph < db().num_phases(mcf); ++ph) {
+    lo = std::min(lo, db().stats(mcf, ph).mpki(8));
+    hi = std::max(hi, db().stats(mcf, ph).mpki(8));
+  }
+  EXPECT_GE(mpki8, lo);
+  EXPECT_LE(mpki8, hi);
+}
+
+TEST(SimDb, AppMlpOrderedByCoreSizeForStreamingApp) {
+  const int bwaves = db().suite().index_of("bwaves");
+  EXPECT_GT(db().app_mlp(bwaves, arch::CoreSize::M),
+            db().app_mlp(bwaves, arch::CoreSize::S));
+  EXPECT_GT(db().app_mlp(bwaves, arch::CoreSize::L),
+            db().app_mlp(bwaves, arch::CoreSize::M));
+}
+
+TEST(SimDb, SerialBuildMatchesParallelBuild) {
+  arch::SystemConfig sys;
+  sys.cores = 2;
+  const power::PowerModel power;
+  SimDbOptions serial;
+  serial.threads = 1;
+  const SimDb db_serial(spec_suite(), sys, power, serial);
+  const Setting base = baseline_setting(sys);
+  for (const int a : {0, 9, 18}) {
+    EXPECT_DOUBLE_EQ(db_serial.timing(a, 0, base).total_seconds,
+                     db().timing(a, 0, base).total_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace qosrm::workload

@@ -1,0 +1,100 @@
+#include "workload/spec_suite.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/shared_db.hh"
+#include "workload/classify.hh"
+
+namespace qosrm::workload {
+namespace {
+
+TEST(SpecSuite, TwentySevenApplications) {
+  EXPECT_EQ(spec_suite().size(), 27);
+}
+
+TEST(SpecSuite, NamesUniqueAndLookupWorks) {
+  const SpecSuite& suite = spec_suite();
+  std::set<std::string> names;
+  for (const AppProfile& app : suite.apps()) names.insert(app.name);
+  EXPECT_EQ(names.size(), 27u);
+  EXPECT_GE(suite.index_of("mcf"), 0);
+  EXPECT_EQ(suite.index_of("calculix"), -1);  // excluded by the paper
+  EXPECT_EQ(suite.index_of("milc"), -1);      // excluded by the paper
+}
+
+TEST(SpecSuite, IntendedPopulationsMatchTableII) {
+  const SpecSuite& suite = spec_suite();
+  EXPECT_EQ(suite.apps_in_category(Category::CS_PS).size(), 5u);
+  EXPECT_EQ(suite.apps_in_category(Category::CS_PI).size(), 7u);
+  EXPECT_EQ(suite.apps_in_category(Category::CI_PS).size(), 7u);
+  EXPECT_EQ(suite.apps_in_category(Category::CI_PI).size(), 8u);
+}
+
+TEST(SpecSuite, EveryAppHasPhasesAndSequence) {
+  for (const AppProfile& app : spec_suite().apps()) {
+    EXPECT_GE(app.num_phases(), 3) << app.name;
+    EXPECT_GE(app.length_intervals(), 20) << app.name;
+    double weight = 0.0;
+    for (const PhaseParams& ph : app.phases) weight += ph.weight;
+    EXPECT_NEAR(weight, 1.0, 1e-9) << app.name;
+    for (const int ph : app.phase_sequence) {
+      EXPECT_GE(ph, 0);
+      EXPECT_LT(ph, app.num_phases());
+    }
+  }
+}
+
+TEST(SpecSuite, ApplicationLengthsVary) {
+  // The end-of-run rule depends on the longest app; lengths must differ.
+  std::set<int> lengths;
+  for (const AppProfile& app : spec_suite().apps()) {
+    lengths.insert(app.length_intervals());
+  }
+  EXPECT_GE(lengths.size(), 8u);
+}
+
+TEST(SpecSuite, DeterministicConstruction) {
+  const SpecSuite a;
+  const SpecSuite b;
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.app(i).name, b.app(i).name);
+    EXPECT_EQ(a.app(i).trace_seed, b.app(i).trace_seed);
+    EXPECT_EQ(a.app(i).phase_sequence, b.app(i).phase_sequence);
+    for (int ph = 0; ph < a.app(i).num_phases(); ++ph) {
+      EXPECT_DOUBLE_EQ(
+          a.app(i).phases[static_cast<std::size_t>(ph)].lpki,
+          b.app(i).phases[static_cast<std::size_t>(ph)].lpki);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The headline suite property: applying the PAPER'S OWN criteria to the
+// synthetic applications reproduces Table II exactly.
+// ---------------------------------------------------------------------------
+TEST(SpecSuite, ClassifierReproducesTableII) {
+  const workload::SimDb& db = qosrm::testing::shared_db();
+  const auto cls = classify_suite(db);
+  for (int i = 0; i < db.suite().size(); ++i) {
+    EXPECT_EQ(cls[static_cast<std::size_t>(i)].category(),
+              db.suite().intended_category(i))
+        << db.suite().app(i).name << " MPKI@8=" << cls[i].mpki_base
+        << " lo/hi=" << cls[i].mpki_lo << "/" << cls[i].mpki_hi
+        << " MLP S/M/L=" << cls[i].mlp_s << "/" << cls[i].mlp_m << "/"
+        << cls[i].mlp_l;
+  }
+}
+
+TEST(SpecSuite, CategoryHistogramMatchesPaperCounts) {
+  const workload::SimDb& db = qosrm::testing::shared_db();
+  const auto hist = category_histogram(classify_suite(db));
+  EXPECT_EQ(hist[static_cast<std::size_t>(Category::CS_PS)], 5);
+  EXPECT_EQ(hist[static_cast<std::size_t>(Category::CS_PI)], 7);
+  EXPECT_EQ(hist[static_cast<std::size_t>(Category::CI_PS)], 7);
+  EXPECT_EQ(hist[static_cast<std::size_t>(Category::CI_PI)], 8);
+}
+
+}  // namespace
+}  // namespace qosrm::workload

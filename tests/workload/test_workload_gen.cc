@@ -1,0 +1,148 @@
+#include "workload/workload_gen.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace qosrm::workload {
+namespace {
+
+using enum Category;
+
+TEST(ScenarioOf, MatchesFigureOnePartition) {
+  // Scenario 1: anything with CS-PS, plus CI-PS x CS-PI.
+  EXPECT_EQ(scenario_of(CS_PS, CS_PS), Scenario::One);
+  EXPECT_EQ(scenario_of(CS_PS, CS_PI), Scenario::One);
+  EXPECT_EQ(scenario_of(CS_PS, CI_PS), Scenario::One);
+  EXPECT_EQ(scenario_of(CS_PS, CI_PI), Scenario::One);
+  EXPECT_EQ(scenario_of(CI_PS, CS_PI), Scenario::One);
+  // Scenario 2: CS-PI with CS-PI or CI-PI.
+  EXPECT_EQ(scenario_of(CS_PI, CS_PI), Scenario::Two);
+  EXPECT_EQ(scenario_of(CS_PI, CI_PI), Scenario::Two);
+  // Scenario 3: CI-PS with CI-PS or CI-PI.
+  EXPECT_EQ(scenario_of(CI_PS, CI_PS), Scenario::Three);
+  EXPECT_EQ(scenario_of(CI_PS, CI_PI), Scenario::Three);
+  // Scenario 4: CI-PI only.
+  EXPECT_EQ(scenario_of(CI_PI, CI_PI), Scenario::Four);
+}
+
+TEST(ScenarioOf, Symmetric) {
+  const Category all[] = {CS_PS, CS_PI, CI_PS, CI_PI};
+  for (const Category a : all) {
+    for (const Category b : all) {
+      EXPECT_EQ(scenario_of(a, b), scenario_of(b, a));
+    }
+  }
+}
+
+TEST(MixTable, PaperProbabilities) {
+  // Populations of Table II: 5/7/7/8 over 27 apps.
+  const MixTable t = compute_mix_table({5, 7, 7, 8});
+  // Figure 1 cell probabilities (upper triangle values quoted in the paper).
+  const auto p = [&](Category a, Category b) {
+    return t.pair_prob[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+  };
+  EXPECT_NEAR(p(CI_PI, CI_PI), 0.088, 0.001);
+  EXPECT_NEAR(p(CI_PI, CI_PS), 0.077, 0.001);
+  EXPECT_NEAR(p(CI_PI, CS_PS), 0.055, 0.001);
+  EXPECT_NEAR(p(CI_PS, CI_PS), 0.067, 0.001);
+  EXPECT_NEAR(p(CS_PS, CS_PS), 0.034, 0.001);
+}
+
+TEST(MixTable, ScenarioWeightsMatchPaper) {
+  // Paper Section V-A: 47 / 22.1 / 22.1 / 8.8 %.
+  const MixTable t = compute_mix_table({5, 7, 7, 8});
+  EXPECT_NEAR(t.scenario_weight[0], 0.470, 0.003);
+  EXPECT_NEAR(t.scenario_weight[1], 0.221, 0.003);
+  EXPECT_NEAR(t.scenario_weight[2], 0.221, 0.003);
+  EXPECT_NEAR(t.scenario_weight[3], 0.088, 0.003);
+}
+
+TEST(MixTable, WeightsSumToOne) {
+  const MixTable t = compute_mix_table({5, 7, 7, 8});
+  double total = 0.0;
+  for (const double w : t.scenario_weight) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(WorkloadGen, CountAndNaming) {
+  WorkloadGenOptions opt;
+  opt.cores = 4;
+  opt.per_scenario = 6;
+  const auto mixes = generate_workloads(spec_suite(), opt);
+  ASSERT_EQ(mixes.size(), 24u);
+  EXPECT_EQ(mixes[0].name, "4Core-W1");
+  EXPECT_EQ(mixes[23].name, "4Core-W24");
+  // Scenario blocks in order: W1-6 S1, W7-12 S2, W13-18 S3, W19-24 S4.
+  for (std::size_t i = 0; i < mixes.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(mixes[i].scenario), static_cast<int>(i / 6) + 1)
+        << mixes[i].name;
+  }
+}
+
+TEST(WorkloadGen, MixesRespectScenarioCategories) {
+  WorkloadGenOptions opt;
+  opt.cores = 8;
+  opt.per_scenario = 6;
+  const auto mixes = generate_workloads(spec_suite(), opt);
+  for (const WorkloadMix& mix : mixes) {
+    ASSERT_EQ(mix.app_ids.size(), 8u);
+    // Each half draws from one category; the unordered half-pair must map
+    // back to the mix's scenario.
+    const Category cat1 = spec_suite().intended_category(mix.app_ids[0]);
+    const Category cat2 = spec_suite().intended_category(mix.app_ids[4]);
+    EXPECT_EQ(scenario_of(cat1, cat2), mix.scenario) << mix.name;
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_EQ(spec_suite().intended_category(mix.app_ids[static_cast<std::size_t>(k)]),
+                cat1);
+      EXPECT_EQ(spec_suite().intended_category(
+                    mix.app_ids[static_cast<std::size_t>(4 + k)]),
+                cat2);
+    }
+  }
+}
+
+TEST(WorkloadGen, DeterministicInSeed) {
+  WorkloadGenOptions opt;
+  const auto a = generate_workloads(spec_suite(), opt);
+  const auto b = generate_workloads(spec_suite(), opt);
+  opt.seed = 999;
+  const auto c = generate_workloads(spec_suite(), opt);
+  ASSERT_EQ(a.size(), b.size());
+  bool all_equal_ab = true;
+  bool all_equal_ac = true;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    all_equal_ab &= a[i].app_ids == b[i].app_ids;
+    all_equal_ac &= a[i].app_ids == c[i].app_ids;
+  }
+  EXPECT_TRUE(all_equal_ab);
+  EXPECT_FALSE(all_equal_ac);
+}
+
+TEST(WorkloadGen, CoverageAcrossSuite) {
+  // Paper: generation repeats until every application appears at least once
+  // over all workloads. With 4+8 core suites, coverage should be wide.
+  std::set<int> used;
+  for (const int cores : {4, 8}) {
+    WorkloadGenOptions opt;
+    opt.cores = cores;
+    for (const auto& mix : generate_workloads(spec_suite(), opt)) {
+      used.insert(mix.app_ids.begin(), mix.app_ids.end());
+    }
+  }
+  EXPECT_GE(used.size(), 24u);  // nearly all of the 27 applications
+}
+
+TEST(WorkloadGen, ScenarioFourIsAllCiPi) {
+  WorkloadGenOptions opt;
+  opt.cores = 4;
+  for (const auto& mix : generate_workloads(spec_suite(), opt)) {
+    if (mix.scenario != Scenario::Four) continue;
+    for (const int app : mix.app_ids) {
+      EXPECT_EQ(spec_suite().intended_category(app), CI_PI);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qosrm::workload
