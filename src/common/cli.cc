@@ -25,6 +25,13 @@ CliArgs::CliArgs(int argc, char** argv) {
 
 bool CliArgs::has(const std::string& name) const { return values_.count(name) > 0; }
 
+std::vector<std::string> CliArgs::flag_names() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, value] : values_) names.push_back(name);
+  return names;
+}
+
 std::string CliArgs::get(const std::string& name, const std::string& fallback) const {
   const auto it = values_.find(name);
   return it != values_.end() ? it->second : fallback;

@@ -25,6 +25,10 @@ class CliArgs {
   [[nodiscard]] double get_double(const std::string& name, double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
 
+  /// Names of every --flag that was passed (sorted). Lets strict binaries
+  /// reject typo'd flags instead of silently running with defaults.
+  [[nodiscard]] std::vector<std::string> flag_names() const;
+
   /// Arguments that did not look like --key[=value] flags, in order.
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
     return positional_;

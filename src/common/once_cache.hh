@@ -1,0 +1,68 @@
+// Thread-safe compute-once cache.
+//
+// Concurrent callers asking for the same key block until the first caller's
+// compute() finishes, then all share the one stored value; compute() runs
+// exactly once per key no matter how many threads race. Used by the
+// experiment layer so parallel policy sweeps materialize each workload's
+// idle-RM reference a single time (those runs dominate sweep cost).
+#ifndef QOSRM_COMMON_ONCE_CACHE_HH
+#define QOSRM_COMMON_ONCE_CACHE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace qosrm {
+
+template <typename Key, typename Value>
+class OnceCache {
+ public:
+  /// Returns the cached value for `key`, invoking `compute` to produce it if
+  /// this is the first request. The returned reference stays valid for the
+  /// cache's lifetime (entries are never evicted). If compute throws, the
+  /// entry stays unfilled and the next caller retries (std::call_once
+  /// semantics).
+  template <typename Fn>
+  const Value& get_or_compute(const Key& key, Fn&& compute) {
+    std::shared_ptr<Entry> entry;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::shared_ptr<Entry>& slot = entries_[key];
+      if (!slot) slot = std::make_shared<Entry>();
+      entry = slot;
+    }
+    std::call_once(entry->once, [&] {
+      entry->value = std::forward<Fn>(compute)();
+      computed_.fetch_add(1, std::memory_order_relaxed);
+    });
+    return entry->value;
+  }
+
+  /// Number of compute() invocations that ran to completion (== number of
+  /// distinct keys materialized so far).
+  [[nodiscard]] std::size_t computations() const noexcept {
+    return computed_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    Value value{};
+  };
+
+  mutable std::mutex mu_;
+  std::map<Key, std::shared_ptr<Entry>> entries_;
+  std::atomic<std::size_t> computed_{0};
+};
+
+}  // namespace qosrm
+
+#endif  // QOSRM_COMMON_ONCE_CACHE_HH

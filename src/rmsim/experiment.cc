@@ -9,20 +9,27 @@ ExperimentRunner::ExperimentRunner(const workload::SimDb& db, const SimOptions& 
     : db_(&db), sim_(db, sim) {}
 
 const RunResult& ExperimentRunner::idle_reference(const workload::WorkloadMix& mix) {
-  auto it = idle_cache_.find(mix.name);
-  if (it == idle_cache_.end()) {
+  return idle_cache_.get_or_compute(mix.name, [&] {
     rm::RmConfig idle;
     idle.policy = rm::RmPolicy::Idle;
-    it = idle_cache_.emplace(mix.name, sim_.run(mix, idle)).first;
-  }
-  return it->second;
+    return sim_.run(mix, idle);
+  });
 }
 
 SavingsResult ExperimentRunner::run(const workload::WorkloadMix& mix,
                                     const rm::RmConfig& config) {
   SavingsResult result;
+  const RunResult& idle = idle_reference(mix);
+  if (config.policy == rm::RmPolicy::Idle) {
+    // The idle policy IS the reference run; reuse it rather than simulating
+    // the same trajectory twice. Only the reported model tag differs.
+    result.run = idle;
+    result.run.model = config.model;
+    result.savings = 0.0;
+    return result;
+  }
   result.run = sim_.run(mix, config);
-  result.savings = energy_savings(result.run, idle_reference(mix));
+  result.savings = energy_savings(result.run, idle);
   return result;
 }
 

@@ -4,10 +4,11 @@
 #ifndef QOSRM_RMSIM_EXPERIMENT_HH
 #define QOSRM_RMSIM_EXPERIMENT_HH
 
-#include <map>
+#include <cstddef>
 #include <string>
 #include <vector>
 
+#include "common/once_cache.hh"
 #include "rmsim/interval_sim.hh"
 
 namespace qosrm::rmsim {
@@ -18,24 +19,35 @@ struct SavingsResult {
   double savings = 0.0;  ///< vs the idle RM on the same workload
 };
 
+/// Thread-safe: run() and idle_reference() may be called concurrently from
+/// any number of threads (the sweep subsystem shards a policy grid over one
+/// runner). Idle references are materialized through a compute-once cache,
+/// so each workload's reference is simulated exactly once per runner.
 class ExperimentRunner {
  public:
   ExperimentRunner(const workload::SimDb& db, const SimOptions& sim = {});
 
   /// Runs `mix` under `config` and computes savings vs the idle reference
-  /// (computed once per workload and cached).
+  /// (computed once per workload and cached). An Idle-policy config reuses
+  /// the reference run itself instead of re-simulating.
   [[nodiscard]] SavingsResult run(const workload::WorkloadMix& mix,
                                   const rm::RmConfig& config);
 
   /// The idle-RM reference run for a workload.
   [[nodiscard]] const RunResult& idle_reference(const workload::WorkloadMix& mix);
 
+  /// Number of idle-reference simulations actually executed so far (at most
+  /// one per distinct workload, however many threads race on it).
+  [[nodiscard]] std::size_t idle_computations() const noexcept {
+    return idle_cache_.computations();
+  }
+
   [[nodiscard]] const workload::SimDb& db() const noexcept { return *db_; }
 
  private:
   const workload::SimDb* db_;
   IntervalSimulator sim_;
-  std::map<std::string, RunResult> idle_cache_;
+  OnceCache<std::string, RunResult> idle_cache_;
 };
 
 /// Scenario weights for averaging (paper: 47 / 22.1 / 22.1 / 8.8 %), derived

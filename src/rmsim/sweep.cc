@@ -1,0 +1,223 @@
+#include "rmsim/sweep.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+
+#include "common/check.hh"
+#include "common/csv.hh"
+#include "common/str.hh"
+#include "common/thread_pool.hh"
+
+namespace qosrm::rmsim {
+
+SweepRunner::SweepRunner(const workload::SimDb& db, const SweepOptions& options)
+    : db_(&db), opt_(options) {}
+
+SweepResult SweepRunner::run(const SweepGrid& grid) {
+  QOSRM_CHECK_MSG(!grid.mixes.empty(), "sweep grid has no workload mixes");
+  QOSRM_CHECK_MSG(!grid.policies.empty(), "sweep grid has no policies");
+  QOSRM_CHECK_MSG(!grid.models.empty(), "sweep grid has no perf models");
+  QOSRM_CHECK_MSG(!grid.qos_alphas.empty(), "sweep grid has no qos alphas");
+
+  // One runner per qos_alpha (the alpha lives in the simulator options);
+  // each runner's compute-once cache is shared by every worker thread, so
+  // idle references are simulated once per (mix, alpha).
+  std::vector<std::unique_ptr<ExperimentRunner>> runners;
+  runners.reserve(grid.qos_alphas.size());
+  for (const double alpha : grid.qos_alphas) {
+    SimOptions sim = opt_.sim;
+    sim.qos_alpha_override = alpha;
+    runners.push_back(std::make_unique<ExperimentRunner>(*db_, sim));
+  }
+
+  const std::size_t n_mix = grid.mixes.size();
+  const std::size_t n_pol = grid.policies.size();
+  const std::size_t n_mod = grid.models.size();
+
+  SweepResult out;
+  out.rows.resize(grid.size());
+
+  // Row index decomposes mix-minor / alpha-major; every task writes its own
+  // slot, so the result vector is identical for any thread count.
+  const auto run_point = [&](std::size_t idx) {
+    std::size_t rest = idx;
+    const std::size_t mi = rest % n_mix;
+    rest /= n_mix;
+    const std::size_t pi = rest % n_pol;
+    rest /= n_pol;
+    const std::size_t ki = rest % n_mod;
+    const std::size_t ai = rest / n_mod;
+
+    const workload::WorkloadMix& mix = grid.mixes[mi];
+    SweepRow& row = out.rows[idx];
+    row.workload = mix.name;
+    row.scenario = mix.scenario;
+    row.policy = grid.policies[pi];
+    row.model = grid.models[ki];
+    row.qos_alpha = grid.qos_alphas[ai];
+
+    rm::RmConfig config;
+    config.policy = row.policy;
+    config.model = row.model;
+    row.result = runners[ai]->run(mix, config);
+  };
+
+  std::size_t threads = opt_.threads <= 0
+                            ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                            : static_cast<std::size_t>(opt_.threads);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < out.rows.size(); ++i) run_point(i);
+  } else {
+    ThreadPool pool(threads - 1);  // pool workers + the calling thread
+    parallel_for(pool, 0, out.rows.size(), run_point);
+  }
+
+  for (const auto& runner : runners) {
+    out.idle_computations += runner->idle_computations();
+  }
+
+  // Aggregates, in row (alpha-major) order.
+  const std::array<double, 4> weights = scenario_weights(db_->suite());
+  std::vector<workload::Scenario> scenarios;
+  std::vector<double> savings;
+  scenarios.reserve(n_mix);
+  savings.reserve(n_mix);
+  for (std::size_t ai = 0; ai < grid.qos_alphas.size(); ++ai) {
+    for (std::size_t ki = 0; ki < n_mod; ++ki) {
+      for (std::size_t pi = 0; pi < n_pol; ++pi) {
+        scenarios.clear();
+        savings.clear();
+        double violation_sum = 0.0;
+        for (std::size_t mi = 0; mi < n_mix; ++mi) {
+          const std::size_t idx = mi + n_mix * (pi + n_pol * (ki + n_mod * ai));
+          const SweepRow& row = out.rows[idx];
+          scenarios.push_back(row.scenario);
+          savings.push_back(row.result.savings);
+          violation_sum += row.result.run.violation_rate();
+        }
+        SweepAggregate agg;
+        agg.policy = grid.policies[pi];
+        agg.model = grid.models[ki];
+        agg.qos_alpha = grid.qos_alphas[ai];
+        agg.weighted_savings = weighted_average_savings(scenarios, savings, weights);
+        double sum = 0.0;
+        for (const double s : savings) sum += s;
+        agg.mean_savings = sum / static_cast<double>(n_mix);
+        agg.mean_violation_rate = violation_sum / static_cast<double>(n_mix);
+        out.aggregates.push_back(agg);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Full-precision double formatting so equal results yield byte-identical
+/// CSV files.
+std::string fmt(double v) { return format("%.17g", v); }
+
+std::vector<std::string> split_csv_list(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (const char ch : spec) {
+    if (ch == ',') {
+      if (!cur.empty()) parts.push_back(cur);
+      cur.clear();
+    } else if (ch != ' ') {
+      cur += ch;
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+}  // namespace
+
+void write_rows_csv(const SweepResult& result, const std::string& path) {
+  CsvWriter csv(path,
+                {"workload", "scenario", "policy", "model", "qos_alpha",
+                 "savings", "total_energy_j", "uncore_energy_j", "wall_time_s",
+                 "intervals", "violations", "violation_rate", "rm_invocations",
+                 "rm_ops"});
+  for (const SweepRow& row : result.rows) {
+    const RunResult& run = row.result.run;
+    csv.add_row({row.workload, std::to_string(static_cast<int>(row.scenario)),
+                 rm::rm_policy_name(row.policy), rm::perf_model_name(row.model),
+                 fmt(row.qos_alpha), fmt(row.result.savings),
+                 fmt(run.total_energy_j()), fmt(run.uncore_energy_j),
+                 fmt(run.wall_time_s), std::to_string(run.total_intervals()),
+                 std::to_string(run.total_violations()),
+                 fmt(run.violation_rate()), std::to_string(run.rm_invocations),
+                 std::to_string(run.rm_ops)});
+  }
+}
+
+void write_aggregates_csv(const SweepResult& result, const std::string& path) {
+  CsvWriter csv(path, {"policy", "model", "qos_alpha", "weighted_savings",
+                       "mean_savings", "mean_violation_rate"});
+  for (const SweepAggregate& agg : result.aggregates) {
+    csv.add_row({rm::rm_policy_name(agg.policy), rm::perf_model_name(agg.model),
+                 fmt(agg.qos_alpha), fmt(agg.weighted_savings),
+                 fmt(agg.mean_savings), fmt(agg.mean_violation_rate)});
+  }
+}
+
+std::vector<rm::RmPolicy> parse_policies(const std::string& spec) {
+  std::vector<rm::RmPolicy> out;
+  for (const std::string& name : split_csv_list(spec)) {
+    if (name == "idle") {
+      out.push_back(rm::RmPolicy::Idle);
+    } else if (name == "rm1") {
+      out.push_back(rm::RmPolicy::Rm1);
+    } else if (name == "rm2") {
+      out.push_back(rm::RmPolicy::Rm2);
+    } else if (name == "rm3") {
+      out.push_back(rm::RmPolicy::Rm3);
+    } else {
+      QOSRM_CHECK_MSG(false, "unknown policy (want idle|rm1|rm2|rm3)");
+    }
+  }
+  return out;
+}
+
+std::vector<rm::PerfModelKind> parse_models(const std::string& spec) {
+  std::vector<rm::PerfModelKind> out;
+  for (const std::string& name : split_csv_list(spec)) {
+    if (name == "model1" || name == "m1") {
+      out.push_back(rm::PerfModelKind::Model1);
+    } else if (name == "model2" || name == "m2") {
+      out.push_back(rm::PerfModelKind::Model2);
+    } else if (name == "model3" || name == "m3") {
+      out.push_back(rm::PerfModelKind::Model3);
+    } else if (name == "perfect") {
+      out.push_back(rm::PerfModelKind::Perfect);
+    } else {
+      QOSRM_CHECK_MSG(false, "unknown model (want model1|model2|model3|perfect)");
+    }
+  }
+  return out;
+}
+
+std::vector<double> parse_alphas(const std::string& spec) {
+  std::vector<double> out;
+  for (const std::string& part : split_csv_list(spec)) {
+    char* end = nullptr;
+    const double value = std::strtod(part.c_str(), &end);
+    QOSRM_CHECK_MSG(end != part.c_str() && *end == '\0',
+                    "bad --alphas value (want comma-separated numbers)");
+    // 0 selects the system default; anything else must be a usable
+    // relaxation factor (negative/NaN would silently fall back to the
+    // default while mislabeling every CSV row).
+    QOSRM_CHECK_MSG(std::isfinite(value) && value >= 0.0,
+                    "bad --alphas value (want 0 or a positive factor)");
+    out.push_back(value);
+  }
+  return out;
+}
+
+}  // namespace qosrm::rmsim

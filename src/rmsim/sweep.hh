@@ -1,0 +1,102 @@
+// Parallel policy-sweep subsystem.
+//
+// Expands a {RmPolicy x PerfModelKind x qos_alpha} x WorkloadMix grid and
+// shards the runs across a ThreadPool. Rows land at fixed grid positions, so
+// the output is byte-identical regardless of thread count. Each workload's
+// idle-RM reference is simulated exactly once per qos_alpha thanks to the
+// compute-once cache inside ExperimentRunner (one runner per alpha, shared
+// by all worker threads).
+#ifndef QOSRM_RMSIM_SWEEP_HH
+#define QOSRM_RMSIM_SWEEP_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rmsim/experiment.hh"
+
+namespace qosrm::rmsim {
+
+/// The grid to expand. Every combination of (alpha, model, policy, mix) is
+/// one run; the row order is alpha-major, mix-minor.
+struct SweepGrid {
+  std::vector<workload::WorkloadMix> mixes;
+  std::vector<rm::RmPolicy> policies = {rm::RmPolicy::Idle, rm::RmPolicy::Rm1,
+                                        rm::RmPolicy::Rm2, rm::RmPolicy::Rm3};
+  std::vector<rm::PerfModelKind> models = {rm::PerfModelKind::Model3};
+  /// QoS relaxation values; 0.0 keeps the database system's qos_alpha
+  /// (see SimOptions::qos_alpha_override).
+  std::vector<double> qos_alphas = {0.0};
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return mixes.size() * policies.size() * models.size() * qos_alphas.size();
+  }
+};
+
+struct SweepOptions {
+  int threads = 0;   ///< sweep parallelism; 0 = hardware concurrency
+  SimOptions sim{};  ///< base simulator options (qos_alpha_override is
+                     ///< replaced per grid point)
+};
+
+/// One grid point's outcome.
+struct SweepRow {
+  std::string workload;
+  workload::Scenario scenario = workload::Scenario::One;
+  rm::RmPolicy policy = rm::RmPolicy::Idle;
+  rm::PerfModelKind model = rm::PerfModelKind::Model3;
+  double qos_alpha = 0.0;
+  SavingsResult result;
+};
+
+/// Aggregate over all mixes of one (policy, model, alpha) configuration.
+struct SweepAggregate {
+  rm::RmPolicy policy = rm::RmPolicy::Idle;
+  rm::PerfModelKind model = rm::PerfModelKind::Model3;
+  double qos_alpha = 0.0;
+  double weighted_savings = 0.0;  ///< scenario-weighted (paper Fig. 6 style)
+  double mean_savings = 0.0;      ///< uniform mean over mixes
+  double mean_violation_rate = 0.0;
+};
+
+struct SweepResult {
+  /// Grid order (deterministic, independent of thread count).
+  std::vector<SweepRow> rows;
+  std::vector<SweepAggregate> aggregates;
+  /// Idle-reference simulations actually executed; equals
+  /// mixes.size() * qos_alphas.size() when nothing was cached beforehand.
+  std::size_t idle_computations = 0;
+};
+
+class SweepRunner {
+ public:
+  SweepRunner(const workload::SimDb& db, const SweepOptions& options = {});
+
+  /// Expands and executes the grid on `options.threads` workers.
+  [[nodiscard]] SweepResult run(const SweepGrid& grid);
+
+ private:
+  const workload::SimDb* db_;
+  SweepOptions opt_;
+};
+
+/// Writes one CSV row per grid point (stable column set and formatting, so
+/// equal results produce byte-identical files).
+void write_rows_csv(const SweepResult& result, const std::string& path);
+
+/// Writes one CSV row per (policy, model, alpha) aggregate.
+void write_aggregates_csv(const SweepResult& result, const std::string& path);
+
+/// Parses comma-separated policy names ("idle,rm1,rm2,rm3"); aborts on an
+/// unknown name. Used by the sweep CLI and handy for tests.
+[[nodiscard]] std::vector<rm::RmPolicy> parse_policies(const std::string& spec);
+
+/// Parses comma-separated model names ("model1,model2,model3,perfect").
+[[nodiscard]] std::vector<rm::PerfModelKind> parse_models(const std::string& spec);
+
+/// Parses comma-separated doubles ("0,1.05,1.1").
+[[nodiscard]] std::vector<double> parse_alphas(const std::string& spec);
+
+}  // namespace qosrm::rmsim
+
+#endif  // QOSRM_RMSIM_SWEEP_HH

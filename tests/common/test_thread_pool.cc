@@ -3,8 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <string>
+#include <thread>
 #include <vector>
+
+#include "common/once_cache.hh"
 
 namespace qosrm {
 namespace {
@@ -33,6 +38,69 @@ TEST(ThreadPool, SizeReflectsWorkerCount) {
 TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
   ThreadPool pool;
   EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleCoversNestedSubmits) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&pool, &done] {
+      done.fetch_add(1);
+      pool.submit([&pool, &done] {
+        done.fetch_add(1);
+        pool.submit([&done] { done.fetch_add(1); });
+      });
+    });
+  }
+  // wait_idle must not return while nested tasks are still queued or running.
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 48);
+}
+
+TEST(ThreadPool, ZeroThreadsFallsBackToHardwareConcurrency) {
+  ThreadPool pool(0);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_EQ(pool.size(), static_cast<std::size_t>(hw));
+
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(OnceCache, ComputesEachKeyExactlyOnceUnderContention) {
+  OnceCache<int, int> cache;
+  std::atomic<int> computes{0};
+  ThreadPool pool(8);
+  // 1000 lookups race over 10 keys; the sleep widens the window in which
+  // several threads hold the same not-yet-computed entry.
+  parallel_for(pool, 0, 1000, [&](std::size_t i) {
+    const int key = static_cast<int>(i % 10);
+    const int& value = cache.get_or_compute(key, [&] {
+      computes.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return key * 7;
+    });
+    EXPECT_EQ(value, key * 7);
+  });
+  EXPECT_EQ(computes.load(), 10);
+  EXPECT_EQ(cache.computations(), 10u);
+  EXPECT_EQ(cache.size(), 10u);
+}
+
+TEST(OnceCache, KeepsFirstValueAndStableReference) {
+  OnceCache<std::string, std::vector<int>> cache;
+  const std::vector<int>& first =
+      cache.get_or_compute("k", [] { return std::vector<int>{1, 2, 3}; });
+  // Grow the cache, then ask again with a different compute fn: the original
+  // value and address must survive (callers hold references across inserts).
+  for (int i = 0; i < 100; ++i) {
+    cache.get_or_compute(std::to_string(i), [&] { return std::vector<int>{i}; });
+  }
+  const std::vector<int>& again =
+      cache.get_or_compute("k", [] { return std::vector<int>{9}; });
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(first, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
