@@ -11,6 +11,7 @@
 #include "common/csv.hh"
 #include "rmsim/experiment.hh"
 #include "rmsim/report.hh"
+#include "workload/db_io.hh"
 
 using namespace qosrm;
 
@@ -21,7 +22,11 @@ int main(int argc, char** argv) {
   arch::SystemConfig system;
   system.cores = 2;
   const power::PowerModel power;
-  const workload::SimDb db(workload::spec_suite(), system, power);
+  const workload::SimDb db = workload::warm_simdb(
+      workload::spec_suite(), system, power, {},
+      args.has("db-cache")
+          ? workload::db_cache_path(args.get("db-cache", ""), system.cores)
+          : std::string());
 
   rmsim::SimOptions sim_options;
   sim_options.model_overheads = !perfect;

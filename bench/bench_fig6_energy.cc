@@ -5,7 +5,8 @@
 // (weights 47 / 22.1 / 22.1 / 8.8 % as in Section V-A).
 //
 // Flags: --cores=4,8  --per-scenario=6  --seed=2020  --csv=fig6.csv
-//        --no-overheads  --model=1|2|3
+//        --no-overheads  --model=1|2|3  --db-cache=DIR (snapshot directory:
+//        reuse the simulation database across runs, see workload/db_io.hh)
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -15,6 +16,7 @@
 #include "common/csv.hh"
 #include "rmsim/experiment.hh"
 #include "rmsim/report.hh"
+#include "workload/db_io.hh"
 
 using namespace qosrm;
 
@@ -73,7 +75,11 @@ int main(int argc, char** argv) {
     arch::SystemConfig system;
     system.cores = cores;
     const power::PowerModel power;
-    const workload::SimDb db(workload::spec_suite(), system, power);
+    const workload::SimDb db = workload::warm_simdb(
+        workload::spec_suite(), system, power, {},
+        args.has("db-cache")
+            ? workload::db_cache_path(args.get("db-cache", ""), cores)
+            : std::string());
     rmsim::ExperimentRunner runner(db, sim_options);
 
     workload::WorkloadGenOptions gen;

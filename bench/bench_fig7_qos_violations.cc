@@ -16,6 +16,7 @@
 #include "common/csv.hh"
 #include "rmsim/qos_eval.hh"
 #include "rmsim/report.hh"
+#include "workload/db_io.hh"
 
 using namespace qosrm;
 
@@ -25,7 +26,11 @@ int main(int argc, char** argv) {
   arch::SystemConfig system;
   system.cores = 2;
   const power::PowerModel power;
-  const workload::SimDb db(workload::spec_suite(), system, power);
+  const workload::SimDb db = workload::warm_simdb(
+      workload::spec_suite(), system, power, {},
+      args.has("db-cache")
+          ? workload::db_cache_path(args.get("db-cache", ""), system.cores)
+          : std::string());
 
   rmsim::QosEvalOptions options;
   options.current_f_stride = static_cast<int>(args.get_int("f-stride", 2));

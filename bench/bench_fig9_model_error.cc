@@ -12,6 +12,7 @@
 #include "common/csv.hh"
 #include "rmsim/experiment.hh"
 #include "rmsim/report.hh"
+#include "workload/db_io.hh"
 
 using namespace qosrm;
 
@@ -47,7 +48,11 @@ int main(int argc, char** argv) {
     arch::SystemConfig system;
     system.cores = cores;
     const power::PowerModel power;
-    const workload::SimDb db(workload::spec_suite(), system, power);
+    const workload::SimDb db = workload::warm_simdb(
+        workload::spec_suite(), system, power, {},
+        args.has("db-cache")
+            ? workload::db_cache_path(args.get("db-cache", ""), cores)
+            : std::string());
     rmsim::ExperimentRunner runner(db);
 
     workload::WorkloadGenOptions gen;

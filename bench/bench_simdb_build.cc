@@ -1,0 +1,77 @@
+// Micro-benchmark for the simulation-database build path: cold trace-driven
+// characterization vs restore from a binary snapshot (workload/db_io.hh).
+// The snapshot load is the prerequisite for sharded multi-process sweeps, so
+// this tracks the speedup in the perf trajectory.
+//
+// Flags: --cores=2  --threads=0  --loads=5  --path=bench_simdb.qosdb
+//        --keep (leave the snapshot file behind)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "common/cli.hh"
+#include "workload/db_io.hh"
+#include "workload/sim_db.hh"
+#include "workload/spec_suite.hh"
+
+using namespace qosrm;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int cores = static_cast<int>(args.get_int("cores", 2));
+  const int loads = static_cast<int>(args.get_int("loads", 5));
+  const std::string path = args.get("path", "bench_simdb.qosdb");
+
+  arch::SystemConfig system;
+  system.cores = cores;
+  const power::PowerModel power;
+  const workload::SpecSuite& suite = workload::spec_suite();
+  workload::SimDbOptions options;
+  options.threads = static_cast<int>(args.get_int("threads", 0));
+
+  std::printf("=== SimDb build vs snapshot load (%d apps, %d cores) ===\n\n",
+              suite.size(), cores);
+
+  const auto t_build = Clock::now();
+  const workload::SimDb db(suite, system, power, options);
+  const double build_s = secs_since(t_build);
+  std::printf("cold characterization: %8.1f ms\n", build_s * 1e3);
+
+  std::string error;
+  const auto t_save = Clock::now();
+  if (!save_simdb(db, path, &error)) {
+    std::fprintf(stderr, "save failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("snapshot save:         %8.1f ms -> %s\n",
+              secs_since(t_save) * 1e3, path.c_str());
+
+  double best_load_s = 1e300;
+  for (int i = 0; i < loads; ++i) {
+    const auto t_load = Clock::now();
+    const std::optional<workload::SimDb> loaded =
+        load_simdb(suite, system, power, options.phase, path, &error);
+    const double load_s = secs_since(t_load);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "load failed: %s\n", error.c_str());
+      return 1;
+    }
+    best_load_s = std::min(best_load_s, load_s);
+    std::printf("snapshot load #%d:      %8.1f ms\n", i + 1, load_s * 1e3);
+  }
+
+  std::printf("\nspeedup (build / best load): %.0fx\n", build_s / best_load_s);
+  if (!args.get_bool("keep", false)) std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Minimal native-endian binary serialization used by snapshot files.
+//
+// BinaryWriter/BinaryReader wrap a std::ostream/istream with fixed-width
+// scalar and vector<double> primitives and keep a running FNV-1a checksum of
+// every byte written/read, so a file can end with a self-checksum that
+// detects truncation and corruption. Fnv1a64 is also usable standalone to
+// fingerprint configuration structs (doubles are hashed by bit pattern, so
+// the fingerprint is exact, not tolerance-based).
+//
+// Files are native-endian; readers verify a byte-order mark in the header
+// rather than converting (snapshots are machine-local cache artifacts, not
+// interchange files).
+#ifndef QOSRM_COMMON_BINARY_IO_HH
+#define QOSRM_COMMON_BINARY_IO_HH
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qosrm {
+
+/// Byte-order mark written into binary headers; a reader on a machine with
+/// different endianness sees it permuted and rejects the file.
+inline constexpr std::uint32_t kByteOrderMark = 0x01020304u;
+
+/// Running FNV-1a 64-bit hash.
+class Fnv1a64 {
+ public:
+  void add_bytes(const void* data, std::size_t n) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= static_cast<std::uint64_t>(p[i]);
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  void add_u32(std::uint32_t v) noexcept { add_bytes(&v, sizeof v); }
+  void add_u64(std::uint64_t v) noexcept { add_bytes(&v, sizeof v); }
+  void add_i64(std::int64_t v) noexcept {
+    add_u64(static_cast<std::uint64_t>(v));
+  }
+  /// Hashes the exact bit pattern (distinguishes -0.0 from 0.0 etc.).
+  void add_f64(double v) noexcept {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    add_u64(bits);
+  }
+  void add_string(const std::string& s) noexcept {
+    add_u64(s.size());
+    add_bytes(s.data(), s.size());
+  }
+
+  [[nodiscard]] std::uint64_t digest() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+/// Writes fixed-width values to a stream, checksumming as it goes.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(&out) {}
+
+  void write_u32(std::uint32_t v) { write_raw(&v, sizeof v); }
+  void write_u64(std::uint64_t v) { write_raw(&v, sizeof v); }
+  void write_f64(double v) { write_raw(&v, sizeof v); }
+  void write_string(const std::string& s) {
+    write_u64(s.size());
+    write_raw(s.data(), s.size());
+  }
+  void write_f64_vec(const std::vector<double>& v) {
+    write_u64(v.size());
+    if (!v.empty()) write_raw(v.data(), v.size() * sizeof(double));
+  }
+
+  /// Writes `checksum()` WITHOUT folding it into the running hash, so a
+  /// reader can recompute the same digest over the preceding bytes.
+  void write_trailing_checksum() {
+    const std::uint64_t digest = hash_.digest();
+    out_->write(reinterpret_cast<const char*>(&digest), sizeof digest);
+  }
+
+  [[nodiscard]] std::uint64_t checksum() const noexcept { return hash_.digest(); }
+  [[nodiscard]] bool good() const { return out_->good(); }
+
+ private:
+  void write_raw(const void* p, std::size_t n) {
+    out_->write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+    hash_.add_bytes(p, n);
+  }
+
+  std::ostream* out_;
+  Fnv1a64 hash_;
+};
+
+/// Reads fixed-width values from a stream, checksumming as it goes. All
+/// accessors return a fallback value once the stream fails; callers check
+/// `ok()` (at least at the end) instead of testing every read.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(&in) {}
+
+  [[nodiscard]] std::uint32_t read_u32() {
+    std::uint32_t v = 0;
+    read_raw(&v, sizeof v);
+    return v;
+  }
+  [[nodiscard]] std::uint64_t read_u64() {
+    std::uint64_t v = 0;
+    read_raw(&v, sizeof v);
+    return v;
+  }
+  [[nodiscard]] double read_f64() {
+    double v = 0.0;
+    read_raw(&v, sizeof v);
+    return v;
+  }
+  /// Reads a length-prefixed string; fails the stream if the length exceeds
+  /// `max_len` (corrupt length fields must not trigger huge allocations).
+  [[nodiscard]] std::string read_string(std::uint64_t max_len = 1 << 20) {
+    const std::uint64_t n = read_u64();
+    if (!ok() || n > max_len) {
+      fail();
+      return {};
+    }
+    std::string s(static_cast<std::size_t>(n), '\0');
+    if (n > 0) read_raw(s.data(), static_cast<std::size_t>(n));
+    return s;
+  }
+  [[nodiscard]] std::vector<double> read_f64_vec(std::uint64_t max_elems = 1 << 24) {
+    const std::uint64_t n = read_u64();
+    if (!ok() || n > max_elems) {
+      fail();
+      return {};
+    }
+    std::vector<double> v(static_cast<std::size_t>(n));
+    if (n > 0) read_raw(v.data(), v.size() * sizeof(double));
+    return v;
+  }
+
+  /// Reads a trailing checksum and compares it against the digest of all
+  /// bytes read so far. False on mismatch or stream failure.
+  [[nodiscard]] bool verify_trailing_checksum() {
+    const std::uint64_t expected = hash_.digest();
+    std::uint64_t stored = 0;
+    in_->read(reinterpret_cast<char*>(&stored), sizeof stored);
+    return ok() && stored == expected;
+  }
+
+  [[nodiscard]] std::uint64_t checksum() const noexcept { return hash_.digest(); }
+  [[nodiscard]] bool ok() const { return !failed_ && in_->good(); }
+  void fail() noexcept { failed_ = true; }
+
+ private:
+  void read_raw(void* p, std::size_t n) {
+    in_->read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    if (!in_->good()) {
+      failed_ = true;
+      std::memset(p, 0, n);
+      return;
+    }
+    hash_.add_bytes(p, n);
+  }
+
+  std::istream* in_;
+  Fnv1a64 hash_;
+  bool failed_ = false;
+};
+
+}  // namespace qosrm
+
+#endif  // QOSRM_COMMON_BINARY_IO_HH

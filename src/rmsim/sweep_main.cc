@@ -8,18 +8,24 @@
 //   sweep_main --cores=4 --per-scenario=1 --policies=idle,rm1,rm2,rm3
 //              --models=model3 --alphas=0 --threads=4
 //              --rows-csv=sweep_rows.csv --agg-csv=sweep_agg.csv
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/cli.hh"
 #include "common/str.hh"
 #include "power/power_model.hh"
 #include "rmsim/sweep.hh"
+#include "workload/db_io.hh"
 #include "workload/sim_db.hh"
 #include "workload/spec_suite.hh"
 #include "workload/workload_gen.hh"
@@ -40,7 +46,12 @@ void print_usage() {
       "  --threads=N        sweep parallelism; 0 = hardware concurrency\n"
       "  --rows-csv=PATH    per-run CSV output (default sweep_rows.csv)\n"
       "  --agg-csv=PATH     per-configuration CSV output (optional)\n"
-      "  --overheads=BOOL   model RM/enforcement overheads (default true)");
+      "  --overheads=BOOL   model RM/enforcement overheads (default true)\n"
+      "  --db-cache=PATH    simulation-database snapshot: load it when the\n"
+      "                     file exists (a stale/corrupt snapshot is an\n"
+      "                     error), otherwise characterize and save it; a\n"
+      "                     directory selects <dir>/suite-c<cores>.qosdb\n"
+      "                     (same layout as the benches)");
 }
 
 }  // namespace
@@ -56,8 +67,8 @@ int main(int argc, char** argv) {
   // Reject unknown flags: a typo'd flag name would otherwise silently run
   // a default sweep labeled as if the request had been honored.
   static const std::set<std::string> kKnownFlags = {
-      "cores",   "per-scenario", "seed",     "policies", "models",
-      "alphas",  "threads",      "rows-csv", "agg-csv",  "overheads"};
+      "cores",    "per-scenario", "seed",    "policies", "models",   "alphas",
+      "threads",  "rows-csv",     "agg-csv", "overheads", "db-cache"};
   for (const std::string& flag : args.flag_names()) {
     if (!kKnownFlags.count(flag)) {
       std::fprintf(stderr, "unknown flag --%s (see --help)\n", flag.c_str());
@@ -99,15 +110,54 @@ int main(int argc, char** argv) {
 
   // Probe the output paths too: a bad path should fail here, before the
   // multi-second database build, not after the sweep (append mode: an
-  // existing file is left untouched by the probe).
+  // existing file is left untouched by the probe). Files the probe itself
+  // created are removed again on later failure paths, so a failed run does
+  // not leave an empty decoy CSV behind.
   const std::string rows_csv = args.get("rows-csv", "sweep_rows.csv");
   const std::string agg_csv = args.get("agg-csv", "");
+  std::vector<std::string> probe_created;
   for (const std::string& path : {rows_csv, agg_csv}) {
     if (path.empty()) continue;
+    std::error_code ec;
+    const bool existed = std::filesystem::exists(path, ec);
     std::ofstream probe(path, std::ios::app);
     if (!probe.good()) {
       std::fprintf(stderr, "cannot write to %s\n", path.c_str());
       return 1;
+    }
+    if (!existed) probe_created.push_back(path);
+  }
+  const auto fail_with_cleanup = [&probe_created]() {
+    for (const std::string& path : probe_created) std::remove(path.c_str());
+    return 1;
+  };
+
+  // --db-cache: decide hit/miss now, and on a miss probe writability, so a
+  // bad path fails here instead of after the multi-second database build.
+  // The probe uses a uniquely named sibling file, never the cache path
+  // itself: concurrent shards must not see a transient decoy snapshot, nor
+  // have a just-written real one deleted from under them.
+  std::string db_cache = args.get("db-cache", "");
+  bool db_cache_hit = false;
+  if (!db_cache.empty()) {
+    // A directory means the shared per-core-count layout the benches and
+    // QOSRM_DB_CACHE_DIR use; resolve it the same way.
+    std::error_code ec;
+    if (std::filesystem::is_directory(db_cache, ec)) {
+      db_cache = workload::db_cache_path(db_cache, cores);
+    }
+    std::ifstream rprobe(db_cache, std::ios::binary);
+    db_cache_hit = rprobe.good();
+    if (!db_cache_hit) {
+      const std::string probe_path =
+          db_cache + ".probe." + std::to_string(static_cast<long>(::getpid()));
+      std::ofstream wprobe(probe_path, std::ios::trunc);
+      if (!wprobe.good()) {
+        std::fprintf(stderr, "--db-cache: cannot write to %s\n", db_cache.c_str());
+        return fail_with_cleanup();
+      }
+      wprobe.close();
+      std::remove(probe_path.c_str());
     }
   }
 
@@ -116,12 +166,33 @@ int main(int argc, char** argv) {
   system.cores = cores;
   const qosrm::power::PowerModel power;
 
-  std::printf("characterizing %d-app suite for %d cores...\n", suite.size(),
-              cores);
   workload::SimDbOptions db_options;
   db_options.threads = threads;
   const auto t_db = Clock::now();
-  const workload::SimDb db(suite, system, power, db_options);
+  std::optional<workload::SimDb> db_storage;
+  if (db_cache_hit) {
+    std::printf("loading simulation database from %s...\n", db_cache.c_str());
+    std::string error;
+    db_storage = workload::load_simdb(suite, system, power, db_options.phase,
+                                      db_cache, &error);
+    if (!db_storage.has_value()) {
+      std::fprintf(stderr, "--db-cache: %s\n", error.c_str());
+      return fail_with_cleanup();
+    }
+  } else {
+    std::printf("characterizing %d-app suite for %d cores...\n", suite.size(),
+                cores);
+    db_storage.emplace(suite, system, power, db_options);
+    if (!db_cache.empty()) {
+      std::string error;
+      if (!workload::save_simdb(*db_storage, db_cache, &error)) {
+        std::fprintf(stderr, "--db-cache: %s\n", error.c_str());
+        return fail_with_cleanup();
+      }
+      std::printf("saved simulation database snapshot to %s\n", db_cache.c_str());
+    }
+  }
+  const workload::SimDb& db = *db_storage;
 
   workload::WorkloadGenOptions gen;
   gen.cores = cores;
@@ -169,7 +240,7 @@ int main(int argc, char** argv) {
   };
   std::printf("\nidle references simulated: %zu (one per mix x alpha)\n",
               result.idle_computations);
-  std::printf("db build %.2fs, sweep %.2fs\n", secs(t_db, t_sweep),
-              secs(t_sweep, t_done));
+  std::printf("db %s %.2fs, sweep %.2fs\n", db_cache_hit ? "load" : "build",
+              secs(t_db, t_sweep), secs(t_sweep, t_done));
   return 0;
 }

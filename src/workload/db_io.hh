@@ -1,0 +1,82 @@
+// Versioned binary snapshots of the simulation database.
+//
+// A snapshot stores the expensive part of a SimDb - the per-(app, phase)
+// characterization - so long sweeps, benches and the slow test suites can
+// restore a multi-second build in milliseconds. The materialized evaluation
+// table is deterministically rebuilt from the restored stats, so a loaded
+// database is bit-identical to a freshly characterized one.
+//
+// File layout (native-endian, see common/binary_io.hh):
+//
+//   u64 magic "QOSRMDB\0" | u32 version | u32 byte-order mark
+//   u64 fingerprint(suite, SystemConfig, PhaseStatsOptions)
+//   payload: per (app, phase) PhaseStats arrays and scalars
+//   u64 trailing FNV-1a checksum of everything above
+//
+// The fingerprint hashes every parameter the characterization depends on
+// (exact double bit patterns included), so a snapshot produced under a
+// different suite, system configuration or characterization option set is
+// REJECTED, never silently reused. The trailing checksum catches truncation
+// and bit corruption.
+#ifndef QOSRM_WORKLOAD_DB_IO_HH
+#define QOSRM_WORKLOAD_DB_IO_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "workload/sim_db.hh"
+
+namespace qosrm::workload {
+
+inline constexpr std::uint32_t kSimDbSnapshotVersion = 1;
+
+/// Conventional snapshot file extension (gitignored).
+inline constexpr const char* kSimDbSnapshotExtension = ".qosdb";
+
+/// Identity checksum of everything a snapshot must match: the suite's full
+/// parameterization, the SystemConfig and the PhaseStatsOptions.
+[[nodiscard]] std::uint64_t simdb_fingerprint(const SpecSuite& suite,
+                                              const arch::SystemConfig& system,
+                                              const PhaseStatsOptions& options);
+
+/// Saves `db`'s characterization to `path`. False + *error on I/O failure
+/// (the partial file is removed).
+bool save_simdb(const SimDb& db, const std::string& path, std::string* error);
+
+/// Loads a snapshot for exactly (suite, system, options). nullopt + *error
+/// when the file is unreadable, not a snapshot, the wrong version, written
+/// under a different configuration (fingerprint mismatch), or corrupt.
+[[nodiscard]] std::optional<SimDb> load_simdb(const SpecSuite& suite,
+                                              const arch::SystemConfig& system,
+                                              const power::PowerModel& power,
+                                              const PhaseStatsOptions& options,
+                                              const std::string& path,
+                                              std::string* error);
+
+/// Per-core-count snapshot path under a cache directory (or path prefix):
+/// "<dir>/suite-c<cores><.qosdb>".
+[[nodiscard]] std::string db_cache_path(const std::string& dir, int cores);
+
+/// How warm_simdb obtained its database.
+enum class DbCacheOutcome {
+  Built,          ///< no cache path given: plain characterization
+  BuiltAndSaved,  ///< cache miss (or stale snapshot): built, snapshot written
+  Loaded,         ///< cache hit: restored from the snapshot
+};
+
+/// Build-or-load convenience for benches and tests. Empty `path` just
+/// characterizes. Otherwise: load on hit; on miss, characterize and save; a
+/// stale or corrupt snapshot is rejected with a warning to stderr and
+/// rebuilt (overwriting it). CLI drivers that must fail hard on a bad cache
+/// file (sweep_main) use load_simdb/save_simdb directly instead.
+[[nodiscard]] SimDb warm_simdb(const SpecSuite& suite,
+                               const arch::SystemConfig& system,
+                               const power::PowerModel& power,
+                               const SimDbOptions& options,
+                               const std::string& path,
+                               DbCacheOutcome* outcome = nullptr);
+
+}  // namespace qosrm::workload
+
+#endif  // QOSRM_WORKLOAD_DB_IO_HH

@@ -1,0 +1,97 @@
+// Materialized evaluation layer (paper Section IV-A).
+//
+// The paper runs Sniper+McPAT once per (phase, core configuration, VF
+// setting, LLC allocation) and the RM simulator replays applications against
+// the stored results. EvalTable is that materialization: at build time it
+// densely evaluates the ground-truth analytical models over the full finite
+// (core size x VF point x way) grid of every characterized phase - plus the
+// baseline-time, MPKI and MLP aggregates the QoS check and the classifier
+// ask for on every query - so the hot loops of the interval simulator and
+// the QoS evaluator are array lookups instead of repeated
+// evaluate_interval/memory_truth calls.
+//
+// Every stored value is produced by exactly the calls the pre-table SimDb
+// made on demand, in the same order, so lookups are bit-identical to direct
+// evaluation (tests enforce this over the full grid).
+#ifndef QOSRM_WORKLOAD_EVAL_TABLE_HH
+#define QOSRM_WORKLOAD_EVAL_TABLE_HH
+
+#include <array>
+#include <vector>
+
+#include "arch/core_config.hh"
+#include "arch/core_model.hh"
+#include "arch/dvfs.hh"
+#include "arch/system_config.hh"
+#include "power/power_model.hh"
+#include "workload/phase_stats.hh"
+#include "workload/spec_suite.hh"
+
+namespace qosrm::workload {
+
+/// A concrete resource setting for one core.
+struct Setting {
+  arch::CoreSize c = arch::kBaselineCoreSize;
+  int f_idx = arch::VfTable::kBaselineIndex;
+  int w = 8;
+
+  [[nodiscard]] bool operator==(const Setting&) const = default;
+};
+
+/// The baseline system setting (M core, 2 GHz, even LLC split).
+[[nodiscard]] Setting baseline_setting(const arch::SystemConfig& system);
+
+class EvalTable {
+ public:
+  EvalTable() = default;
+
+  /// Densely evaluates timing/energy for every (app, phase) in `stats` over
+  /// the full (core size x VF point x way) grid, and precomputes the
+  /// per-phase baseline times and per-app MPKI/MLP aggregates.
+  EvalTable(const SpecSuite& suite, const arch::SystemConfig& system,
+            const power::PowerModel& power,
+            const std::vector<std::vector<PhaseStats>>& stats);
+
+  /// Ground-truth interval timing of (app, phase) at setting s (lookup).
+  [[nodiscard]] const arch::IntervalTiming& timing(int app, int phase,
+                                                   const Setting& s) const;
+
+  /// Ground-truth interval energy at setting s (lookup).
+  [[nodiscard]] const power::IntervalEnergy& energy(int app, int phase,
+                                                    const Setting& s) const;
+
+  /// Interval wall-clock time at the baseline setting (the QoS reference).
+  [[nodiscard]] double baseline_time(int app, int phase) const;
+
+  /// Weighted-average MPKI of an application at allocation w (phase weights).
+  [[nodiscard]] double app_mpki(int app, int w) const;
+
+  /// Weighted-average ground-truth MLP of an application at (c, baseline w).
+  [[nodiscard]] double app_mlp(int app, arch::CoreSize c) const;
+
+  [[nodiscard]] bool empty() const noexcept { return grids_.empty(); }
+
+ private:
+  /// Dense per-phase grid, [c][f][w-1] flattened row-major.
+  struct PhaseGrid {
+    int max_ways = 0;
+    double baseline_time_s = 0.0;
+    std::vector<arch::IntervalTiming> timing;
+    std::vector<power::IntervalEnergy> energy;
+  };
+
+  struct AppAggregates {
+    std::vector<double> mpki;  ///< [w-1]
+    std::array<double, arch::kNumCoreSizes> mlp{};
+  };
+
+  [[nodiscard]] const PhaseGrid& grid(int app, int phase) const;
+  [[nodiscard]] static std::size_t flat_index(const PhaseGrid& g, const Setting& s);
+
+  std::vector<std::vector<PhaseGrid>> grids_;  // [app][phase]
+  std::vector<AppAggregates> aggregates_;      // [app]
+};
+
+}  // namespace qosrm::workload
+
+#endif  // QOSRM_WORKLOAD_EVAL_TABLE_HH

@@ -7,17 +7,9 @@
 
 namespace qosrm::workload {
 
-Setting baseline_setting(const arch::SystemConfig& system) {
-  Setting s;
-  s.c = arch::kBaselineCoreSize;
-  s.f_idx = arch::VfTable::kBaselineIndex;
-  s.w = system.llc.ways_per_core_baseline;
-  return s;
-}
-
 SimDb::SimDb(const SpecSuite& suite, const arch::SystemConfig& system,
              const power::PowerModel& power, const SimDbOptions& options)
-    : suite_(&suite), system_(system), power_(power) {
+    : suite_(&suite), system_(system), power_(power), phase_opts_(options.phase) {
   stats_.resize(static_cast<std::size_t>(suite.size()));
 
   // Flatten (app, phase) pairs for the parallel sweep.
@@ -49,6 +41,24 @@ SimDb::SimDb(const SpecSuite& suite, const arch::SystemConfig& system,
                         : static_cast<std::size_t>(options.threads));
     parallel_for(pool, 0, jobs.size(), run_job);
   }
+
+  table_ = EvalTable(suite, system_, power_, stats_);
+}
+
+SimDb::SimDb(const SpecSuite& suite, const arch::SystemConfig& system,
+             const power::PowerModel& power, const PhaseStatsOptions& phase_options,
+             std::vector<std::vector<PhaseStats>> stats)
+    : suite_(&suite),
+      system_(system),
+      power_(power),
+      phase_opts_(phase_options),
+      stats_(std::move(stats)) {
+  QOSRM_CHECK(static_cast<int>(stats_.size()) == suite.size());
+  for (int a = 0; a < suite.size(); ++a) {
+    QOSRM_CHECK(static_cast<int>(stats_[static_cast<std::size_t>(a)].size()) ==
+                suite.app(a).num_phases());
+  }
+  table_ = EvalTable(suite, system_, power_, stats_);
 }
 
 const PhaseStats& SimDb::stats(int app, int phase) const {
@@ -61,48 +71,6 @@ const PhaseStats& SimDb::stats(int app, int phase) const {
 int SimDb::num_phases(int app) const {
   QOSRM_CHECK(app >= 0 && app < suite_->size());
   return static_cast<int>(stats_[static_cast<std::size_t>(app)].size());
-}
-
-arch::IntervalTiming SimDb::timing(int app, int phase, const Setting& s) const {
-  const PhaseStats& st = stats(app, phase);
-  return arch::evaluate_interval(st.characteristics(),
-                                 st.memory_truth(s.c, s.w, system_.mem_latency_s),
-                                 s.c, arch::VfTable::frequency_hz(s.f_idx));
-}
-
-power::IntervalEnergy SimDb::energy(int app, int phase, const Setting& s) const {
-  const PhaseStats& st = stats(app, phase);
-  const arch::IntervalTiming t = timing(app, phase, s);
-  // Memory energy covers both fills and writebacks (paper Eq. 5's MA).
-  return power_.interval_energy(s.c, arch::VfTable::point(s.f_idx), t,
-                                st.interval_instructions, st.dram_accesses(s.w));
-}
-
-double SimDb::baseline_time(int app, int phase) const {
-  return timing(app, phase, baseline_setting(system_)).total_seconds;
-}
-
-double SimDb::app_mpki(int app, int w) const {
-  const int phases = num_phases(app);
-  double acc = 0.0;
-  for (int ph = 0; ph < phases; ++ph) {
-    const double weight =
-        suite_->app(app).phases[static_cast<std::size_t>(ph)].weight;
-    acc += weight * stats(app, ph).mpki(w);
-  }
-  return acc;
-}
-
-double SimDb::app_mlp(int app, arch::CoreSize c) const {
-  const int phases = num_phases(app);
-  const int w = system_.llc.ways_per_core_baseline;
-  double acc = 0.0;
-  for (int ph = 0; ph < phases; ++ph) {
-    const double weight =
-        suite_->app(app).phases[static_cast<std::size_t>(ph)].weight;
-    acc += weight * stats(app, ph).mlp_true(c, w);
-  }
-  return acc;
 }
 
 }  // namespace qosrm::workload

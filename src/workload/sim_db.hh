@@ -2,11 +2,18 @@
 //
 // The paper runs Sniper+McPAT once per (phase, core configuration, VF
 // setting, LLC allocation) and stores the results; the RM simulator then
-// replays applications against that database. Here the database holds one
-// PhaseStats per (app, phase) - produced by the trace-driven cache substrate
-// - and evaluates ground-truth timing/energy for any (c, f, w) on demand
-// from the analytical core model, which is equivalent to materializing the
-// full cross product but cheaper to store.
+// replays applications against that database. SimDb mirrors that split:
+//
+//   * characterization - one PhaseStats per (app, phase), produced by the
+//     trace-driven cache substrate (the expensive part, parallel build);
+//   * materialized evaluation - an EvalTable holding IntervalTiming and
+//     IntervalEnergy densely precomputed over the full finite
+//     (core size x VF point x way) grid, plus baseline-time/MPKI/MLP
+//     aggregates, so every timing()/energy() query is an array lookup.
+//
+// The characterization is serializable: workload/db_io.hh saves it to a
+// versioned binary snapshot and restores it in milliseconds (the table is
+// rebuilt deterministically from the restored stats).
 #ifndef QOSRM_WORKLOAD_SIM_DB_HH
 #define QOSRM_WORKLOAD_SIM_DB_HH
 
@@ -17,22 +24,11 @@
 #include "arch/dvfs.hh"
 #include "arch/system_config.hh"
 #include "power/power_model.hh"
+#include "workload/eval_table.hh"
 #include "workload/phase_stats.hh"
 #include "workload/spec_suite.hh"
 
 namespace qosrm::workload {
-
-/// A concrete resource setting for one core.
-struct Setting {
-  arch::CoreSize c = arch::kBaselineCoreSize;
-  int f_idx = arch::VfTable::kBaselineIndex;
-  int w = 8;
-
-  [[nodiscard]] bool operator==(const Setting&) const = default;
-};
-
-/// The baseline system setting (M core, 2 GHz, even LLC split).
-[[nodiscard]] Setting baseline_setting(const arch::SystemConfig& system);
 
 struct SimDbOptions {
   PhaseStatsOptions phase{};
@@ -41,39 +37,61 @@ struct SimDbOptions {
 
 class SimDb {
  public:
-  /// Characterizes every phase of every suite application (parallel build).
+  /// Characterizes every phase of every suite application (parallel build),
+  /// then materializes the evaluation table.
   SimDb(const SpecSuite& suite, const arch::SystemConfig& system,
         const power::PowerModel& power, const SimDbOptions& options = {});
+
+  /// Restores a database from an already-computed characterization (snapshot
+  /// load path; see workload/db_io.hh). Only the evaluation table is rebuilt.
+  SimDb(const SpecSuite& suite, const arch::SystemConfig& system,
+        const power::PowerModel& power, const PhaseStatsOptions& phase_options,
+        std::vector<std::vector<PhaseStats>> stats);
 
   [[nodiscard]] const SpecSuite& suite() const noexcept { return *suite_; }
   [[nodiscard]] const arch::SystemConfig& system() const noexcept { return system_; }
   [[nodiscard]] const power::PowerModel& power() const noexcept { return power_; }
+  [[nodiscard]] const PhaseStatsOptions& phase_options() const noexcept {
+    return phase_opts_;
+  }
 
   [[nodiscard]] const PhaseStats& stats(int app, int phase) const;
   [[nodiscard]] int num_phases(int app) const;
 
   /// Ground-truth interval timing of (app, phase) at setting s.
   [[nodiscard]] arch::IntervalTiming timing(int app, int phase,
-                                            const Setting& s) const;
+                                            const Setting& s) const {
+    return table_.timing(app, phase, s);
+  }
 
   /// Ground-truth interval energy (core + memory; uncore is system-level).
   [[nodiscard]] power::IntervalEnergy energy(int app, int phase,
-                                             const Setting& s) const;
+                                             const Setting& s) const {
+    return table_.energy(app, phase, s);
+  }
 
   /// Interval wall-clock time at the baseline setting (the QoS reference).
-  [[nodiscard]] double baseline_time(int app, int phase) const;
+  [[nodiscard]] double baseline_time(int app, int phase) const {
+    return table_.baseline_time(app, phase);
+  }
 
   /// Weighted-average MPKI of an application at allocation w (phase weights).
-  [[nodiscard]] double app_mpki(int app, int w) const;
+  [[nodiscard]] double app_mpki(int app, int w) const {
+    return table_.app_mpki(app, w);
+  }
 
   /// Weighted-average ground-truth MLP of an application at (c, baseline w).
-  [[nodiscard]] double app_mlp(int app, arch::CoreSize c) const;
+  [[nodiscard]] double app_mlp(int app, arch::CoreSize c) const {
+    return table_.app_mlp(app, c);
+  }
 
  private:
   const SpecSuite* suite_;
   arch::SystemConfig system_;
   power::PowerModel power_;
+  PhaseStatsOptions phase_opts_;
   std::vector<std::vector<PhaseStats>> stats_;  // [app][phase]
+  EvalTable table_;
 };
 
 }  // namespace qosrm::workload

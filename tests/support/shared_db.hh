@@ -1,13 +1,21 @@
 // Shared SimDb instance for database-heavy tests: characterizing the full
 // 27-app suite takes a few seconds, so tests within one binary share one
 // database per core count.
+//
+// When QOSRM_DB_CACHE_DIR is set, the database is restored from (or saved
+// to) a binary snapshot under that directory, so a whole `ctest -L slow` run
+// pays the characterization cost once instead of once per test binary. A
+// stale snapshot is rejected (warning on stderr) and rebuilt.
 #ifndef QOSRM_TESTS_SUPPORT_SHARED_DB_HH
 #define QOSRM_TESTS_SUPPORT_SHARED_DB_HH
 
+#include <cstdlib>
 #include <map>
 #include <memory>
+#include <string>
 
 #include "power/power_model.hh"
+#include "workload/db_io.hh"
 #include "workload/sim_db.hh"
 
 namespace qosrm::testing {
@@ -19,8 +27,13 @@ inline const workload::SimDb& shared_db(int cores = 2) {
     arch::SystemConfig system;
     system.cores = cores;
     const power::PowerModel power;
-    it = dbs.emplace(cores, std::make_unique<workload::SimDb>(
-                                workload::spec_suite(), system, power))
+    const char* cache_dir = std::getenv("QOSRM_DB_CACHE_DIR");
+    const std::string cache_path =
+        cache_dir != nullptr ? workload::db_cache_path(cache_dir, cores)
+                             : std::string();
+    it = dbs.emplace(cores,
+                     std::make_unique<workload::SimDb>(workload::warm_simdb(
+                         workload::spec_suite(), system, power, {}, cache_path)))
              .first;
   }
   return *it->second;

@@ -104,6 +104,79 @@ TEST(SimDb, AppMlpOrderedByCoreSizeForStreamingApp) {
             db().app_mlp(bwaves, arch::CoreSize::M));
 }
 
+// The materialized evaluation table must be bit-identical to evaluating the
+// analytical models directly from the phase characterization, over the FULL
+// finite (c, f, w) grid (this is the refactor's correctness contract).
+TEST(SimDb, TableMatchesDirectEvaluationOverFullGrid) {
+  const SimDb& d = db();
+  const arch::SystemConfig& sys = d.system();
+  int timing_mismatches = 0;
+  int energy_mismatches = 0;
+  for (int app = 0; app < d.suite().size(); ++app) {
+    for (int ph = 0; ph < d.num_phases(app); ++ph) {
+      const PhaseStats& st = d.stats(app, ph);
+      for (const arch::CoreSize c : arch::kAllCoreSizes) {
+        for (int f = 0; f < arch::VfTable::kNumPoints; ++f) {
+          for (int w = 1; w <= sys.llc.max_ways; ++w) {
+            const Setting s{c, f, w};
+            const arch::IntervalTiming direct = arch::evaluate_interval(
+                st.characteristics(), st.memory_truth(c, w, sys.mem_latency_s),
+                c, arch::VfTable::frequency_hz(f));
+            const arch::IntervalTiming table = d.timing(app, ph, s);
+            if (table.width_cycles != direct.width_cycles ||
+                table.ilp_cycles != direct.ilp_cycles ||
+                table.branch_cycles != direct.branch_cycles ||
+                table.cache_cycles != direct.cache_cycles ||
+                table.core_seconds != direct.core_seconds ||
+                table.mem_seconds != direct.mem_seconds ||
+                table.total_seconds != direct.total_seconds) {
+              ++timing_mismatches;
+            }
+            const power::IntervalEnergy e_direct = d.power().interval_energy(
+                c, arch::VfTable::point(f), direct, st.interval_instructions,
+                st.dram_accesses(w));
+            const power::IntervalEnergy e_table = d.energy(app, ph, s);
+            if (e_table.core_dynamic_j != e_direct.core_dynamic_j ||
+                e_table.core_static_j != e_direct.core_static_j ||
+                e_table.memory_j != e_direct.memory_j) {
+              ++energy_mismatches;
+            }
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(timing_mismatches, 0);
+  EXPECT_EQ(energy_mismatches, 0);
+}
+
+TEST(SimDb, CachedAggregatesMatchPerPhaseRecomputation) {
+  const SimDb& d = db();
+  for (int app = 0; app < d.suite().size(); app += 3) {
+    for (int w = 1; w <= d.system().llc.max_ways; ++w) {
+      double acc = 0.0;
+      for (int ph = 0; ph < d.num_phases(app); ++ph) {
+        acc += d.suite().app(app).phases[static_cast<std::size_t>(ph)].weight *
+               d.stats(app, ph).mpki(w);
+      }
+      EXPECT_EQ(d.app_mpki(app, w), acc);
+    }
+    for (const arch::CoreSize c : arch::kAllCoreSizes) {
+      double acc = 0.0;
+      const int wb = d.system().llc.ways_per_core_baseline;
+      for (int ph = 0; ph < d.num_phases(app); ++ph) {
+        acc += d.suite().app(app).phases[static_cast<std::size_t>(ph)].weight *
+               d.stats(app, ph).mlp_true(c, wb);
+      }
+      EXPECT_EQ(d.app_mlp(app, c), acc);
+    }
+    for (int ph = 0; ph < d.num_phases(app); ++ph) {
+      EXPECT_EQ(d.baseline_time(app, ph),
+                d.timing(app, ph, baseline_setting(d.system())).total_seconds);
+    }
+  }
+}
+
 TEST(SimDb, SerialBuildMatchesParallelBuild) {
   arch::SystemConfig sys;
   sys.cores = 2;
