@@ -8,10 +8,23 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace qosrm {
+
+/// A parsed `--shard=i/N` argument: this process is shard `index` of
+/// `count` (0 <= index < count, count >= 1).
+struct ShardArg {
+  std::size_t index = 0;
+  std::size_t count = 1;
+};
+
+/// Parses "i/N" (e.g. "2/8"). nullopt unless both halves are plain
+/// non-negative decimal integers with i < N and N >= 1 — a malformed spec
+/// must fail loudly, never silently run shard 0.
+[[nodiscard]] std::optional<ShardArg> parse_shard_arg(const std::string& spec);
 
 class CliArgs {
  public:

@@ -1,0 +1,108 @@
+#include "common/subprocess.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/str.hh"
+
+namespace qosrm {
+
+std::string describe(const SubprocessExit& exit) {
+  if (!exit.spawned) return "failed to spawn";
+  if (exit.exited) return format("exit code %d", exit.exit_code);
+  if (exit.term_signal != 0) {
+    return format("killed by signal %d (%s)", exit.term_signal,
+                  strsignal(exit.term_signal));
+  }
+  return "unknown exit";
+}
+
+Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
+  Subprocess child;
+  if (argv.empty()) return child;
+
+  std::vector<char*> c_argv;
+  c_argv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    c_argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  c_argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) return child;  // fork failed: wait() reports spawned=false
+  if (pid == 0) {
+    ::execvp(c_argv[0], c_argv.data());
+    // exec failed in the child: report via a conventional exit code (127,
+    // like the shells) so the parent's wait() sees a clean failure.
+    ::_exit(127);
+  }
+  child.pid_ = pid;
+  return child;
+}
+
+SubprocessExit Subprocess::wait() {
+  if (reaped_ || pid_ <= 0) return exit_;
+
+  int status = 0;
+  pid_t rc;
+  do {
+    rc = ::waitpid(pid_, &status, 0);
+  } while (rc < 0 && errno == EINTR);
+  reaped_ = true;
+  if (rc != pid_) return exit_;  // reap failed: spawned=false (unknown fate)
+
+  exit_.spawned = true;
+  if (WIFEXITED(status)) {
+    exit_.exited = true;
+    exit_.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    exit_.term_signal = WTERMSIG(status);
+  }
+  return exit_;
+}
+
+void Subprocess::terminate() {
+  if (running()) ::kill(pid_, SIGTERM);
+}
+
+std::optional<std::size_t> Subprocess::wait_any(
+    const std::vector<Subprocess*>& children) {
+  bool any_running = false;
+  for (const Subprocess* child : children) {
+    if (child != nullptr && child->running()) {
+      any_running = true;
+      break;
+    }
+  }
+  if (!any_running) return std::nullopt;
+
+  for (;;) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, 0);
+    if (pid < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;  // ECHILD: nothing left to reap
+    }
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      Subprocess* child = children[i];
+      if (child == nullptr || child->reaped_ || child->pid_ != pid) continue;
+      child->reaped_ = true;
+      child->exit_.spawned = true;
+      if (WIFEXITED(status)) {
+        child->exit_.exited = true;
+        child->exit_.exit_code = WEXITSTATUS(status);
+      } else if (WIFSIGNALED(status)) {
+        child->exit_.term_signal = WTERMSIG(status);
+      }
+      return i;
+    }
+    // Reaped a child that is not in the list (not ours to track): keep
+    // waiting for one of the tracked children.
+  }
+}
+
+}  // namespace qosrm

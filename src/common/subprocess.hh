@@ -1,0 +1,68 @@
+// Minimal fork/exec subprocess helper for CLI drivers that fan work out
+// over worker processes (the sharded sweep orchestrator).
+//
+// Deliberately tiny: spawn an argv, wait for it, terminate it early. No
+// pipes or output capture - workers inherit stdout/stderr, so their
+// progress and diagnostics stream straight to the operator's terminal.
+#ifndef QOSRM_COMMON_SUBPROCESS_HH
+#define QOSRM_COMMON_SUBPROCESS_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace qosrm {
+
+/// How a child ended. `success()` means a clean exit(0); everything else
+/// (non-zero exit, signal, spawn failure) is a failure with a printable
+/// description.
+struct SubprocessExit {
+  bool spawned = false;   ///< false: fork/exec itself failed
+  bool exited = false;    ///< true: normal exit (code in exit_code)
+  int exit_code = -1;
+  int term_signal = 0;    ///< non-zero: killed by this signal
+
+  [[nodiscard]] bool success() const noexcept { return exited && exit_code == 0; }
+};
+
+/// "exit code 3" / "killed by signal 9 (Killed)" / "failed to spawn".
+[[nodiscard]] std::string describe(const SubprocessExit& exit);
+
+/// One spawned child process.
+class Subprocess {
+ public:
+  Subprocess() = default;
+
+  /// Fork/execs `argv` (argv[0] resolved via PATH). Running state is
+  /// queryable via `running()`; a failed spawn is reported by wait().
+  static Subprocess spawn(const std::vector<std::string>& argv);
+
+  /// Blocks until the child ends and returns how. Idempotent: a second
+  /// call returns the same result without waiting again.
+  SubprocessExit wait();
+
+  /// Blocks until ANY still-running child in `children` ends and returns
+  /// its index (the child's wait() then returns the cached result without
+  /// blocking). nullopt when none is running. Lets a supervisor react to
+  /// the FIRST failure regardless of spawn order, instead of waiting
+  /// through long-running earlier children.
+  static std::optional<std::size_t> wait_any(
+      const std::vector<Subprocess*>& children);
+
+  /// Sends SIGTERM (no-op once the child was already reaped).
+  void terminate();
+
+  [[nodiscard]] bool running() const noexcept { return pid_ > 0 && !reaped_; }
+  [[nodiscard]] pid_t pid() const noexcept { return pid_; }
+
+ private:
+  pid_t pid_ = -1;
+  bool reaped_ = false;
+  SubprocessExit exit_{};
+};
+
+}  // namespace qosrm
+
+#endif  // QOSRM_COMMON_SUBPROCESS_HH

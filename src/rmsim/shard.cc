@@ -1,0 +1,432 @@
+#include "rmsim/shard.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "common/binary_io.hh"
+#include "common/check.hh"
+#include "common/str.hh"
+#include "workload/spec_suite.hh"
+
+namespace qosrm::rmsim {
+
+namespace {
+
+// "QOSRMPT\0" little-endian.
+constexpr std::uint64_t kMagic = 0x0054504D52534F51ULL;
+
+bool fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+void write_core(BinaryWriter& w, const CoreResult& core) {
+  w.write_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(core.app)));
+  w.write_f64(core.counted_energy_j);
+  w.write_f64(core.executed_instructions);
+  w.write_f64(core.finish_time_s);
+  w.write_u64(core.intervals);
+  w.write_u64(core.qos_violations);
+  w.write_f64(core.violation_sum);
+  w.write_f64(core.violation_max);
+}
+
+[[nodiscard]] CoreResult read_core(BinaryReader& r) {
+  CoreResult core;
+  core.app = static_cast<int>(static_cast<std::int64_t>(r.read_u64()));
+  core.counted_energy_j = r.read_f64();
+  core.executed_instructions = r.read_f64();
+  core.finish_time_s = r.read_f64();
+  core.intervals = r.read_u64();
+  core.qos_violations = r.read_u64();
+  core.violation_sum = r.read_f64();
+  core.violation_max = r.read_f64();
+  return core;
+}
+
+void write_row(BinaryWriter& w, const SweepRow& row) {
+  w.write_string(row.workload);
+  w.write_u32(static_cast<std::uint32_t>(row.scenario));
+  w.write_u32(static_cast<std::uint32_t>(row.policy));
+  w.write_u32(static_cast<std::uint32_t>(row.model));
+  w.write_f64(row.qos_alpha);
+  w.write_f64(row.result.savings);
+
+  const RunResult& run = row.result.run;
+  w.write_string(run.workload);
+  w.write_u32(static_cast<std::uint32_t>(run.scenario));
+  w.write_u32(static_cast<std::uint32_t>(run.policy));
+  w.write_u32(static_cast<std::uint32_t>(run.model));
+  w.write_u64(run.cores.size());
+  for (const CoreResult& core : run.cores) write_core(w, core);
+  w.write_f64(run.uncore_energy_j);
+  w.write_f64(run.wall_time_s);
+  w.write_u64(run.rm_invocations);
+  w.write_u64(run.rm_ops);
+}
+
+[[nodiscard]] SweepRow read_row(BinaryReader& r) {
+  // Enum fields are range-checked before the cast; anything out of range
+  // fails the read (the checksum catches random corruption, but a hand-made
+  // file must not produce undefined enum values).
+  const auto read_scenario = [&r]() {
+    const std::uint32_t v = r.read_u32();
+    if (v < 1 || v > 4) r.fail();
+    return static_cast<workload::Scenario>(v);
+  };
+  const auto read_policy = [&r]() {
+    const std::uint32_t v = r.read_u32();
+    if (v > 3) r.fail();
+    return static_cast<rm::RmPolicy>(v);
+  };
+  const auto read_model = [&r]() {
+    const std::uint32_t v = r.read_u32();
+    if (v > 3) r.fail();
+    return static_cast<rm::PerfModelKind>(v);
+  };
+
+  SweepRow row;
+  row.workload = r.read_string();
+  row.scenario = read_scenario();
+  row.policy = read_policy();
+  row.model = read_model();
+  row.qos_alpha = r.read_f64();
+  row.result.savings = r.read_f64();
+
+  RunResult& run = row.result.run;
+  run.workload = r.read_string();
+  run.scenario = read_scenario();
+  run.policy = read_policy();
+  run.model = read_model();
+  const std::uint64_t n_cores = r.read_u64();
+  if (!r.ok() || n_cores > 1024) {  // corrupt count must not allocate wild
+    r.fail();
+    return row;
+  }
+  run.cores.reserve(static_cast<std::size_t>(n_cores));
+  for (std::uint64_t k = 0; k < n_cores; ++k) run.cores.push_back(read_core(r));
+  run.uncore_energy_j = r.read_f64();
+  run.wall_time_s = r.read_f64();
+  run.rm_invocations = r.read_u64();
+  run.rm_ops = r.read_u64();
+  return row;
+}
+
+}  // namespace
+
+ShardRange shard_range(std::size_t total_rows, std::size_t index,
+                       std::size_t count) {
+  QOSRM_CHECK_MSG(count >= 1, "shard count must be >= 1");
+  QOSRM_CHECK_MSG(index < count, "shard index out of range");
+  const std::size_t base = total_rows / count;
+  const std::size_t extra = total_rows % count;
+  // Shards [0, extra) own base+1 rows, the rest own base.
+  const std::size_t begin =
+      index * base + std::min(index, extra);
+  const std::size_t size = base + (index < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+std::vector<ShardRange> shard_ranges(std::size_t total_rows, std::size_t count) {
+  std::vector<ShardRange> ranges;
+  ranges.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ranges.push_back(shard_range(total_rows, i, count));
+  }
+  return ranges;
+}
+
+std::uint64_t sweep_fingerprint(const SweepGrid& grid, const SimOptions& sim,
+                                std::uint64_t db_fingerprint) {
+  Fnv1a64 h;
+  h.add_u32(kSweepPartVersion);
+  h.add_u64(db_fingerprint);
+
+  h.add_u64(grid.mixes.size());
+  for (const workload::WorkloadMix& mix : grid.mixes) {
+    h.add_string(mix.name);
+    h.add_u32(static_cast<std::uint32_t>(mix.scenario));
+    h.add_u64(mix.app_ids.size());
+    for (const int app : mix.app_ids) h.add_i64(app);
+  }
+  h.add_u64(grid.policies.size());
+  for (const rm::RmPolicy p : grid.policies) {
+    h.add_u32(static_cast<std::uint32_t>(p));
+  }
+  h.add_u64(grid.models.size());
+  for (const rm::PerfModelKind m : grid.models) {
+    h.add_u32(static_cast<std::uint32_t>(m));
+  }
+  h.add_u64(grid.qos_alphas.size());
+  for (const double a : grid.qos_alphas) h.add_f64(a);
+
+  h.add_u32(sim.model_overheads ? 1u : 0u);
+  h.add_f64(sim.overheads.instr_base);
+  h.add_f64(sim.overheads.instr_per_op);
+  h.add_f64(sim.overheads.dvfs.time_s);
+  h.add_f64(sim.overheads.dvfs.energy_j);
+  h.add_f64(sim.qos_epsilon);
+  h.add_f64(sim.qos_alpha_override);
+  return h.digest();
+}
+
+std::string part_path(const std::string& prefix, std::size_t index,
+                      std::size_t count) {
+  return format("%s.%zu-of-%zu%s", prefix.c_str(), index, count,
+                kSweepPartExtension);
+}
+
+bool save_sweep_part(const SweepPart& part, const std::string& path,
+                     std::string* error) {
+  if (part.shard_count < 1 || part.shard_index >= part.shard_count ||
+      part.range.begin > part.range.end ||
+      part.range.end > part.shape.size() ||
+      part.range != shard_range(part.shape.size(), part.shard_index,
+                                part.shard_count) ||
+      part.rows.size() != part.range.size()) {
+    return fail(error, "inconsistent sweep part metadata");
+  }
+
+  // Write to a uniquely named sibling and rename into place: a killed
+  // worker leaves at worst a *.tmp.* orphan, never a partial part file that
+  // a resume pass would have to distrust.
+  const std::string tmp_path =
+      format("%s.tmp.%ld", path.c_str(), static_cast<long>(::getpid()));
+  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    return fail(error, format("cannot open %s for writing", path.c_str()));
+  }
+
+  BinaryWriter w(out);
+  w.write_u64(kMagic);
+  w.write_u32(kSweepPartVersion);
+  w.write_u32(kByteOrderMark);
+  w.write_u64(part.fingerprint);
+  w.write_u64(part.shape.mixes);
+  w.write_u64(part.shape.policies);
+  w.write_u64(part.shape.models);
+  w.write_u64(part.shape.alphas);
+  w.write_u64(part.shard_index);
+  w.write_u64(part.shard_count);
+  w.write_u64(part.range.begin);
+  w.write_u64(part.range.end);
+  for (const SweepRow& row : part.rows) write_row(w, row);
+  w.write_trailing_checksum();
+  out.flush();
+  if (!out.good()) {
+    out.close();
+    std::remove(tmp_path.c_str());
+    return fail(error, format("write to %s failed", path.c_str()));
+  }
+  out.close();
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return fail(error, format("cannot move part into place at %s", path.c_str()));
+  }
+  return true;
+}
+
+std::optional<SweepPart> load_sweep_part(const std::string& path,
+                                         std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    fail(error, format("cannot open %s for reading", path.c_str()));
+    return std::nullopt;
+  }
+
+  BinaryReader r(in);
+  const std::uint64_t magic = r.read_u64();
+  if (!r.ok() || magic != kMagic) {
+    fail(error, format("%s is not a sweep part (bad magic)", path.c_str()));
+    return std::nullopt;
+  }
+  const std::uint32_t version = r.read_u32();
+  if (!r.ok() || version != kSweepPartVersion) {
+    fail(error, format("%s has part version %u, expected %u", path.c_str(),
+                       version, kSweepPartVersion));
+    return std::nullopt;
+  }
+  const std::uint32_t bom = r.read_u32();
+  if (!r.ok() || bom != kByteOrderMark) {
+    fail(error,
+         format("%s was written on a machine with different byte order",
+                path.c_str()));
+    return std::nullopt;
+  }
+
+  SweepPart part;
+  part.fingerprint = r.read_u64();
+  part.shape.mixes = static_cast<std::size_t>(r.read_u64());
+  part.shape.policies = static_cast<std::size_t>(r.read_u64());
+  part.shape.models = static_cast<std::size_t>(r.read_u64());
+  part.shape.alphas = static_cast<std::size_t>(r.read_u64());
+  part.shard_index = static_cast<std::size_t>(r.read_u64());
+  part.shard_count = static_cast<std::size_t>(r.read_u64());
+  part.range.begin = static_cast<std::size_t>(r.read_u64());
+  part.range.end = static_cast<std::size_t>(r.read_u64());
+
+  // Metadata sanity before trusting the row count: a corrupt header must
+  // not drive a huge allocation, and the axis product must be computed
+  // overflow-free before it bounds the range (four 2^20 axes would wrap
+  // std::size_t and slip past a naive shape.size() check).
+  constexpr std::size_t kMaxAxis = std::size_t{1} << 20;
+  constexpr unsigned __int128 kMaxRows = std::size_t{1} << 32;
+  const unsigned __int128 total_rows = static_cast<unsigned __int128>(
+                                           part.shape.mixes) *
+                                       part.shape.policies * part.shape.models *
+                                       part.shape.alphas;
+  if (!r.ok() || part.shape.mixes == 0 || part.shape.mixes > kMaxAxis ||
+      part.shape.policies == 0 || part.shape.policies > kMaxAxis ||
+      part.shape.models == 0 || part.shape.models > kMaxAxis ||
+      part.shape.alphas == 0 || part.shape.alphas > kMaxAxis ||
+      total_rows > kMaxRows ||
+      part.shard_count < 1 || part.shard_index >= part.shard_count ||
+      part.range !=
+          shard_range(part.shape.size(), part.shard_index, part.shard_count)) {
+    fail(error, format("%s is corrupt (inconsistent part header)", path.c_str()));
+    return std::nullopt;
+  }
+
+  // Grow incrementally rather than reserving the claimed row count up
+  // front: a lying header then fails on the first short read instead of
+  // provoking a giant allocation.
+  part.rows.reserve(std::min<std::size_t>(part.range.size(), 4096));
+  for (std::size_t i = 0; i < part.range.size(); ++i) {
+    part.rows.push_back(read_row(r));
+    if (!r.ok()) {
+      fail(error, format("%s is corrupt (truncated row data)", path.c_str()));
+      return std::nullopt;
+    }
+  }
+  if (!r.verify_trailing_checksum()) {
+    fail(error,
+         format("%s is corrupt (truncated or checksum mismatch)", path.c_str()));
+    return std::nullopt;
+  }
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    fail(error, format("%s is corrupt (trailing bytes after checksum)",
+                       path.c_str()));
+    return std::nullopt;
+  }
+  return part;
+}
+
+std::optional<std::vector<SweepRow>> merge_sweep_parts(
+    std::vector<SweepPart> parts, std::string* error) {
+  if (parts.empty()) {
+    fail(error, "no sweep parts to merge");
+    return std::nullopt;
+  }
+
+  const SweepPart& first = parts.front();
+  for (const SweepPart& part : parts) {
+    if (part.fingerprint != first.fingerprint) {
+      fail(error,
+           format("shard %zu/%zu belongs to a different sweep (fingerprint "
+                  "%016llx, expected %016llx)",
+                  part.shard_index, part.shard_count,
+                  static_cast<unsigned long long>(part.fingerprint),
+                  static_cast<unsigned long long>(first.fingerprint)));
+      return std::nullopt;
+    }
+    if (!(part.shape == first.shape) || part.shard_count != first.shard_count) {
+      fail(error, format("shard %zu has a mismatched grid shape or shard count",
+                         part.shard_index));
+      return std::nullopt;
+    }
+  }
+  if (parts.size() != first.shard_count) {
+    fail(error, format("have %zu parts but the sweep was sharded %zu ways",
+                       parts.size(), first.shard_count));
+    return std::nullopt;
+  }
+
+  std::sort(parts.begin(), parts.end(),
+            [](const SweepPart& a, const SweepPart& b) {
+              return a.shard_index < b.shard_index;
+            });
+  const std::size_t total = first.shape.size();
+  std::size_t next_row = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const SweepPart& part = parts[i];
+    if (part.shard_index != i) {
+      fail(error, format("shard %zu is missing or duplicated", i));
+      return std::nullopt;
+    }
+    if (part.range.begin != next_row) {
+      fail(error, format("shard %zu rows [%zu, %zu) leave a gap or overlap at "
+                         "row %zu",
+                         i, part.range.begin, part.range.end, next_row));
+      return std::nullopt;
+    }
+    next_row = part.range.end;
+  }
+  if (next_row != total) {
+    fail(error, format("parts cover %zu of %zu grid rows", next_row, total));
+    return std::nullopt;
+  }
+
+  std::vector<SweepRow> rows;
+  rows.reserve(total);
+  for (SweepPart& part : parts) {
+    for (SweepRow& row : part.rows) rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::optional<SweepResult> merge_part_files(
+    const std::vector<std::string>& paths,
+    const std::uint64_t* expected_fingerprint, std::string* error) {
+  std::vector<SweepPart> parts;
+  parts.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::optional<SweepPart> part = load_sweep_part(path, error);
+    if (!part.has_value()) return std::nullopt;
+    if (expected_fingerprint != nullptr &&
+        part->fingerprint != *expected_fingerprint) {
+      fail(error,
+           format("%s belongs to a different sweep than this command line",
+                  path.c_str()));
+      return std::nullopt;
+    }
+    parts.push_back(std::move(*part));
+  }
+  if (parts.empty()) {
+    fail(error, "no sweep parts to merge");
+    return std::nullopt;
+  }
+
+  const GridShape shape = parts.front().shape;
+  std::optional<std::vector<SweepRow>> rows =
+      merge_sweep_parts(std::move(parts), error);
+  if (!rows.has_value()) return std::nullopt;
+
+  SweepResult result;
+  result.rows = std::move(*rows);
+  result.aggregates = compute_aggregates(
+      result.rows, shape, scenario_weights(workload::spec_suite()));
+  return result;
+}
+
+std::vector<std::size_t> shards_to_run(const std::string& prefix,
+                                       std::size_t count,
+                                       std::uint64_t fingerprint,
+                                       const GridShape& shape) {
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string error;
+    const std::optional<SweepPart> part =
+        load_sweep_part(part_path(prefix, i, count), &error);
+    const bool complete = part.has_value() && part->fingerprint == fingerprint &&
+                          part->shape == shape && part->shard_index == i &&
+                          part->shard_count == count;
+    if (!complete) pending.push_back(i);
+  }
+  return pending;
+}
+
+}  // namespace qosrm::rmsim

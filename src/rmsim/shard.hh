@@ -1,0 +1,130 @@
+// Sharded sweep execution: deterministic grid partitioning plus the
+// self-describing part files that shard workers exchange with the merger.
+//
+// A big {policy x model x alpha} x workload grid is split into N disjoint,
+// gapless, contiguous row ranges (pure arithmetic - every process computes
+// the same partition independently). Each worker runs its range and writes
+// a part file; the merger validates that the parts belong to the SAME sweep
+// (fingerprint), cover the grid exactly once, and pass their checksums, then
+// reassembles rows in grid order - so the merged CSV is byte-identical to a
+// single-process run.
+//
+// Part file layout (native-endian, see common/binary_io.hh):
+//
+//   u64 magic "QOSRMPT\0" | u32 version | u32 byte-order mark
+//   u64 sweep fingerprint (db fingerprint + grid + sim options)
+//   u64 grid shape (mixes, policies, models, alphas)
+//   u64 shard index | u64 shard count | u64 row begin | u64 row end
+//   payload: one serialized SweepRow per grid row in [begin, end)
+//   u64 trailing FNV-1a checksum of everything above
+//
+// The fingerprint covers everything that determines row values: the
+// simulation database identity (suite, SystemConfig, PhaseStatsOptions),
+// the expanded workload mixes, the policy/model/alpha axes and the
+// simulator options. Parts from a different sweep are REJECTED, never
+// silently merged; a truncated or bit-flipped part fails its checksum.
+#ifndef QOSRM_RMSIM_SHARD_HH
+#define QOSRM_RMSIM_SHARD_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rmsim/sweep.hh"
+
+namespace qosrm::rmsim {
+
+inline constexpr std::uint32_t kSweepPartVersion = 1;
+
+/// Conventional part-file extension (gitignored, like *.qosdb).
+inline constexpr const char* kSweepPartExtension = ".qospart";
+
+/// Half-open row range [begin, end) of the expanded grid.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  bool operator==(const ShardRange&) const = default;
+};
+
+/// The range shard `index` of `count` owns: contiguous, and over all
+/// indices disjoint, gapless and ordered. The first `total_rows % count`
+/// shards take one extra row, so sizes differ by at most one. Pure
+/// arithmetic: every process computes the identical partition.
+[[nodiscard]] ShardRange shard_range(std::size_t total_rows, std::size_t index,
+                                     std::size_t count);
+
+/// All `count` ranges in shard order (shard_range for each index).
+[[nodiscard]] std::vector<ShardRange> shard_ranges(std::size_t total_rows,
+                                                   std::size_t count);
+
+/// Identity of one sweep: hashes the simulation-database fingerprint (see
+/// workload::simdb_fingerprint), the expanded mixes, the policy/model/alpha
+/// axes and every SimOptions field. Two processes agree on this value iff
+/// they would produce bit-identical rows for equal row indices.
+[[nodiscard]] std::uint64_t sweep_fingerprint(const SweepGrid& grid,
+                                              const SimOptions& sim,
+                                              std::uint64_t db_fingerprint);
+
+/// One shard's output: header metadata plus the rows of its range.
+struct SweepPart {
+  std::uint64_t fingerprint = 0;
+  GridShape shape{};
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  ShardRange range{};
+  std::vector<SweepRow> rows;
+};
+
+/// "<prefix>.<index>-of-<count>.qospart" - self-describing names so a
+/// directory of parts from different shardings can't be cross-merged by
+/// accident.
+[[nodiscard]] std::string part_path(const std::string& prefix,
+                                    std::size_t index, std::size_t count);
+
+/// Saves a part. Writes to a uniquely named sibling and renames into place,
+/// so a killed worker never leaves a plausible-looking partial part. False +
+/// *error on I/O failure or inconsistent metadata.
+bool save_sweep_part(const SweepPart& part, const std::string& path,
+                     std::string* error);
+
+/// Loads and fully validates one part: magic/version/byte order, metadata
+/// consistency (range matches shard_range(shape.size(), index, count), row
+/// count matches the range) and the trailing checksum. nullopt + *error on
+/// any mismatch - a truncated or corrupt part is never returned.
+[[nodiscard]] std::optional<SweepPart> load_sweep_part(const std::string& path,
+                                                       std::string* error);
+
+/// Validates that `parts` are one complete sweep - same fingerprint, shape
+/// and shard count everywhere, every shard index present exactly once, and
+/// the ranges tiling [0, shape.size()) without gap or overlap - then
+/// concatenates the rows in grid order. Parts may arrive in any order.
+/// nullopt + *error (naming the offending part/shard) otherwise.
+[[nodiscard]] std::optional<std::vector<SweepRow>> merge_sweep_parts(
+    std::vector<SweepPart> parts, std::string* error);
+
+/// Driver-level convenience shared by sweep_main --workers and the
+/// sweep_merge CLI: loads every path, optionally enforces that all parts
+/// carry `expected_fingerprint` (pass nullptr to accept any one sweep),
+/// merges, and recomputes the aggregates with the global suite's scenario
+/// weights - yielding the same SweepResult (minus idle_computations) a
+/// single-process SweepRunner::run would have produced. nullopt + *error
+/// naming the offending part on any validation failure.
+[[nodiscard]] std::optional<SweepResult> merge_part_files(
+    const std::vector<std::string>& paths,
+    const std::uint64_t* expected_fingerprint, std::string* error);
+
+/// Resume support: the shard indices whose part file under `prefix` is
+/// missing, unreadable, corrupt, or belongs to a different sweep (wrong
+/// fingerprint/shape/count) - i.e. the shards an orchestrator still has to
+/// run. A valid matching part is skipped.
+[[nodiscard]] std::vector<std::size_t> shards_to_run(const std::string& prefix,
+                                                     std::size_t count,
+                                                     std::uint64_t fingerprint,
+                                                     const GridShape& shape);
+
+}  // namespace qosrm::rmsim
+
+#endif  // QOSRM_RMSIM_SHARD_HH

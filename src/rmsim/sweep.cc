@@ -17,11 +17,15 @@ namespace qosrm::rmsim {
 SweepRunner::SweepRunner(const workload::SimDb& db, const SweepOptions& options)
     : db_(&db), opt_(options) {}
 
-SweepResult SweepRunner::run(const SweepGrid& grid) {
+std::vector<SweepRow> SweepRunner::run_range(const SweepGrid& grid,
+                                             std::size_t begin, std::size_t end,
+                                             std::size_t* idle_computations) {
   QOSRM_CHECK_MSG(!grid.mixes.empty(), "sweep grid has no workload mixes");
   QOSRM_CHECK_MSG(!grid.policies.empty(), "sweep grid has no policies");
   QOSRM_CHECK_MSG(!grid.models.empty(), "sweep grid has no perf models");
   QOSRM_CHECK_MSG(!grid.qos_alphas.empty(), "sweep grid has no qos alphas");
+  QOSRM_CHECK_MSG(begin <= end && end <= grid.size(),
+                  "sweep row range out of bounds");
 
   // One runner per qos_alpha (the alpha lives in the simulator options);
   // each runner's compute-once cache is shared by every worker thread, so
@@ -38,12 +42,13 @@ SweepResult SweepRunner::run(const SweepGrid& grid) {
   const std::size_t n_pol = grid.policies.size();
   const std::size_t n_mod = grid.models.size();
 
-  SweepResult out;
-  out.rows.resize(grid.size());
+  std::vector<SweepRow> rows(end - begin);
 
   // Row index decomposes mix-minor / alpha-major; every task writes its own
-  // slot, so the result vector is identical for any thread count.
-  const auto run_point = [&](std::size_t idx) {
+  // slot, so the result vector is identical for any thread count (and any
+  // [begin, end) slicing across worker processes).
+  const auto run_point = [&](std::size_t offset) {
+    const std::size_t idx = begin + offset;
     std::size_t rest = idx;
     const std::size_t mi = rest % n_mix;
     rest /= n_mix;
@@ -53,7 +58,7 @@ SweepResult SweepRunner::run(const SweepGrid& grid) {
     const std::size_t ai = rest / n_mod;
 
     const workload::WorkloadMix& mix = grid.mixes[mi];
-    SweepRow& row = out.rows[idx];
+    SweepRow& row = rows[offset];
     row.workload = mix.name;
     row.scenario = mix.scenario;
     row.policy = grid.policies[pi];
@@ -70,23 +75,47 @@ SweepResult SweepRunner::run(const SweepGrid& grid) {
                             ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
                             : static_cast<std::size_t>(opt_.threads);
   if (threads <= 1) {
-    for (std::size_t i = 0; i < out.rows.size(); ++i) run_point(i);
+    for (std::size_t i = 0; i < rows.size(); ++i) run_point(i);
   } else {
     ThreadPool pool(threads - 1);  // pool workers + the calling thread
-    parallel_for(pool, 0, out.rows.size(), run_point);
+    parallel_for(pool, 0, rows.size(), run_point);
   }
 
-  for (const auto& runner : runners) {
-    out.idle_computations += runner->idle_computations();
+  if (idle_computations != nullptr) {
+    *idle_computations = 0;
+    for (const auto& runner : runners) {
+      *idle_computations += runner->idle_computations();
+    }
   }
+  return rows;
+}
 
-  // Aggregates, in row (alpha-major) order.
-  const std::array<double, 4> weights = scenario_weights(db_->suite());
+SweepResult SweepRunner::run(const SweepGrid& grid) {
+  SweepResult out;
+  out.rows = run_range(grid, 0, grid.size(), &out.idle_computations);
+  out.aggregates = compute_aggregates(out.rows, grid.shape(),
+                                      scenario_weights(db_->suite()));
+  return out;
+}
+
+std::vector<SweepAggregate> compute_aggregates(
+    const std::vector<SweepRow>& rows, const GridShape& shape,
+    const std::array<double, 4>& weights) {
+  QOSRM_CHECK_MSG(rows.size() == shape.size(),
+                  "aggregate row count does not match the grid shape");
+  const std::size_t n_mix = shape.mixes;
+  const std::size_t n_pol = shape.policies;
+  const std::size_t n_mod = shape.models;
+
+  // Aggregates, in row (alpha-major) order. Labels come from the first row
+  // of each (policy, model, alpha) block, so no grid is needed.
+  std::vector<SweepAggregate> aggregates;
+  aggregates.reserve(n_pol * n_mod * shape.alphas);
   std::vector<workload::Scenario> scenarios;
   std::vector<double> savings;
   scenarios.reserve(n_mix);
   savings.reserve(n_mix);
-  for (std::size_t ai = 0; ai < grid.qos_alphas.size(); ++ai) {
+  for (std::size_t ai = 0; ai < shape.alphas; ++ai) {
     for (std::size_t ki = 0; ki < n_mod; ++ki) {
       for (std::size_t pi = 0; pi < n_pol; ++pi) {
         scenarios.clear();
@@ -94,25 +123,26 @@ SweepResult SweepRunner::run(const SweepGrid& grid) {
         double violation_sum = 0.0;
         for (std::size_t mi = 0; mi < n_mix; ++mi) {
           const std::size_t idx = mi + n_mix * (pi + n_pol * (ki + n_mod * ai));
-          const SweepRow& row = out.rows[idx];
+          const SweepRow& row = rows[idx];
           scenarios.push_back(row.scenario);
           savings.push_back(row.result.savings);
           violation_sum += row.result.run.violation_rate();
         }
+        const std::size_t block = n_mix * (pi + n_pol * (ki + n_mod * ai));
         SweepAggregate agg;
-        agg.policy = grid.policies[pi];
-        agg.model = grid.models[ki];
-        agg.qos_alpha = grid.qos_alphas[ai];
+        agg.policy = rows[block].policy;
+        agg.model = rows[block].model;
+        agg.qos_alpha = rows[block].qos_alpha;
         agg.weighted_savings = weighted_average_savings(scenarios, savings, weights);
         double sum = 0.0;
         for (const double s : savings) sum += s;
         agg.mean_savings = sum / static_cast<double>(n_mix);
         agg.mean_violation_rate = violation_sum / static_cast<double>(n_mix);
-        out.aggregates.push_back(agg);
+        aggregates.push_back(agg);
       }
     }
   }
-  return out;
+  return aggregates;
 }
 
 namespace {

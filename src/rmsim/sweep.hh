@@ -9,6 +9,7 @@
 #ifndef QOSRM_RMSIM_SWEEP_HH
 #define QOSRM_RMSIM_SWEEP_HH
 
+#include <array>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -16,6 +17,22 @@
 #include "rmsim/experiment.hh"
 
 namespace qosrm::rmsim {
+
+/// Extent of an expanded grid along each axis. Together with the grid's row
+/// order (alpha-major, mix-minor) this is enough to recompute aggregates
+/// from a flat row vector, so mergers of sharded sweeps don't need the grid
+/// itself.
+struct GridShape {
+  std::size_t mixes = 0;
+  std::size_t policies = 0;
+  std::size_t models = 0;
+  std::size_t alphas = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return mixes * policies * models * alphas;
+  }
+  bool operator==(const GridShape&) const = default;
+};
 
 /// The grid to expand. Every combination of (alpha, model, policy, mix) is
 /// one run; the row order is alpha-major, mix-minor.
@@ -28,9 +45,10 @@ struct SweepGrid {
   /// (see SimOptions::qos_alpha_override).
   std::vector<double> qos_alphas = {0.0};
 
-  [[nodiscard]] std::size_t size() const noexcept {
-    return mixes.size() * policies.size() * models.size() * qos_alphas.size();
+  [[nodiscard]] GridShape shape() const noexcept {
+    return {mixes.size(), policies.size(), models.size(), qos_alphas.size()};
   }
+  [[nodiscard]] std::size_t size() const noexcept { return shape().size(); }
 };
 
 struct SweepOptions {
@@ -75,10 +93,26 @@ class SweepRunner {
   /// Expands and executes the grid on `options.threads` workers.
   [[nodiscard]] SweepResult run(const SweepGrid& grid);
 
+  /// Executes only rows [begin, end) of the expanded grid, in grid row
+  /// order - the shard-worker primitive. The returned rows are bit-identical
+  /// to the same slice of run().rows for any thread count. `idle_computations`
+  /// (optional) receives the number of idle references actually simulated.
+  [[nodiscard]] std::vector<SweepRow> run_range(
+      const SweepGrid& grid, std::size_t begin, std::size_t end,
+      std::size_t* idle_computations = nullptr);
+
  private:
   const workload::SimDb* db_;
   SweepOptions opt_;
 };
+
+/// Recomputes the per-(policy, model, alpha) aggregates from a flat row
+/// vector in grid order. The policy/model/alpha labels are taken from the
+/// rows themselves, so a merger needs only the rows plus the shape (and the
+/// suite's scenario weights). run() uses this same function.
+[[nodiscard]] std::vector<SweepAggregate> compute_aggregates(
+    const std::vector<SweepRow>& rows, const GridShape& shape,
+    const std::array<double, 4>& weights);
 
 /// Writes one CSV row per grid point (stable column set and formatting, so
 /// equal results produce byte-identical files).

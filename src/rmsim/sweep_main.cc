@@ -8,10 +8,19 @@
 //   sweep_main --cores=4 --per-scenario=1 --policies=idle,rm1,rm2,rm3
 //              --models=model3 --alphas=0 --threads=4
 //              --rows-csv=sweep_rows.csv --agg-csv=sweep_agg.csv
+//
+// Three execution modes:
+//   (default)     run the whole grid in this process
+//   --shard=i/N   worker: run only shard i's row range and write a part
+//                 file (--part-output) for a later merge
+//   --workers=N   orchestrator: fork/exec N shard workers of this binary,
+//                 wait, merge their parts and write the same CSVs as a
+//                 single-process run (byte-identical)
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -23,7 +32,9 @@
 
 #include "common/cli.hh"
 #include "common/str.hh"
+#include "common/subprocess.hh"
 #include "power/power_model.hh"
+#include "rmsim/shard.hh"
 #include "rmsim/sweep.hh"
 #include "workload/db_io.hh"
 #include "workload/sim_db.hh"
@@ -31,6 +42,10 @@
 #include "workload/workload_gen.hh"
 
 namespace {
+
+namespace workload = qosrm::workload;
+namespace rmsim = qosrm::rmsim;
+using Clock = std::chrono::steady_clock;
 
 void print_usage() {
   std::puts(
@@ -51,13 +66,76 @@ void print_usage() {
       "                     file exists (a stale/corrupt snapshot is an\n"
       "                     error), otherwise characterize and save it; a\n"
       "                     directory selects <dir>/suite-c<cores>.qosdb\n"
-      "                     (same layout as the benches)");
+      "                     (same layout as the benches)\n"
+      "multi-process sharding:\n"
+      "  --shard=I/N        worker mode: run only rows of shard I of N and\n"
+      "                     write them to --part-output instead of CSV\n"
+      "  --part-output=PATH part file this worker writes (requires --shard)\n"
+      "  --workers=N        orchestrator mode: fork N --shard workers of\n"
+      "                     this binary, merge their parts, write the CSVs\n"
+      "  --parts-dir=DIR    where the orchestrator keeps part files\n"
+      "                     (default: next to --rows-csv)\n"
+      "  --resume           orchestrator: skip shards whose part file is\n"
+      "                     already complete and matching; re-run the rest\n"
+      "  --keep-parts       orchestrator: keep part files after the merge\n"
+      "                     (default: removed on success)");
+}
+
+std::string self_exe_path(const char* argv0) {
+  // /proc/self/exe survives PATH-relative invocation and cwd changes;
+  // argv[0] is the fallback on exotic systems.
+  std::error_code ec;
+  const std::filesystem::path self =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  return ec ? std::string(argv0) : self.string();
+}
+
+/// Everything both the orchestrator and its workers must agree on, parsed
+/// and validated once, before any expensive work.
+struct SweepSetup {
+  int cores = 4;
+  int threads = 0;
+  int per_scenario = 1;
+  std::uint64_t seed = 2020;
+  std::string policies_spec;
+  std::string models_spec;
+  std::string alphas_spec;
+  bool overheads = true;
+  std::string db_cache;  ///< resolved path ("" = no cache)
+  rmsim::SweepGrid grid;  ///< mixes filled in later (needs only the suite)
+};
+
+/// The grid+options fingerprint every process must agree on. Computable
+/// without building the database: the db identity is itself a fingerprint
+/// of (suite, system, phase options).
+std::uint64_t setup_fingerprint(const SweepSetup& setup,
+                                const rmsim::SweepOptions& options) {
+  qosrm::arch::SystemConfig system;
+  system.cores = setup.cores;
+  const std::uint64_t db_fp = workload::simdb_fingerprint(
+      workload::spec_suite(), system, workload::PhaseStatsOptions{});
+  return rmsim::sweep_fingerprint(setup.grid, options.sim, db_fp);
+}
+
+void print_aggregates(const std::vector<rmsim::SweepAggregate>& aggregates) {
+  std::printf("\n%-6s %-8s %9s %14s %12s %14s\n", "policy", "model", "alpha",
+              "wtd-savings", "mean-savings", "viol-rate");
+  for (const rmsim::SweepAggregate& agg : aggregates) {
+    std::printf("%-6s %-8s %9.4g %13.2f%% %11.2f%% %14.4g\n",
+                qosrm::rm::rm_policy_name(agg.policy),
+                qosrm::rm::perf_model_name(agg.model), agg.qos_alpha,
+                100.0 * agg.weighted_savings, 100.0 * agg.mean_savings,
+                agg.mean_violation_rate);
+  }
+}
+
+double secs(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using Clock = std::chrono::steady_clock;
   const qosrm::CliArgs args(argc, argv);
   if (args.has("help")) {
     print_usage();
@@ -67,8 +145,10 @@ int main(int argc, char** argv) {
   // Reject unknown flags: a typo'd flag name would otherwise silently run
   // a default sweep labeled as if the request had been honored.
   static const std::set<std::string> kKnownFlags = {
-      "cores",    "per-scenario", "seed",    "policies", "models",   "alphas",
-      "threads",  "rows-csv",     "agg-csv", "overheads", "db-cache"};
+      "cores",      "per-scenario", "seed",    "policies",    "models",
+      "alphas",     "threads",      "rows-csv", "agg-csv",    "overheads",
+      "db-cache",   "shard",        "part-output", "workers", "parts-dir",
+      "resume",     "keep-parts"};
   for (const std::string& flag : args.flag_names()) {
     if (!kKnownFlags.count(flag)) {
       std::fprintf(stderr, "unknown flag --%s (see --help)\n", flag.c_str());
@@ -83,30 +163,84 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  namespace workload = qosrm::workload;
-  namespace rmsim = qosrm::rmsim;
+  // Mode flags first: every invalid --shard/--workers combination must fail
+  // here, before the multi-second database build (same fail-before-
+  // expensive-work rule as the grid and output-path checks below).
+  const bool worker_mode = args.has("shard") || args.has("part-output");
+  const bool orchestrate = args.has("workers");
+  if (args.has("shard") != args.has("part-output")) {
+    std::fprintf(stderr,
+                 "--shard and --part-output must be given together (a shard "
+                 "worker writes a part file, not CSV)\n");
+    return 1;
+  }
+  if (worker_mode && orchestrate) {
+    std::fprintf(stderr,
+                 "--shard and --workers are mutually exclusive (a worker "
+                 "runs one shard; the orchestrator forks the workers)\n");
+    return 1;
+  }
+  if (worker_mode && (args.has("rows-csv") || args.has("agg-csv"))) {
+    std::fprintf(stderr,
+                 "--rows-csv/--agg-csv do not apply in --shard worker mode "
+                 "(the merge step writes the CSVs)\n");
+    return 1;
+  }
+  if (!orchestrate &&
+      (args.has("resume") || args.has("parts-dir") || args.has("keep-parts"))) {
+    std::fprintf(stderr,
+                 "--resume/--parts-dir/--keep-parts require --workers\n");
+    return 1;
+  }
+  qosrm::ShardArg shard;
+  if (worker_mode) {
+    const std::optional<qosrm::ShardArg> parsed =
+        qosrm::parse_shard_arg(args.get("shard", ""));
+    if (!parsed.has_value()) {
+      std::fprintf(stderr,
+                   "bad --shard value '%s' (want I/N with 0 <= I < N)\n",
+                   args.get("shard", "").c_str());
+      return 1;
+    }
+    shard = *parsed;
+  }
+  const int workers = static_cast<int>(args.get_int("workers", 0));
+  if (orchestrate && workers < 1) {
+    std::fprintf(stderr, "--workers must be >= 1\n");
+    return 1;
+  }
 
-  const int cores = static_cast<int>(args.get_int("cores", 4));
-  const int threads = static_cast<int>(args.get_int("threads", 0));
-  const int per_scenario = static_cast<int>(args.get_int("per-scenario", 1));
-  if (cores < 1 || threads < 0 || per_scenario < 1) {
+  SweepSetup setup;
+  setup.cores = static_cast<int>(args.get_int("cores", 4));
+  setup.threads = static_cast<int>(args.get_int("threads", 0));
+  setup.per_scenario = static_cast<int>(args.get_int("per-scenario", 1));
+  if (setup.cores < 1 || setup.threads < 0 || setup.per_scenario < 1) {
     std::fprintf(stderr,
                  "--cores/--per-scenario must be >= 1 and --threads >= 0\n");
     return 1;
   }
+  setup.seed = static_cast<std::uint64_t>(args.get_int("seed", 2020));
 
   // Parse the grid flags up front: a bad value should fail immediately, not
   // after the multi-second database characterization.
-  rmsim::SweepGrid grid;
-  grid.policies = rmsim::parse_policies(args.get("policies", "idle,rm1,rm2,rm3"));
-  grid.models = rmsim::parse_models(args.get("models", "model3"));
-  grid.qos_alphas = rmsim::parse_alphas(args.get("alphas", "0"));
-  if (grid.policies.empty() || grid.models.empty() || grid.qos_alphas.empty()) {
+  setup.policies_spec = args.get("policies", "idle,rm1,rm2,rm3");
+  setup.models_spec = args.get("models", "model3");
+  setup.alphas_spec = args.get("alphas", "0");
+  setup.grid.policies = rmsim::parse_policies(setup.policies_spec);
+  setup.grid.models = rmsim::parse_models(setup.models_spec);
+  setup.grid.qos_alphas = rmsim::parse_alphas(setup.alphas_spec);
+  if (setup.grid.policies.empty() || setup.grid.models.empty() ||
+      setup.grid.qos_alphas.empty()) {
     std::fprintf(stderr,
                  "--policies/--models/--alphas must each name at least one "
                  "value (see --help)\n");
     return 1;
   }
+  setup.overheads = args.get_bool("overheads", true);
+
+  rmsim::SweepOptions options;
+  options.threads = setup.threads;
+  options.sim.model_overheads = setup.overheads;
 
   // Probe the output paths too: a bad path should fail here, before the
   // multi-second database build, not after the sweep (append mode: an
@@ -115,14 +249,47 @@ int main(int argc, char** argv) {
   // not leave an empty decoy CSV behind.
   const std::string rows_csv = args.get("rows-csv", "sweep_rows.csv");
   const std::string agg_csv = args.get("agg-csv", "");
+  const std::string part_output = args.get("part-output", "");
+  // Orchestrator part files live next to the rows CSV unless --parts-dir
+  // says otherwise; the prefix keeps the sharding self-describing
+  // ("<prefix>.<i>-of-<n>.qospart").
+  std::string parts_prefix;
+  if (orchestrate) {
+    const std::string parts_dir = args.get("parts-dir", "");
+    if (parts_dir.empty()) {
+      parts_prefix = rows_csv;
+    } else {
+      parts_prefix =
+          (std::filesystem::path(parts_dir) /
+           std::filesystem::path(rows_csv).filename())
+              .string();
+    }
+  }
+
+  std::vector<std::string> probe_paths;
+  if (worker_mode) {
+    probe_paths.push_back(part_output);
+  } else {
+    probe_paths.push_back(rows_csv);
+    if (!agg_csv.empty()) probe_paths.push_back(agg_csv);
+    if (orchestrate) {
+      for (int i = 0; i < workers; ++i) {
+        probe_paths.push_back(rmsim::part_path(
+            parts_prefix, static_cast<std::size_t>(i),
+            static_cast<std::size_t>(workers)));
+      }
+    }
+  }
   std::vector<std::string> probe_created;
-  for (const std::string& path : {rows_csv, agg_csv}) {
-    if (path.empty()) continue;
+  for (const std::string& path : probe_paths) {
     std::error_code ec;
     const bool existed = std::filesystem::exists(path, ec);
     std::ofstream probe(path, std::ios::app);
     if (!probe.good()) {
       std::fprintf(stderr, "cannot write to %s\n", path.c_str());
+      for (const std::string& created : probe_created) {
+        std::remove(created.c_str());
+      }
       return 1;
     }
     if (!existed) probe_created.push_back(path);
@@ -137,23 +304,24 @@ int main(int argc, char** argv) {
   // The probe uses a uniquely named sibling file, never the cache path
   // itself: concurrent shards must not see a transient decoy snapshot, nor
   // have a just-written real one deleted from under them.
-  std::string db_cache = args.get("db-cache", "");
+  setup.db_cache = args.get("db-cache", "");
   bool db_cache_hit = false;
-  if (!db_cache.empty()) {
+  if (!setup.db_cache.empty()) {
     // A directory means the shared per-core-count layout the benches and
     // QOSRM_DB_CACHE_DIR use; resolve it the same way.
     std::error_code ec;
-    if (std::filesystem::is_directory(db_cache, ec)) {
-      db_cache = workload::db_cache_path(db_cache, cores);
+    if (std::filesystem::is_directory(setup.db_cache, ec)) {
+      setup.db_cache = workload::db_cache_path(setup.db_cache, setup.cores);
     }
-    std::ifstream rprobe(db_cache, std::ios::binary);
+    std::ifstream rprobe(setup.db_cache, std::ios::binary);
     db_cache_hit = rprobe.good();
     if (!db_cache_hit) {
-      const std::string probe_path =
-          db_cache + ".probe." + std::to_string(static_cast<long>(::getpid()));
+      const std::string probe_path = setup.db_cache + ".probe." +
+                                     std::to_string(static_cast<long>(::getpid()));
       std::ofstream wprobe(probe_path, std::ios::trunc);
       if (!wprobe.good()) {
-        std::fprintf(stderr, "--db-cache: cannot write to %s\n", db_cache.c_str());
+        std::fprintf(stderr, "--db-cache: cannot write to %s\n",
+                     setup.db_cache.c_str());
         return fail_with_cleanup();
       }
       wprobe.close();
@@ -163,58 +331,299 @@ int main(int argc, char** argv) {
 
   const workload::SpecSuite& suite = workload::spec_suite();
   qosrm::arch::SystemConfig system;
-  system.cores = cores;
+  system.cores = setup.cores;
   const qosrm::power::PowerModel power;
 
   workload::SimDbOptions db_options;
-  db_options.threads = threads;
+  db_options.threads = setup.threads;
+
+  // Expand the workload mixes (cheap: needs only the suite, not the
+  // database) - the orchestrator uses them for the fingerprint and shard
+  // math without ever building a database itself.
+  workload::WorkloadGenOptions gen;
+  gen.cores = setup.cores;
+  gen.per_scenario = setup.per_scenario;
+  gen.seed = setup.seed;
+  setup.grid.mixes = workload::generate_workloads(suite, gen);
+
+  // ---------------------------------------------------------------------
+  // Orchestrator mode: fork shard workers, merge their parts, write CSVs.
+  // ---------------------------------------------------------------------
+  if (orchestrate) {
+    const auto n = static_cast<std::size_t>(workers);
+    const std::uint64_t fingerprint = setup_fingerprint(setup, options);
+    const rmsim::GridShape shape = setup.grid.shape();
+
+    // Which shards still need to run? Without --resume: all of them
+    // (workers atomically overwrite any stale part). Computed BEFORE any
+    // database work - it needs only the fingerprint and shape, and a
+    // resume where every part is already complete must go straight to the
+    // merge without paying a characterization or snapshot load.
+    std::vector<std::size_t> pending;
+    if (args.get_bool("resume", false)) {
+      pending = rmsim::shards_to_run(parts_prefix, n, fingerprint, shape);
+      std::printf("resume: %zu of %zu shards already complete\n",
+                  n - pending.size(), n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) pending.push_back(i);
+    }
+
+    // The database must be characterized once, here, not N times by the
+    // forked workers. With --db-cache a present-but-stale snapshot is a
+    // hard error, matching the single-process contract; without --db-cache
+    // the orchestrator builds a temporary snapshot next to the parts and
+    // hands it to the workers, then removes it after the run.
+    const auto t_db = Clock::now();
+    bool temp_db = false;
+    const auto cleanup_temp_db = [&]() {
+      if (temp_db) std::remove(setup.db_cache.c_str());
+    };
+    if (!pending.empty()) {
+      if (setup.db_cache.empty()) {
+        temp_db = true;
+        setup.db_cache = parts_prefix + ".shared.qosdb";
+        std::remove(setup.db_cache.c_str());  // never trust a stale leftover
+        db_cache_hit = false;
+      }
+      std::string error;
+      if (db_cache_hit) {
+        if (!workload::load_simdb(suite, system, power, db_options.phase,
+                                  setup.db_cache, &error)
+                 .has_value()) {
+          std::fprintf(stderr, "--db-cache: %s\n", error.c_str());
+          return fail_with_cleanup();
+        }
+      } else {
+        std::printf("characterizing %d-app suite for %d cores (shared by all "
+                    "workers)...\n",
+                    suite.size(), setup.cores);
+        const workload::SimDb db(suite, system, power, db_options);
+        if (!workload::save_simdb(db, setup.db_cache, &error)) {
+          std::fprintf(stderr, "--db-cache: %s\n", error.c_str());
+          cleanup_temp_db();
+          return fail_with_cleanup();
+        }
+        std::printf("saved simulation database snapshot to %s\n",
+                    setup.db_cache.c_str());
+      }
+    }
+
+    const unsigned total_threads =
+        setup.threads > 0 ? static_cast<unsigned>(setup.threads)
+                          : std::max(1u, std::thread::hardware_concurrency());
+    const unsigned worker_threads = std::max(1u, total_threads / std::max(
+        1u, static_cast<unsigned>(pending.size())));
+
+    std::printf("sweeping %zu runs across %d shard workers (%u threads "
+                "each)...\n",
+                setup.grid.size(), workers, worker_threads);
+
+    // The workers own the part files from here on: a failure below must
+    // KEEP completed parts so --resume can reuse them, so only the CSV
+    // probes stay in the cleanup set (a leftover empty probe part is
+    // invalid by construction and gets re-run/overwritten).
+    std::erase_if(probe_created, [](const std::string& path) {
+      return path.ends_with(rmsim::kSweepPartExtension);
+    });
+
+    const std::string exe = self_exe_path(argv[0]);
+    const auto t_sweep = Clock::now();
+
+    struct Worker {
+      std::size_t shard = 0;
+      std::vector<std::string> argv;
+      qosrm::Subprocess process;
+    };
+    std::vector<Worker> spawned;
+    spawned.reserve(pending.size());
+    for (const std::size_t i : pending) {
+      Worker worker;
+      worker.shard = i;
+      worker.argv = {
+          exe,
+          qosrm::format("--cores=%d", setup.cores),
+          qosrm::format("--per-scenario=%d", setup.per_scenario),
+          qosrm::format("--seed=%llu",
+                        static_cast<unsigned long long>(setup.seed)),
+          "--policies=" + setup.policies_spec,
+          "--models=" + setup.models_spec,
+          "--alphas=" + setup.alphas_spec,
+          qosrm::format("--overheads=%s", setup.overheads ? "true" : "false"),
+          qosrm::format("--threads=%u", worker_threads),
+          qosrm::format("--shard=%zu/%zu", i, n),
+          "--part-output=" + rmsim::part_path(parts_prefix, i, n),
+      };
+      if (!setup.db_cache.empty()) {
+        worker.argv.push_back("--db-cache=" + setup.db_cache);
+      }
+      worker.process = qosrm::Subprocess::spawn(worker.argv);
+      spawned.push_back(std::move(worker));
+    }
+
+    // Fail fast: workers are reaped in COMPLETION order (wait_any), so the
+    // first failure - whichever shard it strikes - immediately terminates
+    // the rest instead of hiding behind long-running earlier shards. The
+    // diagnostic names the shard, its fate and its exact command line so
+    // the operator can re-run just that shard by hand. Shards we cancelled
+    // ourselves get one short line, not a failure diagnostic of their own -
+    // the actionable failure must stay visible.
+    bool failed = false;
+    const auto handle_exit = [&](const Worker& worker,
+                                 const qosrm::SubprocessExit& exit) {
+      if (exit.success()) return;
+      if (failed && exit.term_signal == SIGTERM) {
+        std::fprintf(stderr, "shard %zu/%zu cancelled\n", worker.shard, n);
+        return;
+      }
+      if (!failed) {
+        failed = true;
+        for (Worker& other : spawned) other.process.terminate();
+      }
+      std::string cmd;
+      for (const std::string& arg : worker.argv) {
+        if (!cmd.empty()) cmd += ' ';
+        cmd += arg;
+      }
+      std::fprintf(stderr, "shard %zu/%zu failed (%s): %s\n", worker.shard, n,
+                   describe(exit).c_str(), cmd.c_str());
+    };
+
+    std::vector<qosrm::Subprocess*> processes;
+    processes.reserve(spawned.size());
+    for (Worker& worker : spawned) {
+      processes.push_back(&worker.process);
+      // A fork that failed outright never enters wait_any.
+      if (!worker.process.running()) handle_exit(worker, worker.process.wait());
+    }
+    for (;;) {
+      const std::optional<std::size_t> done =
+          qosrm::Subprocess::wait_any(processes);
+      if (!done.has_value()) break;
+      handle_exit(spawned[*done], spawned[*done].process.wait());
+    }
+    if (failed) {
+      std::fprintf(stderr,
+                   "sweep aborted; completed parts are kept - re-run with "
+                   "--resume to redo only the failed shards\n");
+      cleanup_temp_db();
+      return fail_with_cleanup();
+    }
+
+    // Merge. Every part must match the fingerprint this orchestrator
+    // computed - a worker that somehow ran a different grid is caught here.
+    std::vector<std::string> part_files;
+    part_files.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      part_files.push_back(rmsim::part_path(parts_prefix, i, n));
+    }
+    std::string error;
+    std::optional<rmsim::SweepResult> merged =
+        rmsim::merge_part_files(part_files, &fingerprint, &error);
+    if (!merged.has_value()) {
+      std::fprintf(stderr, "merge: %s\n", error.c_str());
+      cleanup_temp_db();
+      return fail_with_cleanup();
+    }
+    const auto t_done = Clock::now();
+    const rmsim::SweepResult& result = *merged;
+    cleanup_temp_db();
+
+    rmsim::write_rows_csv(result, rows_csv);
+    std::printf("wrote %zu rows to %s\n", result.rows.size(), rows_csv.c_str());
+    if (!agg_csv.empty()) {
+      rmsim::write_aggregates_csv(result, agg_csv);
+      std::printf("wrote %zu aggregates to %s\n", result.aggregates.size(),
+                  agg_csv.c_str());
+    }
+    if (!args.get_bool("keep-parts", false)) {
+      for (std::size_t i = 0; i < n; ++i) {
+        std::remove(rmsim::part_path(parts_prefix, i, n).c_str());
+      }
+    }
+
+    print_aggregates(result.aggregates);
+    std::printf("\ndb prep %.2fs, sweep+merge %.2fs (%d workers)\n",
+                secs(t_db, t_sweep), secs(t_sweep, t_done), workers);
+    return 0;
+  }
+
+  // ---------------------------------------------------------------------
+  // Single-process grid execution: the whole grid (default mode) or one
+  // shard's row range (--shard worker mode).
+  // ---------------------------------------------------------------------
   const auto t_db = Clock::now();
   std::optional<workload::SimDb> db_storage;
   if (db_cache_hit) {
-    std::printf("loading simulation database from %s...\n", db_cache.c_str());
+    std::printf("loading simulation database from %s...\n", setup.db_cache.c_str());
     std::string error;
     db_storage = workload::load_simdb(suite, system, power, db_options.phase,
-                                      db_cache, &error);
+                                      setup.db_cache, &error);
     if (!db_storage.has_value()) {
       std::fprintf(stderr, "--db-cache: %s\n", error.c_str());
       return fail_with_cleanup();
     }
   } else {
     std::printf("characterizing %d-app suite for %d cores...\n", suite.size(),
-                cores);
+                setup.cores);
     db_storage.emplace(suite, system, power, db_options);
-    if (!db_cache.empty()) {
+    if (!setup.db_cache.empty()) {
       std::string error;
-      if (!workload::save_simdb(*db_storage, db_cache, &error)) {
+      if (!workload::save_simdb(*db_storage, setup.db_cache, &error)) {
         std::fprintf(stderr, "--db-cache: %s\n", error.c_str());
         return fail_with_cleanup();
       }
-      std::printf("saved simulation database snapshot to %s\n", db_cache.c_str());
+      std::printf("saved simulation database snapshot to %s\n",
+                  setup.db_cache.c_str());
     }
   }
   const workload::SimDb& db = *db_storage;
 
-  workload::WorkloadGenOptions gen;
-  gen.cores = cores;
-  gen.per_scenario = per_scenario;
-  gen.seed = static_cast<std::uint64_t>(args.get_int("seed", 2020));
-
-  grid.mixes = workload::generate_workloads(suite, gen);
-
-  rmsim::SweepOptions options;
-  options.threads = threads;
-  options.sim.model_overheads = args.get_bool("overheads", true);
-
   const unsigned resolved_threads =
-      threads > 0 ? static_cast<unsigned>(threads)
-                  : std::max(1u, std::thread::hardware_concurrency());
+      setup.threads > 0 ? static_cast<unsigned>(setup.threads)
+                        : std::max(1u, std::thread::hardware_concurrency());
+
+  if (worker_mode) {
+    const std::uint64_t db_fp = workload::simdb_fingerprint(
+        db.suite(), db.system(), db.phase_options());
+    rmsim::SweepPart part;
+    part.fingerprint = rmsim::sweep_fingerprint(setup.grid, options.sim, db_fp);
+    part.shape = setup.grid.shape();
+    part.shard_index = shard.index;
+    part.shard_count = shard.count;
+    part.range =
+        rmsim::shard_range(setup.grid.size(), shard.index, shard.count);
+
+    std::printf("shard %zu/%zu: sweeping rows [%zu, %zu) of %zu on %u "
+                "threads...\n",
+                shard.index, shard.count, part.range.begin, part.range.end,
+                setup.grid.size(), resolved_threads);
+    const auto t_sweep = Clock::now();
+    rmsim::SweepRunner runner(db, options);
+    std::size_t idle_computations = 0;
+    part.rows = runner.run_range(setup.grid, part.range.begin, part.range.end,
+                                 &idle_computations);
+    const auto t_done = Clock::now();
+
+    std::string error;
+    if (!rmsim::save_sweep_part(part, part_output, &error)) {
+      std::fprintf(stderr, "--part-output: %s\n", error.c_str());
+      return fail_with_cleanup();
+    }
+    std::printf("wrote %zu rows to %s\n", part.rows.size(), part_output.c_str());
+    std::printf("idle references simulated: %zu\n", idle_computations);
+    std::printf("db %s %.2fs, sweep %.2fs\n", db_cache_hit ? "load" : "build",
+                secs(t_db, t_sweep), secs(t_sweep, t_done));
+    return 0;
+  }
+
   std::printf("sweeping %zu runs (%zu mixes x %zu policies x %zu models x "
               "%zu alphas) on %u threads...\n",
-              grid.size(), grid.mixes.size(), grid.policies.size(),
-              grid.models.size(), grid.qos_alphas.size(), resolved_threads);
+              setup.grid.size(), setup.grid.mixes.size(),
+              setup.grid.policies.size(), setup.grid.models.size(),
+              setup.grid.qos_alphas.size(), resolved_threads);
   const auto t_sweep = Clock::now();
   rmsim::SweepRunner runner(db, options);
-  const rmsim::SweepResult result = runner.run(grid);
+  const rmsim::SweepResult result = runner.run(setup.grid);
   const auto t_done = Clock::now();
 
   rmsim::write_rows_csv(result, rows_csv);
@@ -225,19 +634,8 @@ int main(int argc, char** argv) {
                 agg_csv.c_str());
   }
 
-  std::printf("\n%-6s %-8s %9s %14s %12s %14s\n", "policy", "model", "alpha",
-              "wtd-savings", "mean-savings", "viol-rate");
-  for (const rmsim::SweepAggregate& agg : result.aggregates) {
-    std::printf("%-6s %-8s %9.4g %13.2f%% %11.2f%% %14.4g\n",
-                qosrm::rm::rm_policy_name(agg.policy),
-                qosrm::rm::perf_model_name(agg.model), agg.qos_alpha,
-                100.0 * agg.weighted_savings, 100.0 * agg.mean_savings,
-                agg.mean_violation_rate);
-  }
+  print_aggregates(result.aggregates);
 
-  const auto secs = [](Clock::time_point a, Clock::time_point b) {
-    return std::chrono::duration<double>(b - a).count();
-  };
   std::printf("\nidle references simulated: %zu (one per mix x alpha)\n",
               result.idle_computations);
   std::printf("db %s %.2fs, sweep %.2fs\n", db_cache_hit ? "load" : "build",

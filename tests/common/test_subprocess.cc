@@ -1,0 +1,112 @@
+#include "common/subprocess.hh"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <fstream>
+#include <string>
+
+namespace qosrm {
+namespace {
+
+TEST(Subprocess, CleanExitIsSuccess) {
+  Subprocess child = Subprocess::spawn({"true"});
+  const SubprocessExit exit = child.wait();
+  EXPECT_TRUE(exit.success());
+  EXPECT_TRUE(exit.exited);
+  EXPECT_EQ(exit.exit_code, 0);
+  EXPECT_EQ(describe(exit), "exit code 0");
+}
+
+TEST(Subprocess, NonZeroExitCodeIsReported) {
+  Subprocess child = Subprocess::spawn({"sh", "-c", "exit 3"});
+  const SubprocessExit exit = child.wait();
+  EXPECT_FALSE(exit.success());
+  EXPECT_TRUE(exit.exited);
+  EXPECT_EQ(exit.exit_code, 3);
+  EXPECT_EQ(describe(exit), "exit code 3");
+}
+
+TEST(Subprocess, ExecFailureLooksLikeShellCommandNotFound) {
+  Subprocess child =
+      Subprocess::spawn({"/definitely/not/an/executable/qosrm-xyz"});
+  const SubprocessExit exit = child.wait();
+  EXPECT_FALSE(exit.success());
+  EXPECT_TRUE(exit.exited);
+  EXPECT_EQ(exit.exit_code, 127);
+}
+
+TEST(Subprocess, SignalDeathIsReported) {
+  Subprocess child = Subprocess::spawn({"sh", "-c", "kill -KILL $$"});
+  const SubprocessExit exit = child.wait();
+  EXPECT_FALSE(exit.success());
+  EXPECT_FALSE(exit.exited);
+  EXPECT_EQ(exit.term_signal, SIGKILL);
+  EXPECT_NE(describe(exit).find("signal 9"), std::string::npos);
+}
+
+TEST(Subprocess, TerminateStopsASleepingChild) {
+  Subprocess child = Subprocess::spawn({"sleep", "30"});
+  ASSERT_TRUE(child.running());
+  child.terminate();
+  const SubprocessExit exit = child.wait();
+  EXPECT_FALSE(exit.success());
+  EXPECT_EQ(exit.term_signal, SIGTERM);
+}
+
+TEST(Subprocess, WaitIsIdempotent) {
+  Subprocess child = Subprocess::spawn({"sh", "-c", "exit 5"});
+  EXPECT_EQ(child.wait().exit_code, 5);
+  EXPECT_EQ(child.wait().exit_code, 5);  // second wait: cached, no re-reap
+  EXPECT_FALSE(child.running());
+  child.terminate();  // no-op after reaping, must not signal a reused pid
+}
+
+TEST(Subprocess, ChildActuallyRuns) {
+  const std::string path = ::testing::TempDir() + "/subprocess_proof.txt";
+  std::remove(path.c_str());
+  Subprocess child =
+      Subprocess::spawn({"sh", "-c", "echo from-child > " + path});
+  EXPECT_TRUE(child.wait().success());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "from-child");
+  std::remove(path.c_str());
+}
+
+TEST(Subprocess, WaitAnyReturnsInCompletionOrderNotSpawnOrder) {
+  // Child 0 sleeps; child 1 exits immediately. wait_any must surface child
+  // 1 first even though it was spawned second - this is what lets a
+  // supervisor fail fast on whichever shard dies first.
+  Subprocess slow = Subprocess::spawn({"sleep", "30"});
+  Subprocess fast = Subprocess::spawn({"sh", "-c", "exit 9"});
+  std::vector<Subprocess*> children = {&slow, &fast};
+
+  const std::optional<std::size_t> first = Subprocess::wait_any(children);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, 1u);
+  EXPECT_EQ(fast.wait().exit_code, 9);  // cached, does not block
+  EXPECT_TRUE(slow.running());
+
+  slow.terminate();
+  const std::optional<std::size_t> second = Subprocess::wait_any(children);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, 0u);
+  EXPECT_EQ(slow.wait().term_signal, SIGTERM);
+
+  // Everything reaped: nothing left to wait for.
+  EXPECT_FALSE(Subprocess::wait_any(children).has_value());
+}
+
+TEST(Subprocess, EmptyArgvFailsToSpawn) {
+  Subprocess child = Subprocess::spawn({});
+  EXPECT_FALSE(child.running());
+  const SubprocessExit exit = child.wait();
+  EXPECT_FALSE(exit.spawned);
+  EXPECT_FALSE(exit.success());
+  EXPECT_EQ(describe(exit), "failed to spawn");
+}
+
+}  // namespace
+}  // namespace qosrm

@@ -1,0 +1,379 @@
+#include "rmsim/shard.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace qosrm::rmsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Partition properties (pure arithmetic - no database, fast suite).
+// ---------------------------------------------------------------------------
+
+TEST(ShardRangeTest, ExactPartitionSmallCases) {
+  EXPECT_EQ(shard_range(10, 0, 1), (ShardRange{0, 10}));
+  EXPECT_EQ(shard_range(10, 0, 2), (ShardRange{0, 5}));
+  EXPECT_EQ(shard_range(10, 1, 2), (ShardRange{5, 10}));
+  // 10 = 3 + 3 + 2 + 2: remainder rows go to the first shards.
+  EXPECT_EQ(shard_range(10, 0, 4), (ShardRange{0, 3}));
+  EXPECT_EQ(shard_range(10, 1, 4), (ShardRange{3, 6}));
+  EXPECT_EQ(shard_range(10, 2, 4), (ShardRange{6, 8}));
+  EXPECT_EQ(shard_range(10, 3, 4), (ShardRange{8, 10}));
+  // More shards than rows: trailing shards get empty ranges.
+  EXPECT_EQ(shard_range(2, 0, 4).size(), 1u);
+  EXPECT_EQ(shard_range(2, 1, 4).size(), 1u);
+  EXPECT_EQ(shard_range(2, 2, 4).size(), 0u);
+  EXPECT_EQ(shard_range(2, 3, 4).size(), 0u);
+  EXPECT_EQ(shard_range(0, 0, 3).size(), 0u);
+}
+
+TEST(ShardRangeTest, RandomizedPartitionIsDisjointGaplessOrdered) {
+  Rng rng(20260728);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t total = static_cast<std::size_t>(rng.uniform_u64(10000));
+    const std::size_t count =
+        1 + static_cast<std::size_t>(rng.uniform_u64(64));
+
+    const std::vector<ShardRange> ranges = shard_ranges(total, count);
+    ASSERT_EQ(ranges.size(), count);
+
+    // Gapless + disjoint + ordered: consecutive ranges tile [0, total).
+    std::size_t next = 0;
+    std::size_t min_size = total, max_size = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_LE(ranges[i].begin, ranges[i].end);
+      EXPECT_EQ(ranges[i].begin, next) << "gap/overlap at shard " << i;
+      next = ranges[i].end;
+      min_size = std::min(min_size, ranges[i].size());
+      max_size = std::max(max_size, ranges[i].size());
+      // The vector form must agree with the single-shard form (workers
+      // compute their range independently of the orchestrator).
+      EXPECT_EQ(ranges[i], shard_range(total, i, count));
+    }
+    EXPECT_EQ(next, total);
+    // Balanced: sizes differ by at most one row.
+    EXPECT_LE(max_size - min_size, 1u);
+  }
+}
+
+TEST(ShardRangeTest, StableAcrossCalls) {
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(shard_ranges(12345, 17), shard_ranges(12345, 17));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Part file round-trip and corruption rejection (synthetic rows - no
+// database needed, so this stays in the fast suite).
+// ---------------------------------------------------------------------------
+
+SweepRow synthetic_row(std::size_t idx) {
+  SweepRow row;
+  row.workload = "2Core-W" + std::to_string(idx % 7);
+  row.scenario = static_cast<workload::Scenario>(1 + idx % 4);
+  row.policy = static_cast<rm::RmPolicy>(idx % 4);
+  row.model = static_cast<rm::PerfModelKind>(idx % 4);
+  row.qos_alpha = 1.0 + 0.05 * static_cast<double>(idx % 3);
+  row.result.savings = 0.0625 * static_cast<double>(idx) - 1.0;
+
+  RunResult& run = row.result.run;
+  run.workload = row.workload;
+  run.scenario = row.scenario;
+  run.policy = row.policy;
+  run.model = row.model;
+  for (int k = 0; k < 2; ++k) {
+    CoreResult core;
+    core.app = static_cast<int>(idx) + k;
+    core.counted_energy_j = 1.5e-3 * static_cast<double>(idx + 1) + k;
+    core.executed_instructions = 1e9 + static_cast<double>(idx * 31 + k);
+    core.finish_time_s = 0.25 + 0.001 * static_cast<double>(idx);
+    core.intervals = 100 + idx;
+    core.qos_violations = idx % 5;
+    core.violation_sum = 1e-4 * static_cast<double>(idx);
+    core.violation_max = 2e-4 * static_cast<double>(idx);
+    run.cores.push_back(core);
+  }
+  run.uncore_energy_j = 3.25e-2 + static_cast<double>(idx);
+  run.wall_time_s = 0.5 + 0.01 * static_cast<double>(idx);
+  run.rm_invocations = 10 * idx;
+  run.rm_ops = 1000 * idx + 7;
+  return row;
+}
+
+/// A consistent synthetic part for shard `index` of `count` over an
+/// 8x2x1x1 grid (16 rows).
+SweepPart synthetic_part(std::size_t index, std::size_t count,
+                         std::uint64_t fingerprint = 0xfeedfacecafebeefULL) {
+  SweepPart part;
+  part.fingerprint = fingerprint;
+  part.shape = GridShape{8, 2, 1, 1};
+  part.shard_index = index;
+  part.shard_count = count;
+  part.range = shard_range(part.shape.size(), index, count);
+  for (std::size_t r = part.range.begin; r < part.range.end; ++r) {
+    part.rows.push_back(synthetic_row(r));
+  }
+  return part;
+}
+
+void expect_rows_equal(const SweepRow& a, const SweepRow& b) {
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.scenario, b.scenario);
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.model, b.model);
+  EXPECT_EQ(a.qos_alpha, b.qos_alpha);
+  EXPECT_EQ(a.result.savings, b.result.savings);
+  const RunResult& ra = a.result.run;
+  const RunResult& rb = b.result.run;
+  EXPECT_EQ(ra.workload, rb.workload);
+  EXPECT_EQ(ra.scenario, rb.scenario);
+  EXPECT_EQ(ra.policy, rb.policy);
+  EXPECT_EQ(ra.model, rb.model);
+  EXPECT_EQ(ra.uncore_energy_j, rb.uncore_energy_j);
+  EXPECT_EQ(ra.wall_time_s, rb.wall_time_s);
+  EXPECT_EQ(ra.rm_invocations, rb.rm_invocations);
+  EXPECT_EQ(ra.rm_ops, rb.rm_ops);
+  ASSERT_EQ(ra.cores.size(), rb.cores.size());
+  for (std::size_t k = 0; k < ra.cores.size(); ++k) {
+    EXPECT_EQ(ra.cores[k].app, rb.cores[k].app);
+    EXPECT_EQ(ra.cores[k].counted_energy_j, rb.cores[k].counted_energy_j);
+    EXPECT_EQ(ra.cores[k].executed_instructions,
+              rb.cores[k].executed_instructions);
+    EXPECT_EQ(ra.cores[k].finish_time_s, rb.cores[k].finish_time_s);
+    EXPECT_EQ(ra.cores[k].intervals, rb.cores[k].intervals);
+    EXPECT_EQ(ra.cores[k].qos_violations, rb.cores[k].qos_violations);
+    EXPECT_EQ(ra.cores[k].violation_sum, rb.cores[k].violation_sum);
+    EXPECT_EQ(ra.cores[k].violation_max, rb.cores[k].violation_max);
+  }
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+TEST(SweepPartTest, RoundTripIsBitIdentical) {
+  const SweepPart part = synthetic_part(1, 3);
+  const std::string path = temp_path("roundtrip.qospart");
+  std::string error;
+  ASSERT_TRUE(save_sweep_part(part, path, &error)) << error;
+
+  const std::optional<SweepPart> loaded = load_sweep_part(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->fingerprint, part.fingerprint);
+  EXPECT_EQ(loaded->shape, part.shape);
+  EXPECT_EQ(loaded->shard_index, part.shard_index);
+  EXPECT_EQ(loaded->shard_count, part.shard_count);
+  EXPECT_EQ(loaded->range, part.range);
+  ASSERT_EQ(loaded->rows.size(), part.rows.size());
+  for (std::size_t i = 0; i < part.rows.size(); ++i) {
+    expect_rows_equal(loaded->rows[i], part.rows[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SweepPartTest, SaveRejectsInconsistentMetadata) {
+  std::string error;
+  const std::string path = temp_path("bad_meta.qospart");
+
+  SweepPart wrong_range = synthetic_part(0, 2);
+  wrong_range.range.end += 1;  // no longer shard_range(total, 0, 2)
+  EXPECT_FALSE(save_sweep_part(wrong_range, path, &error));
+
+  SweepPart wrong_rows = synthetic_part(0, 2);
+  wrong_rows.rows.pop_back();
+  EXPECT_FALSE(save_sweep_part(wrong_rows, path, &error));
+
+  SweepPart bad_index = synthetic_part(0, 2);
+  bad_index.shard_index = 2;
+  EXPECT_FALSE(save_sweep_part(bad_index, path, &error));
+}
+
+TEST(SweepPartTest, TruncationIsRejectedAtEveryLength) {
+  const SweepPart part = synthetic_part(0, 2);
+  const std::string path = temp_path("trunc.qospart");
+  std::string error;
+  ASSERT_TRUE(save_sweep_part(part, path, &error)) << error;
+  const std::string bytes = slurp(path);
+  ASSERT_GT(bytes.size(), 64u);
+
+  // A part cut anywhere - header, row payload or inside the trailing
+  // checksum - must never load (this is the crash-mid-write scenario).
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{7}, std::size_t{24}, std::size_t{63},
+        bytes.size() / 2, bytes.size() - 9, bytes.size() - 1}) {
+    spit(path, bytes.substr(0, keep));
+    EXPECT_FALSE(load_sweep_part(path, &error).has_value())
+        << "truncated to " << keep << " bytes";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SweepPartTest, BitFlipAndTrailingGarbageAreRejected) {
+  const SweepPart part = synthetic_part(1, 2);
+  const std::string path = temp_path("corrupt.qospart");
+  std::string error;
+  ASSERT_TRUE(save_sweep_part(part, path, &error)) << error;
+  const std::string bytes = slurp(path);
+
+  // Flip one bit in the row payload: the checksum must catch it.
+  std::string flipped = bytes;
+  flipped[flipped.size() / 2] =
+      static_cast<char>(flipped[flipped.size() / 2] ^ 0x10);
+  spit(path, flipped);
+  EXPECT_FALSE(load_sweep_part(path, &error).has_value());
+
+  // Appended bytes after the checksum are also rejected.
+  spit(path, bytes + "xx");
+  EXPECT_FALSE(load_sweep_part(path, &error).has_value());
+
+  // And the pristine bytes still load (the guard is the content, not luck).
+  spit(path, bytes);
+  EXPECT_TRUE(load_sweep_part(path, &error).has_value()) << error;
+  std::remove(path.c_str());
+}
+
+TEST(SweepPartTest, NonPartFileIsRejected) {
+  const std::string path = temp_path("not_a_part.qospart");
+  spit(path, "workload,policy,savings\nfoo,rm3,0.07\n");
+  std::string error;
+  EXPECT_FALSE(load_sweep_part(path, &error).has_value());
+  EXPECT_NE(error.find("not a sweep part"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(SweepPartTest, PartPathIsSelfDescribing) {
+  EXPECT_EQ(part_path("out/rows.csv", 2, 8), "out/rows.csv.2-of-8.qospart");
+}
+
+// ---------------------------------------------------------------------------
+// Merge validation.
+// ---------------------------------------------------------------------------
+
+TEST(MergePartsTest, MergesOutOfOrderPartsIntoGridOrder) {
+  std::vector<SweepPart> parts = {synthetic_part(2, 3), synthetic_part(0, 3),
+                                  synthetic_part(1, 3)};
+  std::string error;
+  const std::optional<std::vector<SweepRow>> rows =
+      merge_sweep_parts(std::move(parts), &error);
+  ASSERT_TRUE(rows.has_value()) << error;
+  ASSERT_EQ(rows->size(), 16u);
+  for (std::size_t i = 0; i < rows->size(); ++i) {
+    expect_rows_equal((*rows)[i], synthetic_row(i));
+  }
+}
+
+TEST(MergePartsTest, SingleShardMergesToo) {
+  std::string error;
+  const auto rows = merge_sweep_parts({synthetic_part(0, 1)}, &error);
+  ASSERT_TRUE(rows.has_value()) << error;
+  EXPECT_EQ(rows->size(), 16u);
+}
+
+TEST(MergePartsTest, RejectsMissingShard) {
+  std::string error;
+  EXPECT_FALSE(merge_sweep_parts({synthetic_part(0, 3), synthetic_part(2, 3)},
+                                 &error)
+                   .has_value());
+  EXPECT_NE(error.find("3 ways"), std::string::npos) << error;
+}
+
+TEST(MergePartsTest, RejectsDuplicateShard) {
+  std::string error;
+  EXPECT_FALSE(merge_sweep_parts({synthetic_part(0, 3), synthetic_part(1, 3),
+                                  synthetic_part(1, 3)},
+                                 &error)
+                   .has_value());
+}
+
+TEST(MergePartsTest, RejectsForeignFingerprint) {
+  std::string error;
+  EXPECT_FALSE(merge_sweep_parts({synthetic_part(0, 2),
+                                  synthetic_part(1, 2, 0x1111111111111111ULL)},
+                                 &error)
+                   .has_value());
+  EXPECT_NE(error.find("different sweep"), std::string::npos) << error;
+}
+
+TEST(MergePartsTest, RejectsMismatchedShardCount) {
+  std::string error;
+  EXPECT_FALSE(merge_sweep_parts({synthetic_part(0, 2), synthetic_part(1, 3),
+                                  synthetic_part(2, 3)},
+                                 &error)
+                   .has_value());
+}
+
+TEST(MergePartsTest, RejectsEmptyInput) {
+  std::string error;
+  EXPECT_FALSE(merge_sweep_parts({}, &error).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Resume: which shards still need running.
+// ---------------------------------------------------------------------------
+
+TEST(ShardsToRunTest, CorruptPartIsReRunAloneAndValidOnesSkipped) {
+  const std::string prefix = temp_path("resume_rows.csv");
+  const std::uint64_t fp = 0xfeedfacecafebeefULL;
+  const GridShape shape{8, 2, 1, 1};
+  std::string error;
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(save_sweep_part(synthetic_part(i, 4), part_path(prefix, i, 4),
+                                &error))
+        << error;
+  }
+
+  // All parts valid: nothing to run.
+  EXPECT_TRUE(shards_to_run(prefix, 4, fp, shape).empty());
+
+  // Truncate shard 2 (the mid-write crash): exactly shard 2 is re-run.
+  const std::string victim = part_path(prefix, 2, 4);
+  const std::string bytes = slurp(victim);
+  spit(victim, bytes.substr(0, bytes.size() - 11));
+  EXPECT_EQ(shards_to_run(prefix, 4, fp, shape),
+            (std::vector<std::size_t>{2}));
+
+  // Delete shard 0 as well: both pending, still not the valid ones.
+  std::remove(part_path(prefix, 0, 4).c_str());
+  EXPECT_EQ(shards_to_run(prefix, 4, fp, shape),
+            (std::vector<std::size_t>{0, 2}));
+
+  // A part from a different sweep (wrong fingerprint) is also re-run.
+  EXPECT_EQ(shards_to_run(prefix, 4, 0x2222222222222222ULL, shape),
+            (std::vector<std::size_t>{0, 1, 2, 3}));
+
+  // And a different grid shape never reuses these parts.
+  EXPECT_EQ(shards_to_run(prefix, 4, fp, GridShape{4, 4, 1, 1}),
+            (std::vector<std::size_t>{0, 1, 2, 3}));
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::remove(part_path(prefix, i, 4).c_str());
+  }
+}
+
+TEST(ShardsToRunTest, AllMissingMeansAllPending) {
+  EXPECT_EQ(shards_to_run(temp_path("nonexistent_prefix"), 3, 1,
+                          GridShape{3, 1, 1, 1}),
+            (std::vector<std::size_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace qosrm::rmsim
