@@ -1,0 +1,182 @@
+// Google-benchmark coverage of the per-interval-boundary hot path: one
+// ResourceManager::invoke (local optimization of the boundary core +
+// pairwise-reduction global optimization) and one counter-snapshot build.
+// These run once per interval boundary, so their cost is the management
+// overhead the paper argues must stay negligible (Section IV-D).
+//
+// Besides ns/op every benchmark reports allocs/op, the number of heap
+// allocations per iteration measured through a global operator-new hook:
+// the invoke path is required to be allocation-free after warmup (see the
+// README performance section). CI runs this binary briefly and uploads the
+// JSON so the perf trajectory is tracked across PRs.
+//
+// The simulation database honours QOSRM_DB_CACHE_DIR (same protocol as the
+// slow test suites): set it to restore the characterization from a binary
+// snapshot instead of paying the multi-second build per run.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "power/power_model.hh"
+#include "rm/resource_manager.hh"
+#include "rmsim/snapshot.hh"
+#include "workload/db_io.hh"
+#include "workload/sim_db.hh"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+// Counting operator-new hooks (all variants funnel here). Kept outside any
+// namespace so they replace the global versions for the whole binary.
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace qosrm;
+
+/// One shared database per core count (the build is seconds-expensive).
+const workload::SimDb& bench_db(int cores) {
+  static std::map<int, std::unique_ptr<workload::SimDb>> dbs;
+  auto it = dbs.find(cores);
+  if (it == dbs.end()) {
+    arch::SystemConfig system;
+    system.cores = cores;
+    const char* cache_dir = std::getenv("QOSRM_DB_CACHE_DIR");
+    const std::string cache_path =
+        cache_dir != nullptr ? workload::db_cache_path(cache_dir, cores)
+                             : std::string();
+    it = dbs.emplace(cores, std::make_unique<workload::SimDb>(workload::warm_simdb(
+                                workload::spec_suite(), system,
+                                power::PowerModel{}, {}, cache_path)))
+             .first;
+  }
+  return *it->second;
+}
+
+/// A representative mix: cache-sensitive, streaming and CPU-bound apps.
+std::vector<rm::CounterSnapshot> bench_snapshots(const workload::SimDb& db,
+                                                 int cores) {
+  static const char* const kApps[] = {"mcf", "libquantum", "bwaves",
+                                      "xalancbmk", "omnetpp", "milc",
+                                      "hmmer", "gobmk"};
+  std::vector<rm::CounterSnapshot> snaps;
+  const workload::Setting base = workload::baseline_setting(db.system());
+  for (int k = 0; k < cores; ++k) {
+    snaps.push_back(rmsim::make_snapshot(
+        db, db.suite().index_of(kApps[k % 8]), 0, base));
+  }
+  return snaps;
+}
+
+void report_allocs(benchmark::State& state, std::uint64_t before) {
+  const std::uint64_t allocs =
+      g_allocations.load(std::memory_order_relaxed) - before;
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(allocs), benchmark::Counter::kAvgIterations);
+}
+
+/// ResourceManager::invoke at a given (policy, core count). The manager is
+/// warmed up with one invocation per core before measurement, so the steady
+/// state (every per-core curve cached, workspaces at capacity) is measured.
+void BM_RmInvoke(benchmark::State& state) {
+  const auto policy = static_cast<rm::RmPolicy>(state.range(0));
+  const int cores = static_cast<int>(state.range(1));
+  const workload::SimDb& db = bench_db(cores);
+  rm::RmConfig cfg;
+  cfg.policy = policy;
+  cfg.model = rm::PerfModelKind::Model3;
+  rm::ResourceManager manager(cfg, db.system(), db.power());
+  const auto snaps = bench_snapshots(db, cores);
+
+  for (int k = 0; k < cores; ++k) benchmark::DoNotOptimize(manager.invoke(k, snaps));
+
+  int core = 0;
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manager.invoke(core, snaps));
+    core = (core + 1) % cores;
+  }
+  report_allocs(state, before);
+}
+BENCHMARK(BM_RmInvoke)
+    ->ArgsProduct({{static_cast<long>(rm::RmPolicy::Rm1),
+                    static_cast<long>(rm::RmPolicy::Rm2),
+                    static_cast<long>(rm::RmPolicy::Rm3)},
+                   {2, 4}})
+    ->ArgNames({"policy", "cores"});
+
+/// Counter-snapshot construction returning a fresh snapshot per call (the
+/// pre-workspace simulator pattern; kept for before/after comparison).
+void BM_MakeSnapshot(benchmark::State& state) {
+  const int cores = static_cast<int>(state.range(0));
+  const workload::SimDb& db = bench_db(cores);
+  const workload::Setting base = workload::baseline_setting(db.system());
+  const int app = db.suite().index_of("mcf");
+  rm::CounterSnapshot snap = rmsim::make_snapshot(db, app, 0, base);
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    snap = rmsim::make_snapshot(db, app, 0, base);
+    benchmark::DoNotOptimize(snap);
+  }
+  report_allocs(state, before);
+}
+BENCHMARK(BM_MakeSnapshot)->Arg(2)->Arg(4)->ArgNames({"cores"});
+
+/// Counter-snapshot refresh as the simulator performs it at every boundary:
+/// make_snapshot_into() into per-core reusable storage - allocation-free
+/// once the ATD buffers are at capacity.
+void BM_MakeSnapshotReuse(benchmark::State& state) {
+  const int cores = static_cast<int>(state.range(0));
+  const workload::SimDb& db = bench_db(cores);
+  const workload::Setting base = workload::baseline_setting(db.system());
+  const int app = db.suite().index_of("mcf");
+  rm::CounterSnapshot snap;
+  rmsim::make_snapshot_into(db, app, 0, base, -1, snap);
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    rmsim::make_snapshot_into(db, app, 0, base, -1, snap);
+    benchmark::DoNotOptimize(snap);
+  }
+  report_allocs(state, before);
+}
+BENCHMARK(BM_MakeSnapshotReuse)->Arg(2)->Arg(4)->ArgNames({"cores"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

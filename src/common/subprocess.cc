@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <utility>
 
 #include <signal.h>
 #include <sys/wait.h>
@@ -10,6 +11,38 @@
 #include "common/str.hh"
 
 namespace qosrm {
+
+namespace {
+
+/// Exit statuses reaped by wait_any() for children NOT in its tracked list
+/// (e.g. a sibling Subprocess the caller did not pass). waitpid(-1) reaps
+/// whatever ends first, so such statuses must be stashed - never discarded -
+/// for the owning Subprocess::wait() to find later. Unsynchronized by
+/// design: the subprocess helper is a single-threaded orchestrator tool.
+std::vector<std::pair<pid_t, int>> g_stray_statuses;
+
+bool take_stray_status(pid_t pid, int* status) {
+  for (auto it = g_stray_statuses.begin(); it != g_stray_statuses.end(); ++it) {
+    if (it->first == pid) {
+      *status = it->second;
+      g_stray_statuses.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void apply_status(SubprocessExit& exit, int status) {
+  exit.spawned = true;
+  if (WIFEXITED(status)) {
+    exit.exited = true;
+    exit.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    exit.term_signal = WTERMSIG(status);
+  }
+}
+
+}  // namespace
 
 std::string describe(const SubprocessExit& exit) {
   if (!exit.spawned) return "failed to spawn";
@@ -40,6 +73,11 @@ Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
     // like the shells) so the parent's wait() sees a clean failure.
     ::_exit(127);
   }
+  // The kernel may recycle the pid of an abandoned child whose stashed
+  // status was never consumed; drop any such stale entry so this child's
+  // wait() can never be answered with a predecessor's exit.
+  int stale = 0;
+  (void)take_stray_status(pid, &stale);
   child.pid_ = pid;
   return child;
 }
@@ -48,6 +86,13 @@ SubprocessExit Subprocess::wait() {
   if (reaped_ || pid_ <= 0) return exit_;
 
   int status = 0;
+  if (take_stray_status(pid_, &status)) {
+    // A previous wait_any() already reaped this child on our behalf.
+    reaped_ = true;
+    apply_status(exit_, status);
+    return exit_;
+  }
+
   pid_t rc;
   do {
     rc = ::waitpid(pid_, &status, 0);
@@ -55,13 +100,7 @@ SubprocessExit Subprocess::wait() {
   reaped_ = true;
   if (rc != pid_) return exit_;  // reap failed: spawned=false (unknown fate)
 
-  exit_.spawned = true;
-  if (WIFEXITED(status)) {
-    exit_.exited = true;
-    exit_.exit_code = WEXITSTATUS(status);
-  } else if (WIFSIGNALED(status)) {
-    exit_.term_signal = WTERMSIG(status);
-  }
+  apply_status(exit_, status);
   return exit_;
 }
 
@@ -72,11 +111,18 @@ void Subprocess::terminate() {
 std::optional<std::size_t> Subprocess::wait_any(
     const std::vector<Subprocess*>& children) {
   bool any_running = false;
-  for (const Subprocess* child : children) {
-    if (child != nullptr && child->running()) {
-      any_running = true;
-      break;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    Subprocess* child = children[i];
+    if (child == nullptr || !child->running()) continue;
+    // An earlier wait_any() on a different list may already have reaped this
+    // child; its status is in the stash, no waitpid needed.
+    int status = 0;
+    if (take_stray_status(child->pid_, &status)) {
+      child->reaped_ = true;
+      apply_status(child->exit_, status);
+      return i;
     }
+    any_running = true;
   }
   if (!any_running) return std::nullopt;
 
@@ -91,17 +137,13 @@ std::optional<std::size_t> Subprocess::wait_any(
       Subprocess* child = children[i];
       if (child == nullptr || child->reaped_ || child->pid_ != pid) continue;
       child->reaped_ = true;
-      child->exit_.spawned = true;
-      if (WIFEXITED(status)) {
-        child->exit_.exited = true;
-        child->exit_.exit_code = WEXITSTATUS(status);
-      } else if (WIFSIGNALED(status)) {
-        child->exit_.term_signal = WTERMSIG(status);
-      }
+      apply_status(child->exit_, status);
       return i;
     }
-    // Reaped a child that is not in the list (not ours to track): keep
-    // waiting for one of the tracked children.
+    // Reaped a child that is not in the tracked list. Its status must not be
+    // discarded: stash it so the owning Subprocess::wait()/wait_any() call
+    // still observes the real exit instead of an "unknown fate".
+    g_stray_statuses.emplace_back(pid, status);
   }
 }
 

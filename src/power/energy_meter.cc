@@ -6,17 +6,25 @@
 
 namespace qosrm::power {
 
+PowerSample sample_interval(const PowerModel& model, arch::CoreSize c,
+                            const arch::OperatingPoint& vf, double core_energy_j,
+                            double duration_s) {
+  QOSRM_CHECK(duration_s > 0.0);
+  const double static_j = model.core_static_power(c, vf.voltage) * duration_s;
+  PowerSample sample;
+  sample.size = c;
+  sample.voltage = vf.voltage;
+  sample.freq_hz = vf.freq_hz;
+  sample.dynamic_energy_j = std::max(0.0, core_energy_j - static_j);
+  sample.dynamic_power_w = sample.dynamic_energy_j / duration_s;
+  sample.duration_s = duration_s;
+  sample.valid = true;
+  return sample;
+}
+
 void EnergyMeter::record_interval(arch::CoreSize c, const arch::OperatingPoint& vf,
                                   double core_energy_j, double duration_s) {
-  QOSRM_CHECK(duration_s > 0.0);
-  const double static_j = static_power(c, vf.voltage) * duration_s;
-  sample_.size = c;
-  sample_.voltage = vf.voltage;
-  sample_.freq_hz = vf.freq_hz;
-  sample_.dynamic_energy_j = std::max(0.0, core_energy_j - static_j);
-  sample_.dynamic_power_w = sample_.dynamic_energy_j / duration_s;
-  sample_.duration_s = duration_s;
-  sample_.valid = true;
+  sample_ = sample_interval(*model_, c, vf, core_energy_j, duration_s);
 }
 
 }  // namespace qosrm::power

@@ -27,6 +27,16 @@ struct PowerSample {
   bool valid = false;
 };
 
+/// Builds the dynamic-power sample of one measured interval directly - the
+/// same arithmetic EnergyMeter::record_interval applies - so hot-path
+/// callers (snapshot construction at every interval boundary) need not
+/// instantiate a meter.
+[[nodiscard]] PowerSample sample_interval(const PowerModel& model,
+                                          arch::CoreSize c,
+                                          const arch::OperatingPoint& vf,
+                                          double core_energy_j,
+                                          double duration_s);
+
 class EnergyMeter {
  public:
   explicit EnergyMeter(const PowerModel& model) : model_(&model) {}

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <memory>
 
 #include "common/check.hh"
 
@@ -13,109 +12,151 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// A node of the reduction tree: a combined curve over [lo, hi] total ways
-/// plus, per entry, how many ways went to the left subtree.
-struct Node {
-  int lo = 0;
-  std::vector<double> energy;        // energy[t - lo]
-  std::vector<int> left_ways;        // argmin split (leaf: unused)
-  int first_core = 0;                // leaves covered: [first_core, last_core]
-  int last_core = 0;
-  std::unique_ptr<Node> left;
-  std::unique_ptr<Node> right;
+}  // namespace
 
-  [[nodiscard]] int hi() const noexcept {
-    return lo + static_cast<int>(energy.size()) - 1;
+void GlobalOptimizer::optimize_into(std::span<const EnergyCurveView> curves,
+                                    int total_ways, GlobalOptWorkspace& ws,
+                                    GlobalOptResult& out, std::uint64_t* ops) {
+  QOSRM_CHECK(!curves.empty());
+  using Node = GlobalOptWorkspace::Node;
+
+  out.feasible = false;
+  out.total_energy = 0.0;
+  out.ways.clear();
+
+  // clear() keeps capacity: after one call per problem shape, nothing below
+  // allocates.
+  ws.nodes_.clear();
+  ws.energy_.clear();
+  ws.left_ways_.clear();
+  ws.level_.clear();
+  ws.next_.clear();
+
+  // Leaves view the input curves directly - no copy.
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    QOSRM_CHECK(!curves[i].energy.empty());
+    Node leaf;
+    leaf.lo = curves[i].min_ways;
+    leaf.size = static_cast<int>(curves[i].energy.size());
+    leaf.leaf_energy = curves[i].energy.data();
+    leaf.first_core = static_cast<int>(i);
+    leaf.last_core = static_cast<int>(i);
+    ws.level_.push_back(static_cast<int>(ws.nodes_.size()));
+    ws.nodes_.push_back(leaf);
   }
-};
 
-std::unique_ptr<Node> make_leaf(const EnergyCurve& curve, int core) {
-  auto node = std::make_unique<Node>();
-  node->lo = curve.min_ways;
-  node->energy = curve.energy;
-  node->first_core = core;
-  node->last_core = core;
-  return node;
-}
-
-std::unique_ptr<Node> combine(std::unique_ptr<Node> a, std::unique_ptr<Node> b,
-                              std::uint64_t* ops) {
-  auto node = std::make_unique<Node>();
-  node->lo = a->lo + b->lo;
-  const int hi = a->hi() + b->hi();
-  const auto size = static_cast<std::size_t>(hi - node->lo + 1);
-  node->energy.assign(size, kInf);
-  node->left_ways.assign(size, -1);
-  node->first_core = a->first_core;
-  node->last_core = b->last_core;
-
+  // Reduce adjacent pairs until one curve remains.
   std::uint64_t steps = 0;
-  for (int wa = a->lo; wa <= a->hi(); ++wa) {
-    const double ea = a->energy[static_cast<std::size_t>(wa - a->lo)];
-    if (std::isinf(ea)) continue;
-    for (int wb = b->lo; wb <= b->hi(); ++wb) {
-      const double eb = b->energy[static_cast<std::size_t>(wb - b->lo)];
-      ++steps;
-      if (std::isinf(eb)) continue;
-      const std::size_t idx = static_cast<std::size_t>(wa + wb - node->lo);
-      if (ea + eb < node->energy[idx]) {
-        node->energy[idx] = ea + eb;
-        node->left_ways[idx] = wa;
+  while (ws.level_.size() > 1) {
+    ws.next_.clear();
+    for (std::size_t i = 0; i + 1 < ws.level_.size(); i += 2) {
+      const int ai = ws.level_[i];
+      const int bi = ws.level_[i + 1];
+      // Children by value: the push_back below may relocate nodes_.
+      const Node a = ws.nodes_[static_cast<std::size_t>(ai)];
+      const Node b = ws.nodes_[static_cast<std::size_t>(bi)];
+
+      Node n;
+      n.lo = a.lo + b.lo;
+      n.size = a.hi() + b.hi() - n.lo + 1;
+      n.energy_off = ws.energy_.size();
+      n.left_ways_off = ws.left_ways_.size();
+      n.first_core = a.first_core;
+      n.last_core = b.last_core;
+      n.left = ai;
+      n.right = bi;
+      ws.energy_.resize(n.energy_off + static_cast<std::size_t>(n.size), kInf);
+      ws.left_ways_.resize(n.left_ways_off + static_cast<std::size_t>(n.size), -1);
+
+      // Pointers taken after the resize (which may relocate on warmup).
+      const double* ea_arr =
+          a.leaf_energy != nullptr ? a.leaf_energy : ws.energy_.data() + a.energy_off;
+      const double* eb_arr =
+          b.leaf_energy != nullptr ? b.leaf_energy : ws.energy_.data() + b.energy_off;
+      double* ne = ws.energy_.data() + n.energy_off;
+      int* nlw = ws.left_ways_.data() + n.left_ways_off;
+
+      // Compact the right child's feasible entries once (ascending, so the
+      // pair visit order - and thus the first-split tie-breaking - matches
+      // the plain double loop); the inner loop then runs branch-free.
+      ws.feas_idx_.clear();
+      ws.feas_val_.clear();
+      for (int ib = 0; ib < b.size; ++ib) {
+        const double eb = eb_arr[ib];
+        if (std::isinf(eb)) continue;
+        ws.feas_idx_.push_back(ib);
+        ws.feas_val_.push_back(eb);
       }
+      const std::size_t n_feas_b = ws.feas_idx_.size();
+
+      // One op = one feasible-pair DP step, counted uniformly whichever side
+      // an infeasible entry is on (accumulated in bulk per feasible row).
+      std::uint64_t feas_a = 0;
+      for (int ia = 0; ia < a.size; ++ia) {
+        const double ea = ea_arr[ia];
+        if (std::isinf(ea)) continue;
+        ++feas_a;
+        // idx = (a.lo + ia) + (b.lo + ib) - n.lo = ia + ib.
+        for (std::size_t k = 0; k < n_feas_b; ++k) {
+          const double v = ea + ws.feas_val_[k];
+          const int idx = ia + ws.feas_idx_[k];
+          if (v < ne[idx]) {
+            ne[idx] = v;
+            nlw[idx] = a.lo + ia;
+          }
+        }
+      }
+      steps += feas_a * n_feas_b;
+
+      ws.next_.push_back(static_cast<int>(ws.nodes_.size()));
+      ws.nodes_.push_back(n);
     }
+    if (ws.level_.size() % 2 == 1) ws.next_.push_back(ws.level_.back());
+    std::swap(ws.level_, ws.next_);
   }
   if (ops != nullptr) *ops += steps;
 
-  node->left = std::move(a);
-  node->right = std::move(b);
-  return node;
-}
+  const Node& root = ws.nodes_[static_cast<std::size_t>(ws.level_.front())];
+  if (total_ways < root.lo || total_ways > root.hi()) return;
+  const double e =
+      root.leaf_energy != nullptr
+          ? root.leaf_energy[total_ways - root.lo]
+          : ws.energy_[root.energy_off + static_cast<std::size_t>(total_ways - root.lo)];
+  if (std::isinf(e)) return;
 
-void backtrack(const Node& node, int total, std::vector<int>& ways) {
-  if (!node.left) {  // leaf
-    ways[static_cast<std::size_t>(node.first_core)] = total;
-    return;
-  }
-  const int wl = node.left_ways[static_cast<std::size_t>(total - node.lo)];
-  QOSRM_CHECK_MSG(wl >= 0, "backtracking through an infeasible entry");
-  backtrack(*node.left, wl, ways);
-  backtrack(*node.right, total - wl, ways);
-}
+  out.feasible = true;
+  out.total_energy = e;
+  out.ways.assign(curves.size(), 0);
 
-}  // namespace
+  // Backtrack the argmin splits down the reduction (depth is log2(cores), so
+  // plain recursion over node indices needs no scratch).
+  const auto backtrack = [&ws](auto&& self, int idx, int total,
+                               std::vector<int>& ways) -> void {
+    const Node& node = ws.nodes_[static_cast<std::size_t>(idx)];
+    if (node.left < 0) {  // leaf
+      ways[static_cast<std::size_t>(node.first_core)] = total;
+      return;
+    }
+    const int wl = ws.left_ways_[node.left_ways_off +
+                                 static_cast<std::size_t>(total - node.lo)];
+    QOSRM_CHECK_MSG(wl >= 0, "backtracking through an infeasible entry");
+    self(self, node.left, wl, ways);
+    self(self, node.right, total - wl, ways);
+  };
+  backtrack(backtrack, ws.level_.front(), total_ways, out.ways);
+}
 
 GlobalOptResult GlobalOptimizer::optimize(std::span<const EnergyCurve> curves,
                                           int total_ways, std::uint64_t* ops) {
-  QOSRM_CHECK(!curves.empty());
-
-  // Build leaves, then reduce adjacent pairs until one curve remains.
-  std::vector<std::unique_ptr<Node>> level;
-  level.reserve(curves.size());
-  for (std::size_t i = 0; i < curves.size(); ++i) {
-    QOSRM_CHECK(!curves[i].energy.empty());
-    level.push_back(make_leaf(curves[i], static_cast<int>(i)));
+  std::vector<EnergyCurveView> views;
+  views.reserve(curves.size());
+  for (const EnergyCurve& c : curves) {
+    views.push_back({c.min_ways, std::span<const double>(c.energy)});
   }
-  while (level.size() > 1) {
-    std::vector<std::unique_ptr<Node>> next;
-    next.reserve((level.size() + 1) / 2);
-    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
-      next.push_back(combine(std::move(level[i]), std::move(level[i + 1]), ops));
-    }
-    if (level.size() % 2 == 1) next.push_back(std::move(level.back()));
-    level = std::move(next);
-  }
-
-  const Node& root = *level.front();
-  GlobalOptResult result;
-  if (total_ways < root.lo || total_ways > root.hi()) return result;
-  const double e = root.energy[static_cast<std::size_t>(total_ways - root.lo)];
-  if (std::isinf(e)) return result;
-
-  result.feasible = true;
-  result.total_energy = e;
-  result.ways.assign(curves.size(), 0);
-  backtrack(root, total_ways, result.ways);
-  return result;
+  GlobalOptWorkspace ws;
+  GlobalOptResult out;
+  optimize_into(views, total_ways, ws, out, ops);
+  return out;
 }
 
 GlobalOptResult GlobalOptimizer::brute_force(std::span<const EnergyCurve> curves,

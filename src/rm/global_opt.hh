@@ -1,15 +1,19 @@
 // Global LLC-way distribution (paper Fig. 3, Section III-A).
 //
 // Minimizes  Sum_j E_j(w_j)  subject to  Sum_j w_j = A  (the total way
-// budget) and per-core bounds, by recursively reducing PAIRS of energy
+// budget) and per-core bounds, by iteratively reducing PAIRS of energy
 // curves with a min-plus convolution:
 //
 //   E_{1+2}(W) = min over w1+w2 = W of E_1(w1) + E_2(w2)
 //
-// and backtracking the argmins down the reduction tree. The complexity is
+// and backtracking the argmins down the reduction. The complexity is
 // polynomial in the core count (the paper's first stated advantage), and the
 // interface between the local and global stages is exactly one energy curve
 // per core (the second advantage).
+//
+// The reduction runs over flat, reusable buffers (GlobalOptWorkspace) so the
+// per-interval-boundary invocation path performs no heap allocation once the
+// workspace has warmed up; see the README performance section.
 #ifndef QOSRM_RM_GLOBAL_OPT_HH
 #define QOSRM_RM_GLOBAL_OPT_HH
 
@@ -30,19 +34,83 @@ struct EnergyCurve {
   }
 };
 
+/// Non-owning view of one core's energy curve (same indexing convention as
+/// EnergyCurve). The allocation-free optimize_into() path takes views so
+/// callers can keep the curves in whatever storage they reuse.
+struct EnergyCurveView {
+  int min_ways = 2;
+  std::span<const double> energy;
+
+  [[nodiscard]] int max_ways() const noexcept {
+    return min_ways + static_cast<int>(energy.size()) - 1;
+  }
+};
+
 struct GlobalOptResult {
   bool feasible = false;
   double total_energy = 0.0;
-  std::vector<int> ways;  ///< chosen allocation per core
+  std::vector<int> ways;  ///< chosen allocation per core (empty if infeasible)
+};
+
+/// Reusable scratch of the pairwise reduction: flat node metadata plus flat
+/// energy/argmin pools, replacing the old per-invocation tree of heap-
+/// allocated nodes. Every container keeps its capacity across calls, so a
+/// workspace that has seen a problem shape once makes optimize_into()
+/// allocation-free. Not thread-safe; use one workspace per thread.
+class GlobalOptWorkspace {
+ public:
+  GlobalOptWorkspace() = default;
+
+ private:
+  friend class GlobalOptimizer;
+
+  /// One reduction node covering cores [first_core, last_core] and total
+  /// ways [lo, lo + size). Leaves view the caller's curve directly
+  /// (leaf_energy != nullptr); combined nodes own the slices
+  /// energy_[energy_off, +size) and left_ways_[left_ways_off, +size).
+  struct Node {
+    int lo = 0;
+    int size = 0;
+    std::size_t energy_off = 0;
+    std::size_t left_ways_off = 0;
+    const double* leaf_energy = nullptr;
+    int first_core = 0;
+    int last_core = 0;
+    int left = -1;  ///< child node indices; -1 marks a leaf
+    int right = -1;
+
+    [[nodiscard]] int hi() const noexcept { return lo + size - 1; }
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<double> energy_;
+  std::vector<int> left_ways_;
+  std::vector<int> level_;  ///< node indices of the current reduction level
+  std::vector<int> next_;   ///< node indices of the next reduction level
+  /// Per-combine compaction of the right child's feasible entries, so the
+  /// O(n^2) inner loop runs branch-free over finite energies only.
+  std::vector<int> feas_idx_;
+  std::vector<double> feas_val_;
 };
 
 class GlobalOptimizer {
  public:
-  /// Pairwise-reduction optimizer. `ops` (optional) accumulates DP steps for
-  /// the RM instruction-overhead model.
+  /// Pairwise-reduction optimizer over owning curves. Convenience wrapper
+  /// around optimize_into() with a throwaway workspace (tests, benches and
+  /// one-shot callers). `ops` (optional) accumulates DP steps for the RM
+  /// instruction-overhead model; one op is one FEASIBLE-pair DP step, i.e. a
+  /// (w_a, w_b) combination whose both entries are finite - infeasible
+  /// entries on either side are skipped without charge.
   [[nodiscard]] static GlobalOptResult optimize(std::span<const EnergyCurve> curves,
                                                 int total_ways,
                                                 std::uint64_t* ops = nullptr);
+
+  /// The allocation-free core: runs the reduction inside `ws` and writes the
+  /// outcome into `out`, reusing the storage of both. Bit-identical to
+  /// optimize() for equal inputs (same reduction order, same tie-breaking).
+  static void optimize_into(std::span<const EnergyCurveView> curves,
+                            int total_ways, GlobalOptWorkspace& ws,
+                            GlobalOptResult& out, std::uint64_t* ops = nullptr);
 
   /// Exhaustive reference implementation (tests only; exponential).
   [[nodiscard]] static GlobalOptResult brute_force(std::span<const EnergyCurve> curves,

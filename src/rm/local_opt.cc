@@ -1,5 +1,7 @@
 #include "rm/local_opt.hh"
 
+#include <array>
+
 #include "common/check.hh"
 
 namespace qosrm::rm {
@@ -20,10 +22,18 @@ std::vector<double> LocalOptResult::energy_curve() const {
 
 LocalOptResult LocalOptimizer::optimize(const CounterSnapshot& snap,
                                         std::uint64_t* ops) const {
-  const arch::SystemConfig& sys = perf_->system();
   LocalOptResult result;
-  result.min_ways = sys.llc.min_ways;
-  result.choices.resize(static_cast<std::size_t>(sys.llc.num_allocations()));
+  optimize_into(snap, result, ops);
+  return result;
+}
+
+void LocalOptimizer::optimize_into(const CounterSnapshot& snap,
+                                   LocalOptResult& out,
+                                   std::uint64_t* ops) const {
+  const arch::SystemConfig& sys = perf_->system();
+  out.min_ways = sys.llc.min_ways;
+  out.choices.assign(static_cast<std::size_t>(sys.llc.num_allocations()),
+                     WayChoice{});
 
   std::uint64_t local_ops = 0;
 
@@ -32,23 +42,68 @@ LocalOptResult LocalOptimizer::optimize(const CounterSnapshot& snap,
   const double t_base = perf_->predict_time(snap, base) * sys.qos_alpha;
   ++local_ops;
 
-  const std::vector<arch::CoreSize> sizes =
-      opt_.allow_resize
-          ? std::vector<arch::CoreSize>{arch::CoreSize::S, arch::CoreSize::M,
-                                        arch::CoreSize::L}
-          : std::vector<arch::CoreSize>{arch::kBaselineCoreSize};
+  // Candidate core sizes in a fixed-capacity buffer (heap-free).
+  std::array<arch::CoreSize, arch::kNumCoreSizes> sizes{};
+  std::size_t n_sizes = 0;
+  if (opt_.allow_resize) {
+    sizes = {arch::CoreSize::S, arch::CoreSize::M, arch::CoreSize::L};
+    n_sizes = arch::kNumCoreSizes;
+  } else {
+    sizes[0] = arch::kBaselineCoreSize;
+    n_sizes = 1;
+  }
+
+  // Hoist the target-invariant terms of Eq. 1 out of the (w, c, f) sweep.
+  // For the analytical models the predicted time decomposes as
+  //
+  //   T(c, f, w) = [T_width * D_i/D(c) + T_inv] * (f_i/f) + T_mem(c, w)
+  //
+  // with the bracket per size, the frequency ratio per VF point and the
+  // memory term per (c, w); each sweep step is then one multiply-add. Every
+  // hoisted value is produced by the exact operation sequence predict_time
+  // uses, so the sweep is bit-identical to calling the model per setting
+  // (the equivalence is pinned by LocalOpt.HoistedSweepMatchesModelCalls).
+  // The perfect model resists hoisting - its oracle lookup depends on f -
+  // and keeps calling predict_time directly.
+  const bool hoisted = perf_->kind() != PerfModelKind::Perfect;
+  std::array<double, arch::kNumCoreSizes> core_num{};
+  std::array<double, arch::VfTable::kNumPoints> freq_ratio{};
+  if (hoisted) {
+    const double d_cur =
+        static_cast<double>(arch::core_params(snap.current.c).issue_width);
+    const double f_cur = arch::VfTable::frequency_hz(snap.current.f_idx);
+    const double t_invariant = snap.t_ilp_s + snap.t_branch_s + snap.t_cache_s;
+    for (std::size_t si = 0; si < n_sizes; ++si) {
+      const double d_tgt =
+          static_cast<double>(arch::core_params(sizes[si]).issue_width);
+      core_num[si] = snap.t_width_s * d_cur / d_tgt + t_invariant;
+    }
+    for (int f_idx = 0; f_idx < arch::VfTable::kNumPoints; ++f_idx) {
+      freq_ratio[static_cast<std::size_t>(f_idx)] =
+          f_cur / arch::VfTable::frequency_hz(f_idx);
+    }
+  }
 
   for (int w = sys.llc.min_ways; w <= sys.llc.max_ways; ++w) {
     WayChoice best;
-    for (const arch::CoreSize c : sizes) {
+    for (std::size_t si = 0; si < n_sizes; ++si) {
+      const arch::CoreSize c = sizes[si];
+      // T_mem is frequency-invariant in the analytical models (Eq. 2).
+      const double mem_cw =
+          hoisted ? perf_->predict_mem_time(snap, {c, 0, w}) : 0.0;
+      const auto predict = [&](int f_idx) {
+        if (!hoisted) return perf_->predict_time(snap, {c, f_idx, w});
+        const double core_time =
+            core_num[si] * freq_ratio[static_cast<std::size_t>(f_idx)];
+        return core_time + mem_cw;
+      };
       // Find f*(c, w): the lowest operating point satisfying QoS. Predicted
       // time is monotone in f, so scan from the bottom of the VF table.
       int f_star = -1;
       double t_star = 0.0;
       if (opt_.allow_dvfs) {
         for (int f_idx = 0; f_idx < arch::VfTable::kNumPoints; ++f_idx) {
-          const workload::Setting s{c, f_idx, w};
-          const double t = perf_->predict_time(snap, s);
+          const double t = predict(f_idx);
           ++local_ops;
           if (t <= t_base) {
             f_star = f_idx;
@@ -57,8 +112,7 @@ LocalOptResult LocalOptimizer::optimize(const CounterSnapshot& snap,
           }
         }
       } else {
-        const workload::Setting s{c, arch::VfTable::kBaselineIndex, w};
-        const double t = perf_->predict_time(snap, s);
+        const double t = predict(arch::VfTable::kBaselineIndex);
         ++local_ops;
         if (t <= t_base) {
           f_star = arch::VfTable::kBaselineIndex;
@@ -77,11 +131,10 @@ LocalOptResult LocalOptimizer::optimize(const CounterSnapshot& snap,
         best.energy_j = e;
       }
     }
-    result.choices[static_cast<std::size_t>(w - sys.llc.min_ways)] = best;
+    out.choices[static_cast<std::size_t>(w - sys.llc.min_ways)] = best;
   }
 
   if (ops != nullptr) *ops += local_ops;
-  return result;
 }
 
 }  // namespace qosrm::rm

@@ -62,6 +62,12 @@ class LocalOptimizer {
   [[nodiscard]] LocalOptResult optimize(const CounterSnapshot& snap,
                                         std::uint64_t* ops = nullptr) const;
 
+  /// Allocation-free variant: writes into `out`, reusing its `choices`
+  /// storage. The invocation hot path (ResourceManager) calls this with
+  /// per-core cached results so steady-state boundaries allocate nothing.
+  void optimize_into(const CounterSnapshot& snap, LocalOptResult& out,
+                     std::uint64_t* ops = nullptr) const;
+
   [[nodiscard]] const LocalOptOptions& options() const noexcept { return opt_; }
 
  private:

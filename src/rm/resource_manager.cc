@@ -23,7 +23,10 @@ ResourceManager::ResourceManager(const RmConfig& config,
                                  const power::PowerModel& offline_power)
     : cfg_(config), system_(system), perf_(config.model, system),
       energy_(offline_power, config.energy), local_(perf_, energy_, local_options()),
-      cached_(static_cast<std::size_t>(system.cores)) {}
+      cached_(static_cast<std::size_t>(system.cores)) {
+  ws_.curve_energy.resize(static_cast<std::size_t>(system.cores));
+  ws_.views.reserve(static_cast<std::size_t>(system.cores));
+}
 
 LocalOptOptions ResourceManager::local_options() const noexcept {
   if (cfg_.knobs.has_value()) return *cfg_.knobs;
@@ -34,15 +37,17 @@ LocalOptOptions ResourceManager::local_options() const noexcept {
 }
 
 void ResourceManager::reset() {
-  for (auto& entry : cached_) entry.reset();
+  for (CoreCache& entry : cached_) entry.valid = false;
 }
 
-RmDecision ResourceManager::invoke(int invoking_core,
-                                   std::span<const CounterSnapshot> snapshots) {
+const RmDecision& ResourceManager::invoke(
+    int invoking_core, std::span<const CounterSnapshot> snapshots) {
   QOSRM_CHECK(static_cast<int>(snapshots.size()) == system_.cores);
   QOSRM_CHECK(invoking_core >= 0 && invoking_core < system_.cores);
 
-  RmDecision decision;
+  RmDecision& decision = ws_.decision;
+  decision.ops = 0;
+  decision.feasible = true;
   const workload::Setting base = workload::baseline_setting(system_);
   decision.settings.assign(static_cast<std::size_t>(system_.cores), base);
 
@@ -50,28 +55,34 @@ RmDecision ResourceManager::invoke(int invoking_core,
 
   // Local optimization: fresh curve for the invoking core; cores never seen
   // before also get one from their latest counters (cold start), matching
-  // Fig. 3 where other cores' curves are "already available".
+  // Fig. 3 where other cores' curves are "already available". Recomputed
+  // curves are flattened into the workspace's per-core E*(w) array once;
+  // cached cores keep theirs, so no curve is copied on the steady path.
   for (int core = 0; core < system_.cores; ++core) {
+    CoreCache& cache = cached_[static_cast<std::size_t>(core)];
     const bool fresh = core == invoking_core;
-    if (fresh || !cached_[static_cast<std::size_t>(core)].has_value()) {
-      cached_[static_cast<std::size_t>(core)] =
-          local_.optimize(snapshots[static_cast<std::size_t>(core)],
-                          fresh ? &decision.ops : nullptr);
+    if (!fresh && cache.valid) continue;
+    local_.optimize_into(snapshots[static_cast<std::size_t>(core)], cache.local,
+                         fresh ? &decision.ops : nullptr);
+    cache.valid = true;
+    std::vector<double>& energy = ws_.curve_energy[static_cast<std::size_t>(core)];
+    energy.resize(cache.local.choices.size());
+    for (std::size_t i = 0; i < cache.local.choices.size(); ++i) {
+      const WayChoice& c = cache.local.choices[i];
+      energy[i] = c.feasible ? c.energy_j : kInfeasibleEnergy;
     }
   }
 
-  std::vector<EnergyCurve> curves;
-  curves.reserve(static_cast<std::size_t>(system_.cores));
+  ws_.views.clear();
   for (int core = 0; core < system_.cores; ++core) {
-    const LocalOptResult& local = *cached_[static_cast<std::size_t>(core)];
-    EnergyCurve curve;
-    curve.min_ways = local.min_ways;
-    curve.energy = local.energy_curve();
-    curves.push_back(std::move(curve));
+    ws_.views.push_back(
+        {cached_[static_cast<std::size_t>(core)].local.min_ways,
+         std::span<const double>(ws_.curve_energy[static_cast<std::size_t>(core)])});
   }
 
-  const GlobalOptResult global =
-      GlobalOptimizer::optimize(curves, system_.total_ways(), &decision.ops);
+  GlobalOptResult& global = ws_.global_result;
+  GlobalOptimizer::optimize_into(ws_.views, system_.total_ways(), ws_.global,
+                                 global, &decision.ops);
   if (!global.feasible) {
     // Should not happen (the baseline allocation is always feasible), but
     // fall back to the baseline setting defensively.
@@ -80,7 +91,7 @@ RmDecision ResourceManager::invoke(int invoking_core,
   }
 
   for (int core = 0; core < system_.cores; ++core) {
-    const LocalOptResult& local = *cached_[static_cast<std::size_t>(core)];
+    const LocalOptResult& local = cached_[static_cast<std::size_t>(core)].local;
     const WayChoice& choice = local.at(global.ways[static_cast<std::size_t>(core)]);
     QOSRM_CHECK_MSG(choice.feasible, "global optimizer chose an infeasible way");
     decision.settings[static_cast<std::size_t>(core)] = choice.setting;

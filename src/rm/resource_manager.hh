@@ -43,6 +43,18 @@ struct RmDecision {
   bool feasible = true;   ///< false -> fell back to the baseline setting
 };
 
+/// Reusable scratch of the invocation path: per-core flat energy curves, the
+/// global optimizer's reduction buffers and the decision handed back to the
+/// caller. Owned by the ResourceManager; every buffer keeps its capacity
+/// across boundaries, so steady-state invoke() performs no heap allocation.
+struct RmWorkspace {
+  std::vector<std::vector<double>> curve_energy;  ///< per-core E*(w), flat
+  std::vector<EnergyCurveView> views;             ///< spans over curve_energy
+  GlobalOptWorkspace global;
+  GlobalOptResult global_result;
+  RmDecision decision;
+};
+
 class ResourceManager {
  public:
   ResourceManager(const RmConfig& config, const arch::SystemConfig& system,
@@ -50,11 +62,14 @@ class ResourceManager {
 
   /// One RM invocation on behalf of `invoking_core`. `snapshots` holds the
   /// most recent counters of every core (the invoking core's entry must be
-  /// fresh). Returns the new system setting.
-  [[nodiscard]] RmDecision invoke(int invoking_core,
-                                  std::span<const CounterSnapshot> snapshots);
+  /// fresh). Returns the new system setting. The reference points into the
+  /// manager's workspace and stays valid until the next invoke() (copy it to
+  /// keep a decision across boundaries).
+  [[nodiscard]] const RmDecision& invoke(
+      int invoking_core, std::span<const CounterSnapshot> snapshots);
 
-  /// Drops all cached energy curves (e.g. when the workload changes).
+  /// Drops all cached energy curves (e.g. when the workload changes). The
+  /// underlying buffers are kept, so the next boundaries stay allocation-free.
   void reset();
 
   [[nodiscard]] const RmConfig& config() const noexcept { return cfg_; }
@@ -67,12 +82,20 @@ class ResourceManager {
  private:
   [[nodiscard]] LocalOptOptions local_options() const noexcept;
 
+  /// Per-core curve cache. `valid` replaces the previous std::optional so
+  /// reset() can invalidate without releasing the LocalOptResult storage.
+  struct CoreCache {
+    bool valid = false;
+    LocalOptResult local;
+  };
+
   RmConfig cfg_;
   arch::SystemConfig system_;
   PerfModel perf_;
   OnlineEnergyModel energy_;
   LocalOptimizer local_;
-  std::vector<std::optional<LocalOptResult>> cached_;  ///< per-core curves
+  std::vector<CoreCache> cached_;  ///< per-core curves
+  RmWorkspace ws_;
 };
 
 }  // namespace qosrm::rm

@@ -8,18 +8,20 @@ namespace qosrm::rmsim {
 ExperimentRunner::ExperimentRunner(const workload::SimDb& db, const SimOptions& sim)
     : db_(&db), sim_(db, sim) {}
 
-const RunResult& ExperimentRunner::idle_reference(const workload::WorkloadMix& mix) {
+const RunResult& ExperimentRunner::idle_reference(const workload::WorkloadMix& mix,
+                                                  RunScratch* scratch) {
   return idle_cache_.get_or_compute(mix.name, [&] {
     rm::RmConfig idle;
     idle.policy = rm::RmPolicy::Idle;
-    return sim_.run(mix, idle);
+    return sim_.run(mix, idle, {}, scratch);
   });
 }
 
 SavingsResult ExperimentRunner::run(const workload::WorkloadMix& mix,
-                                    const rm::RmConfig& config) {
+                                    const rm::RmConfig& config,
+                                    RunScratch* scratch) {
   SavingsResult result;
-  const RunResult& idle = idle_reference(mix);
+  const RunResult& idle = idle_reference(mix, scratch);
   if (config.policy == rm::RmPolicy::Idle) {
     // The idle policy IS the reference run; reuse it rather than simulating
     // the same trajectory twice. Only the reported model tag differs.
@@ -28,7 +30,7 @@ SavingsResult ExperimentRunner::run(const workload::WorkloadMix& mix,
     result.savings = 0.0;
     return result;
   }
-  result.run = sim_.run(mix, config);
+  result.run = sim_.run(mix, config, {}, scratch);
   result.savings = energy_savings(result.run, idle);
   return result;
 }

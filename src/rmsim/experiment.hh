@@ -29,12 +29,16 @@ class ExperimentRunner {
 
   /// Runs `mix` under `config` and computes savings vs the idle reference
   /// (computed once per workload and cached). An Idle-policy config reuses
-  /// the reference run itself instead of re-simulating.
+  /// the reference run itself instead of re-simulating. `scratch` (optional)
+  /// lets a worker thread reuse simulation buffers across rows; it must not
+  /// be shared between threads.
   [[nodiscard]] SavingsResult run(const workload::WorkloadMix& mix,
-                                  const rm::RmConfig& config);
+                                  const rm::RmConfig& config,
+                                  RunScratch* scratch = nullptr);
 
   /// The idle-RM reference run for a workload.
-  [[nodiscard]] const RunResult& idle_reference(const workload::WorkloadMix& mix);
+  [[nodiscard]] const RunResult& idle_reference(const workload::WorkloadMix& mix,
+                                                RunScratch* scratch = nullptr);
 
   /// Number of idle-reference simulations actually executed so far (at most
   /// one per distinct workload, however many threads race on it).

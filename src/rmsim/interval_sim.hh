@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -82,14 +83,33 @@ struct IntervalObservation {
 };
 using IntervalObserver = std::function<void(const IntervalObservation&)>;
 
+/// Reusable cross-run scratch for IntervalSimulator::run(): per-core state
+/// and counter-snapshot buffers survive between runs, so a worker thread
+/// executing many sweep rows pays the warmup allocations once instead of
+/// once per row. Opaque and NOT thread-safe - keep one scratch per thread.
+class RunScratch {
+ public:
+  RunScratch();
+  ~RunScratch();
+  RunScratch(RunScratch&&) noexcept;
+  RunScratch& operator=(RunScratch&&) noexcept;
+
+ private:
+  friend class IntervalSimulator;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 class IntervalSimulator {
  public:
   IntervalSimulator(const workload::SimDb& db, const SimOptions& options = {});
 
-  /// Runs `mix` under the given RM configuration.
+  /// Runs `mix` under the given RM configuration. `scratch` (optional) makes
+  /// repeated runs reuse per-core buffers; results are identical either way.
   [[nodiscard]] RunResult run(const workload::WorkloadMix& mix,
                               const rm::RmConfig& rm_config,
-                              const IntervalObserver& observer = {}) const;
+                              const IntervalObserver& observer = {},
+                              RunScratch* scratch = nullptr) const;
 
   [[nodiscard]] const SimOptions& options() const noexcept { return opt_; }
 

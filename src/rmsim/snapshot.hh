@@ -17,6 +17,14 @@ namespace qosrm::rmsim {
                                                 const workload::Setting& current,
                                                 int oracle_phase = -1);
 
+/// Allocation-free variant: overwrites every field of `out`, reusing its ATD
+/// vector storage. The interval simulator owns one snapshot per core and
+/// refreshes it through this at every boundary, so the steady state copies
+/// counter values without touching the heap.
+void make_snapshot_into(const workload::SimDb& db, int app, int phase,
+                        const workload::Setting& current, int oracle_phase,
+                        rm::CounterSnapshot& out);
+
 }  // namespace qosrm::rmsim
 
 #endif  // QOSRM_RMSIM_SNAPSHOT_HH

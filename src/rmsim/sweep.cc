@@ -68,7 +68,11 @@ std::vector<SweepRow> SweepRunner::run_range(const SweepGrid& grid,
     rm::RmConfig config;
     config.policy = row.policy;
     config.model = row.model;
-    row.result = runners[ai]->run(mix, config);
+    // Per-thread simulation scratch: worker threads run many rows, so the
+    // per-run warmup buffers (core state, counter snapshots) are reused for
+    // the thread's whole lifetime. Results are independent of the reuse.
+    thread_local RunScratch scratch;
+    row.result = runners[ai]->run(mix, config, &scratch);
   };
 
   std::size_t threads = opt_.threads <= 0

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <string>
 
+#include <unistd.h>
+
 namespace qosrm {
 namespace {
 
@@ -97,6 +99,46 @@ TEST(Subprocess, WaitAnyReturnsInCompletionOrderNotSpawnOrder) {
 
   // Everything reaped: nothing left to wait for.
   EXPECT_FALSE(Subprocess::wait_any(children).has_value());
+}
+
+TEST(Subprocess, WaitAnyStashesExitStatusOfUntrackedChild) {
+  // wait_any() waits with waitpid(-1), so it can reap a child that is NOT in
+  // its tracked list (here: `untracked` exits first while we wait on `slow`).
+  // That status must be stashed - not discarded - so the owning wait() still
+  // reports the real exit code instead of an unknown fate.
+  Subprocess untracked = Subprocess::spawn({"sh", "-c", "exit 7"});
+  Subprocess slow = Subprocess::spawn({"sh", "-c", "sleep 0.3"});
+  // Let the untracked child become a zombie so wait_any reaps it first.
+  usleep(100 * 1000);
+
+  std::vector<Subprocess*> tracked = {&slow};
+  const std::optional<std::size_t> done = Subprocess::wait_any(tracked);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(*done, 0u);
+  EXPECT_TRUE(slow.wait().success());
+
+  const SubprocessExit exit = untracked.wait();
+  EXPECT_TRUE(exit.spawned);
+  EXPECT_TRUE(exit.exited);
+  EXPECT_EQ(exit.exit_code, 7);
+}
+
+TEST(Subprocess, WaitAnyFindsPreviouslyStashedChildWithoutBlocking) {
+  // First wait_any() call tracks only `slow` and stashes `other`'s status;
+  // a later wait_any() that DOES track `other` must surface it immediately
+  // from the stash (waitpid would fail - the pid is already reaped).
+  Subprocess other = Subprocess::spawn({"sh", "-c", "exit 11"});
+  Subprocess slow = Subprocess::spawn({"sh", "-c", "sleep 0.3"});
+  usleep(100 * 1000);
+
+  std::vector<Subprocess*> tracked_slow = {&slow};
+  ASSERT_TRUE(Subprocess::wait_any(tracked_slow).has_value());
+
+  std::vector<Subprocess*> tracked_other = {&other};
+  const std::optional<std::size_t> done = Subprocess::wait_any(tracked_other);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(*done, 0u);
+  EXPECT_EQ(other.wait().exit_code, 11);
 }
 
 TEST(Subprocess, EmptyArgvFailsToSpawn) {

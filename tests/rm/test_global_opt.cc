@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
+#include <memory>
 
 #include "common/rng.hh"
 
@@ -13,6 +15,122 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 EnergyCurve curve(int min_ways, std::vector<double> energy) {
   return {min_ways, std::move(energy)};
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation: the pre-workspace reduction over a tree of
+// heap-allocated nodes, kept verbatim (minus ops counting) as an equivalence
+// oracle for the flat-buffer rewrite. Same pair order, same strict-less
+// tie-breaking, same arithmetic - the results must match bit for bit.
+struct TreeNode {
+  int lo = 0;
+  std::vector<double> energy;
+  std::vector<int> left_ways;
+  int first_core = 0;
+  int last_core = 0;
+  std::unique_ptr<TreeNode> left;
+  std::unique_ptr<TreeNode> right;
+
+  [[nodiscard]] int hi() const noexcept {
+    return lo + static_cast<int>(energy.size()) - 1;
+  }
+};
+
+std::unique_ptr<TreeNode> tree_leaf(const EnergyCurve& curve, int core) {
+  auto node = std::make_unique<TreeNode>();
+  node->lo = curve.min_ways;
+  node->energy = curve.energy;
+  node->first_core = core;
+  node->last_core = core;
+  return node;
+}
+
+std::unique_ptr<TreeNode> tree_combine(std::unique_ptr<TreeNode> a,
+                                       std::unique_ptr<TreeNode> b) {
+  auto node = std::make_unique<TreeNode>();
+  node->lo = a->lo + b->lo;
+  const int hi = a->hi() + b->hi();
+  const auto size = static_cast<std::size_t>(hi - node->lo + 1);
+  node->energy.assign(size, kInf);
+  node->left_ways.assign(size, -1);
+  node->first_core = a->first_core;
+  node->last_core = b->last_core;
+  for (int wa = a->lo; wa <= a->hi(); ++wa) {
+    const double ea = a->energy[static_cast<std::size_t>(wa - a->lo)];
+    if (std::isinf(ea)) continue;
+    for (int wb = b->lo; wb <= b->hi(); ++wb) {
+      const double eb = b->energy[static_cast<std::size_t>(wb - b->lo)];
+      if (std::isinf(eb)) continue;
+      const std::size_t idx = static_cast<std::size_t>(wa + wb - node->lo);
+      if (ea + eb < node->energy[idx]) {
+        node->energy[idx] = ea + eb;
+        node->left_ways[idx] = wa;
+      }
+    }
+  }
+  node->left = std::move(a);
+  node->right = std::move(b);
+  return node;
+}
+
+void tree_backtrack(const TreeNode& node, int total, std::vector<int>& ways) {
+  if (!node.left) {
+    ways[static_cast<std::size_t>(node.first_core)] = total;
+    return;
+  }
+  const int wl = node.left_ways[static_cast<std::size_t>(total - node.lo)];
+  ASSERT_GE(wl, 0);
+  tree_backtrack(*node.left, wl, ways);
+  tree_backtrack(*node.right, total - wl, ways);
+}
+
+GlobalOptResult tree_optimize(std::span<const EnergyCurve> curves,
+                              int total_ways) {
+  std::vector<std::unique_ptr<TreeNode>> level;
+  level.reserve(curves.size());
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    level.push_back(tree_leaf(curves[i], static_cast<int>(i)));
+  }
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<TreeNode>> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(tree_combine(std::move(level[i]), std::move(level[i + 1])));
+    }
+    if (level.size() % 2 == 1) next.push_back(std::move(level.back()));
+    level = std::move(next);
+  }
+  const TreeNode& root = *level.front();
+  GlobalOptResult result;
+  if (total_ways < root.lo || total_ways > root.hi()) return result;
+  const double e = root.energy[static_cast<std::size_t>(total_ways - root.lo)];
+  if (std::isinf(e)) return result;
+  result.feasible = true;
+  result.total_energy = e;
+  result.ways.assign(curves.size(), 0);
+  tree_backtrack(root, total_ways, result.ways);
+  return result;
+}
+
+std::vector<EnergyCurve> random_curves(Rng& rng, int cores) {
+  std::vector<EnergyCurve> curves;
+  for (int c = 0; c < cores; ++c) {
+    EnergyCurve cu;
+    cu.min_ways = 1 + static_cast<int>(rng.uniform_u64(3));
+    const int len = 3 + static_cast<int>(rng.uniform_u64(13));
+    for (int i = 0; i < len; ++i) {
+      cu.energy.push_back(rng.bernoulli(0.25) ? kInf : rng.uniform(1.0, 50.0));
+    }
+    curves.push_back(std::move(cu));
+  }
+  return curves;
+}
+
+std::vector<EnergyCurveView> views_of(const std::vector<EnergyCurve>& curves) {
+  std::vector<EnergyCurveView> views;
+  for (const EnergyCurve& c : curves) {
+    views.push_back({c.min_ways, std::span<const double>(c.energy)});
+  }
+  return views;
 }
 
 TEST(GlobalOpt, SingleCoreTakesWholeBudget) {
@@ -134,6 +252,123 @@ TEST(GlobalOpt, OpsCountGrowsPolynomially) {
   EXPECT_LT(ops8, ops4 * 8);
   EXPECT_GT(ops4, ops2);
   EXPECT_GT(ops8, ops4);
+}
+
+// The flat-buffer reduction must reproduce the old tree reduction EXACTLY
+// (feasibility, bitwise total energy, chosen ways), and agree with
+// exhaustive search where that is affordable.
+TEST(GlobalOptEquivalence, FlatBufferMatchesTreeAndBruteForceOnRandomCurves) {
+  Rng rng(20240707);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int cores = 1 + static_cast<int>(rng.uniform_u64(7));
+    const std::vector<EnergyCurve> curves = random_curves(rng, cores);
+    int sum_lo = 0;
+    int sum_hi = 0;
+    for (const EnergyCurve& c : curves) {
+      sum_lo += c.min_ways;
+      sum_hi += c.max_ways();
+    }
+    // Budgets straddle the reachable range so infeasible/out-of-range
+    // outcomes are exercised too.
+    const int budget =
+        sum_lo - 1 + static_cast<int>(rng.uniform_u64(
+                         static_cast<std::uint64_t>(sum_hi - sum_lo + 3)));
+
+    const GlobalOptResult fast = GlobalOptimizer::optimize(curves, budget);
+    const GlobalOptResult tree = tree_optimize(curves, budget);
+    ASSERT_EQ(fast.feasible, tree.feasible) << "trial " << trial;
+    if (fast.feasible) {
+      EXPECT_EQ(fast.total_energy, tree.total_energy) << "trial " << trial;
+      EXPECT_EQ(fast.ways, tree.ways) << "trial " << trial;
+    }
+
+    if (cores <= 4) {
+      const GlobalOptResult slow = GlobalOptimizer::brute_force(curves, budget);
+      ASSERT_EQ(fast.feasible, slow.feasible) << "trial " << trial;
+      if (fast.feasible) {
+        EXPECT_NEAR(fast.total_energy, slow.total_energy, 1e-9)
+            << "trial " << trial;
+        double attained = 0.0;
+        for (int c = 0; c < cores; ++c) {
+          const EnergyCurve& cu = curves[static_cast<std::size_t>(c)];
+          const int w = fast.ways[static_cast<std::size_t>(c)];
+          ASSERT_GE(w, cu.min_ways);
+          ASSERT_LE(w, cu.max_ways());
+          attained += cu.energy[static_cast<std::size_t>(w - cu.min_ways)];
+        }
+        EXPECT_NEAR(attained, fast.total_energy, 1e-9) << "trial " << trial;
+      }
+    }
+  }
+}
+
+// One workspace driven through many differently-shaped problems must behave
+// exactly like a fresh workspace per problem: nothing of a previous
+// reduction (node metadata, energies, argmin splits) may leak into the next.
+TEST(GlobalOptEquivalence, WorkspaceReuseDoesNotLeakStateBetweenCalls) {
+  Rng rng(42);
+  GlobalOptWorkspace reused_ws;
+  GlobalOptResult reused_out;
+  for (int trial = 0; trial < 100; ++trial) {
+    const int cores = 1 + static_cast<int>(rng.uniform_u64(6));
+    const std::vector<EnergyCurve> curves = random_curves(rng, cores);
+    const std::vector<EnergyCurveView> views = views_of(curves);
+    int sum_lo = 0;
+    int sum_hi = 0;
+    for (const EnergyCurve& c : curves) {
+      sum_lo += c.min_ways;
+      sum_hi += c.max_ways();
+    }
+    const int budget =
+        sum_lo + static_cast<int>(rng.uniform_u64(
+                     static_cast<std::uint64_t>(sum_hi - sum_lo + 1)));
+
+    std::uint64_t reused_ops = 0;
+    GlobalOptimizer::optimize_into(views, budget, reused_ws, reused_out,
+                                   &reused_ops);
+
+    GlobalOptWorkspace fresh_ws;
+    GlobalOptResult fresh_out;
+    std::uint64_t fresh_ops = 0;
+    GlobalOptimizer::optimize_into(views, budget, fresh_ws, fresh_out,
+                                   &fresh_ops);
+
+    ASSERT_EQ(reused_out.feasible, fresh_out.feasible) << "trial " << trial;
+    EXPECT_EQ(reused_out.total_energy, fresh_out.total_energy)
+        << "trial " << trial;
+    EXPECT_EQ(reused_out.ways, fresh_out.ways) << "trial " << trial;
+    EXPECT_EQ(reused_ops, fresh_ops) << "trial " << trial;
+  }
+}
+
+// One op is one FEASIBLE-pair DP step. Hand-counted case: curve a has
+// feasible entries {w=3, w=4}, b has {w=2, w=4} (2*2 = 4 steps); their
+// combination covers feasible totals {5, 6, 7, 8} and c has one feasible
+// entry (4*1 = 4 steps) - 8 steps in total.
+TEST(GlobalOpt, OpsCountIsOneFeasiblePairPerDpStep) {
+  const std::vector<EnergyCurve> curves = {curve(2, {kInf, 5, 1}),
+                                           curve(2, {1, kInf, 2}),
+                                           curve(2, {2, kInf})};
+  std::uint64_t ops = 0;
+  const auto r = GlobalOptimizer::optimize(curves, 8, &ops);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(ops, 8u);
+}
+
+// An infeasible LEFT entry must be charged exactly like an infeasible RIGHT
+// entry (the old implementation skipped the whole inner loop uncounted for
+// the former but charged the latter).
+TEST(GlobalOpt, OpsCountSymmetricUnderOperandSwap) {
+  const EnergyCurve holes = curve(2, {kInf, 5, kInf, 1});
+  const EnergyCurve full = curve(2, {1, 2, 3, 4});
+  std::uint64_t ops_ab = 0;
+  std::uint64_t ops_ba = 0;
+  (void)GlobalOptimizer::optimize(std::vector<EnergyCurve>{holes, full}, 8,
+                                  &ops_ab);
+  (void)GlobalOptimizer::optimize(std::vector<EnergyCurve>{full, holes}, 8,
+                                  &ops_ba);
+  EXPECT_EQ(ops_ab, ops_ba);
+  EXPECT_EQ(ops_ab, 8u);  // 2 feasible entries x 4 feasible entries
 }
 
 TEST(GlobalOpt, PrefersFeasibleEvenSplitWhenSymmetric) {

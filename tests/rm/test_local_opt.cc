@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "rmsim/snapshot.hh"
 #include "support/shared_db.hh"
@@ -155,6 +157,81 @@ TEST(LocalOpt, Rm3SearchCostsMoreOpsThanRm2) {
   (void)rm2.optimize(snapshot_of("mcf"), &ops2);
   (void)rm3.optimize(snapshot_of("mcf"), &ops3);
   EXPECT_GT(ops3, ops2);  // three core sizes vs one
+}
+
+// The optimizer hoists the target-invariant Eq. 1 terms out of its
+// (w, c, f) sweep. This reference loop evaluates the model directly per
+// setting - exactly what the pre-hoisting implementation did - and every
+// result field must match BITWISE, for every analytical model kind and a
+// spread of apps/knob sets.
+TEST(LocalOpt, HoistedSweepMatchesModelCalls) {
+  const arch::SystemConfig& sys = db().system();
+  for (const PerfModelKind kind :
+       {PerfModelKind::Model1, PerfModelKind::Model2, PerfModelKind::Model3}) {
+    for (const char* app : {"mcf", "libquantum", "bwaves", "xalancbmk"}) {
+      for (const LocalOptOptions opt :
+           {LocalOptOptions{false, false}, LocalOptOptions{true, false},
+            LocalOptOptions{true, true}}) {
+        const PerfModel perf(kind, sys);
+        const OnlineEnergyModel energy(db().power());
+        const LocalOptimizer lo(perf, energy, opt);
+        const CounterSnapshot snap = snapshot_of(app);
+        const LocalOptResult result = lo.optimize(snap);
+
+        const workload::Setting base = workload::baseline_setting(sys);
+        const double t_base = perf.predict_time(snap, base) * sys.qos_alpha;
+        const std::vector<arch::CoreSize> sizes =
+            opt.allow_resize
+                ? std::vector<arch::CoreSize>{arch::CoreSize::S,
+                                              arch::CoreSize::M,
+                                              arch::CoreSize::L}
+                : std::vector<arch::CoreSize>{arch::kBaselineCoreSize};
+
+        for (int w = sys.llc.min_ways; w <= sys.llc.max_ways; ++w) {
+          WayChoice expect;
+          for (const arch::CoreSize c : sizes) {
+            int f_star = -1;
+            double t_star = 0.0;
+            if (opt.allow_dvfs) {
+              for (int f = 0; f < arch::VfTable::kNumPoints; ++f) {
+                const double t = perf.predict_time(snap, {c, f, w});
+                if (t <= t_base) {
+                  f_star = f;
+                  t_star = t;
+                  break;
+                }
+              }
+            } else {
+              const double t =
+                  perf.predict_time(snap, {c, arch::VfTable::kBaselineIndex, w});
+              if (t <= t_base) {
+                f_star = arch::VfTable::kBaselineIndex;
+                t_star = t;
+              }
+            }
+            if (f_star < 0) continue;
+            const workload::Setting s{c, f_star, w};
+            const double e = energy.estimate(snap, s, t_star);
+            if (e < expect.energy_j) {
+              expect.feasible = true;
+              expect.setting = s;
+              expect.predicted_time_s = t_star;
+              expect.energy_j = e;
+            }
+          }
+
+          const WayChoice& got = result.at(w);
+          const std::string where = std::string(perf_model_name(kind)) + "/" +
+                                    app + "/w=" + std::to_string(w);
+          ASSERT_EQ(got.feasible, expect.feasible) << where;
+          if (!expect.feasible) continue;
+          EXPECT_TRUE(got.setting == expect.setting) << where;
+          EXPECT_EQ(got.predicted_time_s, expect.predicted_time_s) << where;
+          EXPECT_EQ(got.energy_j, expect.energy_j) << where;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "rmsim/snapshot.hh"
 #include "support/shared_db.hh"
 
@@ -122,6 +125,51 @@ TEST(ResourceManager, ResetForcesCurveRebuild) {
   int total = 0;
   for (const Setting& s : d.settings) total += s.w;
   EXPECT_EQ(total, db().system().total_ways());
+}
+
+TEST(ResourceManager, RepeatedInvokeDoesNotLeakWorkspaceState) {
+  // Two managers fed the same invocation sequence must agree step by step:
+  // the reused workspace (flat curves, DP buffers, decision storage) may not
+  // carry anything observable from one boundary to the next.
+  ResourceManager a(config(RmPolicy::Rm3), db().system(), db().power());
+  ResourceManager b(config(RmPolicy::Rm3), db().system(), db().power());
+  const auto snaps1 = snapshots_for({"mcf", "libquantum"});
+  const auto snaps2 = snapshots_for({"xalancbmk", "bwaves"});
+  const std::vector<std::pair<int, const std::vector<CounterSnapshot>*>> seq = {
+      {0, &snaps1}, {1, &snaps1}, {0, &snaps2}, {1, &snaps2}, {0, &snaps1},
+      {1, &snaps2}, {0, &snaps1}, {1, &snaps1}};
+  for (std::size_t step = 0; step < seq.size(); ++step) {
+    const RmDecision da = a.invoke(seq[step].first, *seq[step].second);
+    const RmDecision db_ = b.invoke(seq[step].first, *seq[step].second);
+    ASSERT_EQ(da.settings.size(), db_.settings.size()) << "step " << step;
+    for (std::size_t k = 0; k < da.settings.size(); ++k) {
+      EXPECT_TRUE(da.settings[k] == db_.settings[k])
+          << "step " << step << " core " << k;
+    }
+    EXPECT_EQ(da.ops, db_.ops) << "step " << step;
+    EXPECT_EQ(da.feasible, db_.feasible) << "step " << step;
+  }
+}
+
+TEST(ResourceManager, ResetPlusReuseMatchesFreshManager) {
+  // A manager that has been through unrelated boundaries and then reset()
+  // must decide exactly like a brand-new manager: reset invalidates every
+  // cached curve while the workspace buffers are merely reused.
+  ResourceManager seasoned(config(RmPolicy::Rm3), db().system(), db().power());
+  const auto warmup = snapshots_for({"xalancbmk", "bwaves"});
+  (void)seasoned.invoke(0, warmup);
+  (void)seasoned.invoke(1, warmup);
+  seasoned.reset();
+
+  ResourceManager fresh(config(RmPolicy::Rm3), db().system(), db().power());
+  const auto snaps = snapshots_for({"mcf", "libquantum"});
+  const RmDecision a = seasoned.invoke(0, snaps);
+  const RmDecision b = fresh.invoke(0, snaps);
+  ASSERT_EQ(a.settings.size(), b.settings.size());
+  for (std::size_t k = 0; k < a.settings.size(); ++k) {
+    EXPECT_TRUE(a.settings[k] == b.settings[k]) << "core " << k;
+  }
+  EXPECT_EQ(a.ops, b.ops);
 }
 
 TEST(ResourceManager, PolicyNames) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "support/shared_db.hh"
 
 namespace qosrm::rmsim {
@@ -116,6 +120,124 @@ TEST(IntervalSim, ShorterAppRestartsUntilBound) {
   EXPECT_GT(r.cores[0].intervals,
             static_cast<std::uint64_t>(
                 db().suite().app(povray).length_intervals()));
+}
+
+/// Violation statistics recomputed from the observer stream against the
+/// alpha-relaxed target (Eq. 6 with T_base * alpha as the reference).
+struct ViolationTally {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+};
+
+ViolationTally expected_violations(const RunResult& r, double alpha,
+                                   double epsilon,
+                                   const std::vector<IntervalObservation>& obs) {
+  (void)r;
+  ViolationTally t;
+  for (const IntervalObservation& o : obs) {
+    const double target = db().baseline_time(o.app, o.phase) * alpha;
+    if (o.duration_s > target * (1.0 + epsilon)) {
+      ++t.count;
+      const double v = (o.duration_s - target) / target;
+      t.sum += v;
+      t.max = std::max(t.max, v);
+    }
+  }
+  return t;
+}
+
+// Regression for the alpha-relative accounting fix: with a relaxed QoS
+// constraint (alpha = 1.1) BOTH the violation condition and the Eq. 6
+// magnitude must be measured against the alpha-relaxed target. The old code
+// triggered on the relaxed target but accumulated (T - T_base) / T_base,
+// overstating every magnitude by roughly the relaxation factor.
+TEST(IntervalSim, ViolationMagnitudeMeasuredAgainstAlphaRelaxedTarget) {
+  SimOptions opt;
+  opt.qos_alpha_override = 1.1;
+  const IntervalSimulator sim(db(), opt);
+  std::vector<IntervalObservation> observations;
+  // Model1 ignores MLP entirely, so its mispredictions produce violations
+  // even under a relaxed constraint.
+  const RunResult r =
+      sim.run(mix2("mcf", "xalancbmk"), cfg(rm::RmPolicy::Rm3, rm::PerfModelKind::Model1),
+              [&](const IntervalObservation& o) { observations.push_back(o); });
+
+  const ViolationTally expect =
+      expected_violations(r, 1.1, opt.qos_epsilon, observations);
+  ASSERT_GT(expect.count, 0u) << "mix produces no violations at alpha=1.1; "
+                                 "the regression test would be vacuous";
+
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+  for (const CoreResult& c : r.cores) {
+    count += c.qos_violations;
+    sum += c.violation_sum;
+    max = std::max(max, c.violation_max);
+  }
+  EXPECT_EQ(count, expect.count);
+  EXPECT_DOUBLE_EQ(sum, expect.sum);
+  EXPECT_DOUBLE_EQ(max, expect.max);
+
+  // The base-relative (buggy) magnitude is strictly larger for every
+  // violating interval; equality with the alpha-relative tally pins the fix.
+  const ViolationTally base_relative =
+      expected_violations(r, 1.0, (1.1 / 1.0) * (1.0 + opt.qos_epsilon) - 1.0,
+                          observations);
+  EXPECT_GT(base_relative.sum, expect.sum);
+}
+
+// At alpha = 1 the relaxed target IS the baseline time, so the fix must not
+// move any number: magnitudes still equal the base-relative Eq. 6 values
+// (this is why the alpha=1 golden CSV is unaffected by the fix).
+TEST(IntervalSim, AlphaOneViolationAccountingUnchanged) {
+  SimOptions opt;
+  opt.qos_alpha_override = 1.0;
+  const IntervalSimulator sim(db(), opt);
+  std::vector<IntervalObservation> observations;
+  const RunResult r =
+      sim.run(mix2("mcf", "xalancbmk"), cfg(rm::RmPolicy::Rm3, rm::PerfModelKind::Model1),
+              [&](const IntervalObservation& o) { observations.push_back(o); });
+  const ViolationTally expect =
+      expected_violations(r, 1.0, opt.qos_epsilon, observations);
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  for (const CoreResult& c : r.cores) {
+    count += c.qos_violations;
+    sum += c.violation_sum;
+  }
+  EXPECT_EQ(count, expect.count);
+  EXPECT_DOUBLE_EQ(sum, expect.sum);
+
+  // An explicit alpha=1 override and the database default (qos_alpha = 1)
+  // must also be indistinguishable.
+  const IntervalSimulator sim_default(db());
+  const RunResult d = sim_default.run(mix2("mcf", "xalancbmk"),
+                                      cfg(rm::RmPolicy::Rm3, rm::PerfModelKind::Model1));
+  EXPECT_EQ(d.total_violations(), r.total_violations());
+  EXPECT_DOUBLE_EQ(d.total_energy_j(), r.total_energy_j());
+}
+
+TEST(IntervalSim, ScratchReuseProducesIdenticalResults) {
+  // One RunScratch threaded through several runs (different mixes, policies
+  // and core states) must not change a single bit of any result.
+  const IntervalSimulator sim(db());
+  RunScratch scratch;
+  const auto mix_a = mix2("mcf", "libquantum");
+  const auto mix_b = mix2("gcc", "namd");
+  const RunResult a1 = sim.run(mix_a, cfg(rm::RmPolicy::Rm3), {}, &scratch);
+  const RunResult b1 = sim.run(mix_b, cfg(rm::RmPolicy::Rm2), {}, &scratch);
+  const RunResult a2 = sim.run(mix_a, cfg(rm::RmPolicy::Rm3));
+  const RunResult b2 = sim.run(mix_b, cfg(rm::RmPolicy::Rm2));
+  EXPECT_EQ(a1.total_energy_j(), a2.total_energy_j());
+  EXPECT_EQ(a1.wall_time_s, a2.wall_time_s);
+  EXPECT_EQ(a1.total_violations(), a2.total_violations());
+  EXPECT_EQ(a1.rm_ops, a2.rm_ops);
+  EXPECT_EQ(b1.total_energy_j(), b2.total_energy_j());
+  EXPECT_EQ(b1.wall_time_s, b2.wall_time_s);
+  EXPECT_EQ(b1.total_violations(), b2.total_violations());
+  EXPECT_EQ(b1.rm_ops, b2.rm_ops);
 }
 
 TEST(IntervalSim, SavingsAgainstSelfIsZero) {
