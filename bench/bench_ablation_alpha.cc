@@ -81,5 +81,6 @@ int main(int argc, char** argv) {
   std::printf("\n(alpha = 1.00 is the paper's operating point; the violation\n"
               "rate at alpha > 1 counts intervals slower than alpha x the\n"
               "baseline, i.e. violations of the RELAXED constraint.)\n");
+  if (csv) csv->close();  // surface commit errors instead of swallowing them
   return 0;
 }

@@ -87,5 +87,6 @@ int main(int argc, char** argv) {
               (per_variant_total[3] -
                std::max(per_variant_total[1], per_variant_total[2])) /
                   n * 100.0);
+  if (csv) csv->close();  // surface commit errors instead of swallowing them
   return 0;
 }

@@ -92,5 +92,6 @@ int main(int argc, char** argv) {
               "(paper: 11%% vs ~0)\n",
               rows[2].savings[2] * 100.0, rows[2].savings[0] * 100.0,
               rows[2].savings[1] * 100.0);
+  if (csv) csv->close();  // surface commit errors instead of swallowing them
   return 0;
 }

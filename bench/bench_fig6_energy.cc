@@ -4,18 +4,28 @@
 // Also prints the per-scenario means and the probability-weighted average
 // (weights 47 / 22.1 / 22.1 / 8.8 % as in Section V-A).
 //
+// Expressed on top of the sweep + figure-report layer: the grid runs
+// through SweepRunner (thread-parallel, idle references cached once per
+// mix) and every printed aggregate comes from the same build_figure_report
+// that produces the CI-gated JSON reports - the ASCII tables and the
+// golden-gated numbers cannot drift apart.
+//
 // Flags: --cores=4,8  --per-scenario=6  --seed=2020  --csv=fig6.csv
-//        --no-overheads  --model=1|2|3  --db-cache=DIR (snapshot directory:
-//        reuse the simulation database across runs, see workload/db_io.hh)
+//        --json=fig6.json  --no-overheads  --model=1|2|3  --threads=N
+//        --db-cache=DIR (snapshot directory: reuse the simulation database
+//        across runs, see workload/db_io.hh)
 #include <cstdio>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/cli.hh"
 #include "common/csv.hh"
-#include "rmsim/experiment.hh"
+#include "common/str.hh"
 #include "rmsim/report.hh"
+#include "rmsim/shard.hh"
+#include "rmsim/sweep.hh"
 #include "workload/db_io.hh"
 
 using namespace qosrm;
@@ -52,8 +62,9 @@ int main(int argc, char** argv) {
   const rm::PerfModelKind model =
       model_from(static_cast<int>(args.get_int("model", 3)));
 
-  rmsim::SimOptions sim_options;
-  sim_options.model_overheads = !args.get_bool("no-overheads", false);
+  rmsim::SweepOptions sweep_options;
+  sweep_options.threads = static_cast<int>(args.get_int("threads", 0));
+  sweep_options.sim.model_overheads = !args.get_bool("no-overheads", false);
 
   std::unique_ptr<CsvWriter> csv;
   if (args.has("csv")) {
@@ -63,14 +74,10 @@ int main(int argc, char** argv) {
                                  "model", "savings", "violation_rate"});
   }
 
-  const auto weights = rmsim::scenario_weights(workload::spec_suite());
-  const std::vector<rm::RmPolicy> policies = {
-      rm::RmPolicy::Rm1, rm::RmPolicy::Rm2, rm::RmPolicy::Rm3};
-
   for (const int cores : core_counts) {
     std::printf("=== Fig. 6 (%d-core workloads, %s, overheads %s) ===\n", cores,
                 rm::perf_model_name(model),
-                sim_options.model_overheads ? "on" : "off");
+                sweep_options.sim.model_overheads ? "on" : "off");
 
     arch::SystemConfig system;
     system.cores = cores;
@@ -80,80 +87,97 @@ int main(int argc, char** argv) {
         args.has("db-cache")
             ? workload::db_cache_path(args.get("db-cache", ""), cores)
             : std::string());
-    rmsim::ExperimentRunner runner(db, sim_options);
 
     workload::WorkloadGenOptions gen;
     gen.cores = cores;
     gen.per_scenario = per_scenario;
     gen.seed = seed;
-    const auto mixes = generate_workloads(workload::spec_suite(), gen);
 
+    rmsim::SweepGrid grid;
+    grid.mixes = generate_workloads(workload::spec_suite(), gen);
+    grid.policies = {rm::RmPolicy::Rm1, rm::RmPolicy::Rm2, rm::RmPolicy::Rm3};
+    grid.models = {model};
+    grid.qos_alphas = {0.0};
+
+    rmsim::SweepRunner runner(db, sweep_options);
+    const rmsim::SweepResult result = runner.run(grid);
+    const rmsim::FigureReport report = rmsim::build_figure_report(
+        result.rows, grid.shape(),
+        rmsim::sweep_fingerprint(
+            grid, sweep_options.sim,
+            workload::simdb_fingerprint(db.suite(), db.system(),
+                                        db.phase_options())),
+        rmsim::scenario_weights(db.suite()));
+
+    // Per-workload savings grid: one column per policy, straight from the
+    // report's per-mix data.
     std::vector<rmsim::SavingsGridRow> rows;
-    std::vector<workload::Scenario> scenario_of_row;
-    std::array<std::vector<double>, 3> all_savings;  // per policy
-
-    for (const auto& mix : mixes) {
+    for (std::size_t mi = 0; mi < report.workloads.size(); ++mi) {
       rmsim::SavingsGridRow row;
-      row.workload = mix.name;
-      row.scenario = mix.scenario;
-      for (std::size_t p = 0; p < policies.size(); ++p) {
-        rm::RmConfig cfg;
-        cfg.policy = policies[p];
-        cfg.model = model;
-        const rmsim::SavingsResult r = runner.run(mix, cfg);
-        row.savings.push_back(r.savings);
-        all_savings[p].push_back(r.savings);
-        if (csv) {
-          csv->add_row({mix.name, std::to_string(cores),
-                        rmsim::scenario_label(mix.scenario),
-                        rm::rm_policy_name(policies[p]),
-                        rm::perf_model_name(model), std::to_string(r.savings),
-                        std::to_string(r.run.violation_rate())});
-        }
+      row.workload = report.workloads[mi];
+      row.scenario = report.scenarios[mi];
+      for (std::size_t pi = 0; pi < grid.policies.size(); ++pi) {
+        row.savings.push_back(report.fig6[pi].per_mix_savings[mi]);
       }
-      scenario_of_row.push_back(mix.scenario);
       rows.push_back(std::move(row));
     }
-
     rmsim::savings_grid(rows, {"RM1", "RM2", "RM3"}).print();
 
-    // Per-scenario means plus the weighted and plain averages (paper V-A).
+    if (csv) {
+      for (const rmsim::SweepRow& row : result.rows) {
+        csv->add_row({row.workload, std::to_string(cores),
+                      rmsim::scenario_label(row.scenario),
+                      rm::rm_policy_name(row.policy),
+                      rm::perf_model_name(row.model),
+                      std::to_string(row.result.savings),
+                      std::to_string(row.result.run.violation_rate())});
+      }
+    }
+
+    // Per-scenario means plus the weighted and plain averages (paper V-A) -
+    // all precomputed by the report layer.
     AsciiTable summary({"Aggregate", "RM1", "RM2", "RM3"});
     for (const workload::Scenario s : workload::kAllScenarios) {
       std::vector<std::string> row = {rmsim::scenario_label(s) + " mean"};
-      for (std::size_t p = 0; p < policies.size(); ++p) {
-        double sum = 0.0;
-        int count = 0;
-        for (std::size_t i = 0; i < rows.size(); ++i) {
-          if (scenario_of_row[i] == s) {
-            sum += all_savings[p][i];
-            ++count;
-          }
-        }
-        row.push_back(AsciiTable::pct(count > 0 ? sum / count : 0.0));
+      for (std::size_t pi = 0; pi < grid.policies.size(); ++pi) {
+        row.push_back(AsciiTable::pct(
+            report.fig6[pi]
+                .scenario_mean_savings[static_cast<std::size_t>(
+                    static_cast<int>(s) - 1)]));
       }
       summary.add_row(std::move(row));
     }
     std::vector<std::string> weighted = {"weighted average (47/22.1/22.1/8.8)"};
     std::vector<std::string> plain = {"plain average"};
     std::vector<std::string> peak = {"maximum"};
-    for (std::size_t p = 0; p < policies.size(); ++p) {
-      weighted.push_back(AsciiTable::pct(rmsim::weighted_average_savings(
-          scenario_of_row, all_savings[p], weights)));
-      double sum = 0.0, mx = -1.0;
-      for (const double s : all_savings[p]) {
-        sum += s;
-        mx = std::max(mx, s);
-      }
-      plain.push_back(
-          AsciiTable::pct(sum / static_cast<double>(all_savings[p].size())));
-      peak.push_back(AsciiTable::pct(mx));
+    for (std::size_t pi = 0; pi < grid.policies.size(); ++pi) {
+      weighted.push_back(AsciiTable::pct(report.fig6[pi].weighted_savings));
+      plain.push_back(AsciiTable::pct(report.fig6[pi].mean_savings));
+      peak.push_back(AsciiTable::pct(report.fig6[pi].max_savings));
     }
     summary.add_row(std::move(weighted));
     summary.add_row(std::move(plain));
     summary.add_row(std::move(peak));
     summary.print();
+
+    if (args.has("json")) {
+      // One report per core count; a multi-count run suffixes the path so
+      // the 4-core report is not overwritten by the 8-core one.
+      std::string path = args.get("json", "fig6.json");
+      if (core_counts.size() > 1) {
+        path = format("%s.c%d", path.c_str(), cores);
+      }
+      std::string error;
+      if (!rmsim::write_report_json(report, path, &error)) {
+        std::fprintf(stderr, "--json: %s\n", error.c_str());
+        // Failed run: publish nothing, not a CSV covering only some cores.
+        if (csv) csv->abandon();
+        return 1;
+      }
+      std::printf("wrote figure report to %s\n", path.c_str());
+    }
     std::printf("\n");
   }
+  if (csv) csv->close();  // surface commit errors instead of swallowing them
   return 0;
 }

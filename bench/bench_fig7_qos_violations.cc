@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
                    std::to_string(r.expected_violation),
                    std::to_string(r.violation_stddev)});
     }
+    csv.close();  // surface commit errors instead of swallowing them
   }
   return 0;
 }

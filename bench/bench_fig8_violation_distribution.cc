@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
                      std::to_string(norm[b])});
       }
     }
+    csv.close();  // surface commit errors instead of swallowing them
   }
   return 0;
 }

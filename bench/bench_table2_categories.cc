@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
                    workload::category_name(cls.category()),
                    workload::category_name(db.suite().intended_category(cls.app))});
     }
+    csv.close();  // surface commit errors instead of swallowing them
   }
   return agreements == 27 ? 0 : 1;
 }

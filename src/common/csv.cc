@@ -1,6 +1,9 @@
 #include "common/csv.hh"
 
+#include <exception>
 #include <stdexcept>
+
+#include "common/file_util.hh"
 
 namespace qosrm {
 
@@ -20,19 +23,49 @@ std::string escape(const std::string& cell) {
 }  // namespace
 
 CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
-    : path_(path), out_(path) {
-  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
-  write_row(header);
+    : path_(path), ctor_uncaught_(std::uncaught_exceptions()) {
+  // Fail construction if the location is not writable (same contract as the
+  // old stream-as-you-go writer): probe the exact temp sibling the commit
+  // will use, without touching the target path itself.
+  std::string error;
+  if (!probe_writable_atomic(path, &error)) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  append_row(header);
 }
 
-void CsvWriter::add_row(const std::vector<std::string>& row) { write_row(row); }
-
-void CsvWriter::write_row(const std::vector<std::string>& row) {
-  for (std::size_t i = 0; i < row.size(); ++i) {
-    if (i > 0) out_ << ',';
-    out_ << escape(row[i]);
+void CsvWriter::close() {
+  if (closed_) return;
+  std::string error;
+  if (!write_file_atomic(path_, buffer_, &error)) {
+    throw std::runtime_error("CsvWriter: " + error);
   }
-  out_ << '\n';
+  closed_ = true;
+}
+
+void CsvWriter::abandon() noexcept {
+  closed_ = true;
+  buffer_.clear();
+}
+
+CsvWriter::~CsvWriter() {
+  // Unwinding due to an exception thrown since construction: the run
+  // failed, so the partial CSV must not be published.
+  if (std::uncaught_exceptions() > ctor_uncaught_) return;
+  try {
+    close();
+  } catch (...) {  // destructor must not throw; use close() to see errors
+  }
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) { append_row(row); }
+
+void CsvWriter::append_row(const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) buffer_ += ',';
+    buffer_ += escape(row[i]);
+  }
+  buffer_ += '\n';
 }
 
 }  // namespace qosrm

@@ -1,0 +1,62 @@
+#include "common/file_util.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "common/str.hh"
+
+namespace qosrm {
+
+std::string atomic_tmp_path(const std::string& path) {
+  // PID-unique sibling: concurrent writers to the same target cannot trample
+  // each other's temp file, and the rename stays within one filesystem.
+  return format("%s.tmp.%ld", path.c_str(), static_cast<long>(::getpid()));
+}
+
+bool probe_writable_atomic(const std::string& path, std::string* error) {
+  const std::string tmp_path = atomic_tmp_path(path);
+  {
+    std::ofstream probe(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!probe.good()) {
+      if (error != nullptr) {
+        *error = format("cannot write to %s", path.c_str());
+      }
+      return false;
+    }
+  }
+  std::remove(tmp_path.c_str());
+  return true;
+}
+
+bool write_file_atomic(const std::string& path, const std::string& content,
+                       std::string* error) {
+  const auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+
+  const std::string tmp_path = atomic_tmp_path(path);
+  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    return fail(format("cannot open %s for writing", path.c_str()));
+  }
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out.good()) {
+    out.close();
+    std::remove(tmp_path.c_str());
+    return fail(format("write to %s failed", path.c_str()));
+  }
+  out.close();
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return fail(format("cannot move %s into place", path.c_str()));
+  }
+  return true;
+}
+
+}  // namespace qosrm

@@ -2,11 +2,541 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <set>
 
+#include "common/check.hh"
+#include "common/csv.hh"
+#include "common/file_util.hh"
 #include "common/str.hh"
 #include "rm/perf_model.hh"
 
 namespace qosrm::rmsim {
+
+namespace {
+
+/// Full-precision double formatting so equal reports yield byte-identical
+/// files (same convention as the sweep CSV writers).
+std::string fmtd(double v) { return format("%.17g", v); }
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += ch;
+    }
+  }
+  return out;
+}
+
+std::string config_prefix(rm::RmPolicy policy, rm::PerfModelKind model,
+                          double alpha) {
+  return format("{\"policy\": \"%s\", \"model\": \"%s\", \"alpha\": %s",
+                rm::rm_policy_name(policy), rm::perf_model_name(model),
+                fmtd(alpha).c_str());
+}
+
+/// Index of the fig6/fig7 entry of configuration (ai, ki, pi): the entries
+/// are emitted alpha-major, model, then policy.
+std::size_t config_index(const GridShape& shape, std::size_t ai,
+                         std::size_t ki, std::size_t pi) {
+  return pi + shape.policies * (ki + shape.models * ai);
+}
+
+bool write_csv_atomic(const std::string& path,
+                      const std::vector<std::string>& header,
+                      const std::vector<std::vector<std::string>>& rows,
+                      std::string* error) {
+  try {
+    CsvWriter csv(path, header);
+    for (const std::vector<std::string>& row : rows) csv.add_row(row);
+    csv.close();
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FigureReport build_figure_report(const std::vector<SweepRow>& rows,
+                                 const GridShape& shape,
+                                 std::uint64_t fingerprint,
+                                 const std::array<double, 4>& weights) {
+  QOSRM_CHECK_MSG(shape.size() > 0, "figure report needs a non-empty grid");
+  QOSRM_CHECK_MSG(rows.size() == shape.size(),
+                  "figure report row count does not match the grid shape");
+  const std::size_t n_mix = shape.mixes;
+  const std::size_t n_pol = shape.policies;
+  const std::size_t n_mod = shape.models;
+
+  FigureReport report;
+  report.fingerprint = fingerprint;
+  report.shape = shape;
+  report.scenario_weights = weights;
+
+  // The axes are recoverable from the rows because the grid order is fixed
+  // (alpha-major, mix-minor) - the same invariant compute_aggregates uses.
+  for (std::size_t mi = 0; mi < n_mix; ++mi) {
+    report.workloads.push_back(rows[mi].workload);
+    report.scenarios.push_back(rows[mi].scenario);
+  }
+  for (std::size_t pi = 0; pi < n_pol; ++pi) {
+    report.policies.push_back(rows[n_mix * pi].policy);
+  }
+  for (std::size_t ki = 0; ki < n_mod; ++ki) {
+    report.models.push_back(rows[n_mix * n_pol * ki].model);
+  }
+  for (std::size_t ai = 0; ai < shape.alphas; ++ai) {
+    report.qos_alphas.push_back(rows[n_mix * n_pol * n_mod * ai].qos_alpha);
+  }
+
+  std::vector<workload::Scenario> scenarios;
+  std::vector<double> savings;
+  scenarios.reserve(n_mix);
+  savings.reserve(n_mix);
+  for (std::size_t ai = 0; ai < shape.alphas; ++ai) {
+    for (std::size_t ki = 0; ki < n_mod; ++ki) {
+      for (std::size_t pi = 0; pi < n_pol; ++pi) {
+        scenarios.clear();
+        savings.clear();
+
+        Fig6Entry e6;
+        Fig7Entry e7;
+        const std::size_t block = n_mix * (pi + n_pol * (ki + n_mod * ai));
+        e6.policy = e7.policy = rows[block].policy;
+        e6.model = e7.model = rows[block].model;
+        e6.qos_alpha = e7.qos_alpha = rows[block].qos_alpha;
+
+        std::array<double, 4> scenario_sum{};
+        std::array<std::size_t, 4> scenario_count{};
+        double rate_sum = 0.0;
+        double magnitude_sum = 0.0;
+        e6.max_savings = -std::numeric_limits<double>::infinity();
+        for (std::size_t mi = 0; mi < n_mix; ++mi) {
+          const SweepRow& row = rows[block + mi];
+          const RunResult& run = row.result.run;
+          scenarios.push_back(row.scenario);
+          savings.push_back(row.result.savings);
+          const auto s =
+              static_cast<std::size_t>(static_cast<int>(row.scenario) - 1);
+          scenario_sum[s] += row.result.savings;
+          ++scenario_count[s];
+          e6.mean_savings += row.result.savings;
+          e6.max_savings = std::max(e6.max_savings, row.result.savings);
+          e6.per_mix_savings.push_back(row.result.savings);
+
+          e7.intervals += run.total_intervals();
+          const std::uint64_t mix_violations = run.total_violations();
+          e7.violations += mix_violations;
+          if (mix_violations > 0) ++e7.violating_mixes;
+          rate_sum += run.violation_rate();
+          for (const CoreResult& core : run.cores) {
+            magnitude_sum += core.violation_sum;
+            e7.max_magnitude = std::max(e7.max_magnitude, core.violation_max);
+          }
+        }
+        e6.weighted_savings =
+            weighted_average_savings(scenarios, savings, weights);
+        e6.mean_savings /= static_cast<double>(n_mix);
+        for (std::size_t s = 0; s < 4; ++s) {
+          e6.scenario_mean_savings[s] =
+              scenario_count[s] > 0
+                  ? scenario_sum[s] / static_cast<double>(scenario_count[s])
+                  : 0.0;
+        }
+        e7.violation_rate =
+            e7.intervals > 0
+                ? static_cast<double>(e7.violations) /
+                      static_cast<double>(e7.intervals)
+                : 0.0;
+        e7.mean_violation_rate = rate_sum / static_cast<double>(n_mix);
+        e7.mean_magnitude =
+            e7.violations > 0
+                ? magnitude_sum / static_cast<double>(e7.violations)
+                : 0.0;
+
+        report.fig6.push_back(std::move(e6));
+        report.fig7.push_back(std::move(e7));
+      }
+    }
+  }
+
+  // Fig. 9 needs the Perfect oracle on the model axis; without it the
+  // section stays empty (the JSON still carries the empty array, so a
+  // consumer can tell "not applicable" from "file truncated").
+  const auto oracle_it = std::find(report.models.begin(), report.models.end(),
+                                   rm::PerfModelKind::Perfect);
+  if (oracle_it != report.models.end()) {
+    const auto ko =
+        static_cast<std::size_t>(oracle_it - report.models.begin());
+    for (std::size_t ai = 0; ai < shape.alphas; ++ai) {
+      for (std::size_t ki = 0; ki < n_mod; ++ki) {
+        if (ki == ko) continue;
+        for (std::size_t pi = 0; pi < n_pol; ++pi) {
+          const Fig6Entry& model6 = report.fig6[config_index(shape, ai, ki, pi)];
+          const Fig6Entry& oracle6 = report.fig6[config_index(shape, ai, ko, pi)];
+          const Fig7Entry& model7 = report.fig7[config_index(shape, ai, ki, pi)];
+          const Fig7Entry& oracle7 = report.fig7[config_index(shape, ai, ko, pi)];
+          Fig9Entry e9;
+          e9.policy = model6.policy;
+          e9.model = model6.model;
+          e9.qos_alpha = model6.qos_alpha;
+          e9.weighted_savings = model6.weighted_savings;
+          e9.oracle_weighted_savings = oracle6.weighted_savings;
+          e9.weighted_gap = oracle6.weighted_savings - model6.weighted_savings;
+          e9.mean_gap = oracle6.mean_savings - model6.mean_savings;
+          e9.violation_rate = model7.violation_rate;
+          e9.oracle_violation_rate = oracle7.violation_rate;
+          report.fig9.push_back(e9);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+std::optional<std::vector<SweepRow>> filter_rows_to_alphas(
+    std::vector<SweepRow> rows, GridShape* shape,
+    const std::vector<double>& alphas, std::string* error) {
+  const auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+  QOSRM_CHECK_MSG(rows.size() == shape->size(),
+                  "alpha filter row count does not match the grid shape");
+  if (alphas.empty()) return rows;
+
+  const std::size_t block_size = shape->mixes * shape->policies * shape->models;
+  std::vector<double> axis;
+  for (std::size_t ai = 0; ai < shape->alphas; ++ai) {
+    axis.push_back(rows[block_size * ai].qos_alpha);
+  }
+
+  std::vector<std::size_t> selected;
+  for (const double alpha : alphas) {
+    const auto it = std::find(axis.begin(), axis.end(), alpha);
+    if (it == axis.end()) {
+      return fail(format("--alphas value %s is not on the sweep's alpha axis",
+                         fmtd(alpha).c_str()));
+    }
+    const auto ai = static_cast<std::size_t>(it - axis.begin());
+    if (std::find(selected.begin(), selected.end(), ai) != selected.end()) {
+      return fail(format("--alphas value %s given twice", fmtd(alpha).c_str()));
+    }
+    selected.push_back(ai);
+  }
+
+  std::vector<SweepRow> out;
+  out.reserve(block_size * selected.size());
+  for (const std::size_t ai : selected) {
+    for (std::size_t i = 0; i < block_size; ++i) {
+      out.push_back(std::move(rows[block_size * ai + i]));
+    }
+  }
+  shape->alphas = selected.size();
+  return out;
+}
+
+std::string figure_report_json(const FigureReport& r) {
+  std::string o;
+  o += "{\n";
+  o += "  \"schema\": \"qosrm-figure-report\",\n";
+  o += format("  \"version\": %u,\n", kFigureReportVersion);
+  o += format("  \"fingerprint\": \"%016llx\",\n",
+              static_cast<unsigned long long>(r.fingerprint));
+  o += format(
+      "  \"grid\": {\"mixes\": %zu, \"policies\": %zu, \"models\": %zu, "
+      "\"alphas\": %zu},\n",
+      r.shape.mixes, r.shape.policies, r.shape.models, r.shape.alphas);
+
+  o += "  \"scenario_weights\": [";
+  for (std::size_t s = 0; s < 4; ++s) {
+    if (s > 0) o += ", ";
+    o += fmtd(r.scenario_weights[s]);
+  }
+  o += "],\n";
+
+  o += "  \"workloads\": [\n";
+  for (std::size_t mi = 0; mi < r.workloads.size(); ++mi) {
+    o += format("    {\"name\": \"%s\", \"scenario\": %d}%s\n",
+                json_escape(r.workloads[mi]).c_str(),
+                static_cast<int>(r.scenarios[mi]),
+                mi + 1 < r.workloads.size() ? "," : "");
+  }
+  o += "  ],\n";
+
+  o += "  \"policies\": [";
+  for (std::size_t pi = 0; pi < r.policies.size(); ++pi) {
+    if (pi > 0) o += ", ";
+    o += format("\"%s\"", rm::rm_policy_name(r.policies[pi]));
+  }
+  o += "],\n";
+  o += "  \"models\": [";
+  for (std::size_t ki = 0; ki < r.models.size(); ++ki) {
+    if (ki > 0) o += ", ";
+    o += format("\"%s\"", rm::perf_model_name(r.models[ki]));
+  }
+  o += "],\n";
+  o += "  \"alphas\": [";
+  for (std::size_t ai = 0; ai < r.qos_alphas.size(); ++ai) {
+    if (ai > 0) o += ", ";
+    o += fmtd(r.qos_alphas[ai]);
+  }
+  o += "],\n";
+
+  o += "  \"fig6\": [\n";
+  for (std::size_t i = 0; i < r.fig6.size(); ++i) {
+    const Fig6Entry& e = r.fig6[i];
+    o += "    " + config_prefix(e.policy, e.model, e.qos_alpha);
+    o += format(", \"weighted_savings\": %s, \"mean_savings\": %s, "
+                "\"max_savings\": %s",
+                fmtd(e.weighted_savings).c_str(), fmtd(e.mean_savings).c_str(),
+                fmtd(e.max_savings).c_str());
+    o += ", \"scenario_mean_savings\": [";
+    for (std::size_t s = 0; s < 4; ++s) {
+      if (s > 0) o += ", ";
+      o += fmtd(e.scenario_mean_savings[s]);
+    }
+    o += "], \"per_mix_savings\": [";
+    for (std::size_t mi = 0; mi < e.per_mix_savings.size(); ++mi) {
+      if (mi > 0) o += ", ";
+      o += fmtd(e.per_mix_savings[mi]);
+    }
+    o += format("]}%s\n", i + 1 < r.fig6.size() ? "," : "");
+  }
+  o += "  ],\n";
+
+  o += "  \"fig7\": [\n";
+  for (std::size_t i = 0; i < r.fig7.size(); ++i) {
+    const Fig7Entry& e = r.fig7[i];
+    o += "    " + config_prefix(e.policy, e.model, e.qos_alpha);
+    o += format(", \"intervals\": %llu, \"violations\": %llu, "
+                "\"violation_rate\": %s, \"mean_violation_rate\": %s, "
+                "\"mean_magnitude\": %s, \"max_magnitude\": %s, "
+                "\"violating_mixes\": %zu}%s\n",
+                static_cast<unsigned long long>(e.intervals),
+                static_cast<unsigned long long>(e.violations),
+                fmtd(e.violation_rate).c_str(),
+                fmtd(e.mean_violation_rate).c_str(),
+                fmtd(e.mean_magnitude).c_str(),
+                fmtd(e.max_magnitude).c_str(), e.violating_mixes,
+                i + 1 < r.fig7.size() ? "," : "");
+  }
+  o += "  ],\n";
+
+  o += "  \"fig9\": [\n";
+  for (std::size_t i = 0; i < r.fig9.size(); ++i) {
+    const Fig9Entry& e = r.fig9[i];
+    o += "    " + config_prefix(e.policy, e.model, e.qos_alpha);
+    o += format(", \"weighted_savings\": %s, \"oracle_weighted_savings\": %s, "
+                "\"weighted_gap\": %s, \"mean_gap\": %s, "
+                "\"violation_rate\": %s, \"oracle_violation_rate\": %s}%s\n",
+                fmtd(e.weighted_savings).c_str(),
+                fmtd(e.oracle_weighted_savings).c_str(),
+                fmtd(e.weighted_gap).c_str(), fmtd(e.mean_gap).c_str(),
+                fmtd(e.violation_rate).c_str(),
+                fmtd(e.oracle_violation_rate).c_str(),
+                i + 1 < r.fig9.size() ? "," : "");
+  }
+  o += "  ]\n";
+  o += "}\n";
+  return o;
+}
+
+bool write_report_json(const FigureReport& report, const std::string& path,
+                       std::string* error) {
+  return write_file_atomic(path, figure_report_json(report), error);
+}
+
+bool write_fig6_csv(const FigureReport& report, const std::string& path,
+                    std::string* error) {
+  std::vector<std::vector<std::string>> rows;
+  for (const Fig6Entry& e : report.fig6) {
+    rows.push_back({rm::rm_policy_name(e.policy), rm::perf_model_name(e.model),
+                    fmtd(e.qos_alpha), fmtd(e.weighted_savings),
+                    fmtd(e.mean_savings), fmtd(e.max_savings),
+                    fmtd(e.scenario_mean_savings[0]),
+                    fmtd(e.scenario_mean_savings[1]),
+                    fmtd(e.scenario_mean_savings[2]),
+                    fmtd(e.scenario_mean_savings[3])});
+  }
+  return write_csv_atomic(
+      path,
+      {"policy", "model", "qos_alpha", "weighted_savings", "mean_savings",
+       "max_savings", "scenario1_mean", "scenario2_mean", "scenario3_mean",
+       "scenario4_mean"},
+      rows, error);
+}
+
+bool write_fig7_csv(const FigureReport& report, const std::string& path,
+                    std::string* error) {
+  std::vector<std::vector<std::string>> rows;
+  for (const Fig7Entry& e : report.fig7) {
+    rows.push_back({rm::rm_policy_name(e.policy), rm::perf_model_name(e.model),
+                    fmtd(e.qos_alpha), std::to_string(e.intervals),
+                    std::to_string(e.violations), fmtd(e.violation_rate),
+                    fmtd(e.mean_violation_rate), fmtd(e.mean_magnitude),
+                    fmtd(e.max_magnitude), std::to_string(e.violating_mixes)});
+  }
+  return write_csv_atomic(
+      path,
+      {"policy", "model", "qos_alpha", "intervals", "violations",
+       "violation_rate", "mean_violation_rate", "mean_magnitude",
+       "max_magnitude", "violating_mixes"},
+      rows, error);
+}
+
+bool write_fig9_csv(const FigureReport& report, const std::string& path,
+                    std::string* error) {
+  std::vector<std::vector<std::string>> rows;
+  for (const Fig9Entry& e : report.fig9) {
+    rows.push_back({rm::rm_policy_name(e.policy), rm::perf_model_name(e.model),
+                    fmtd(e.qos_alpha), fmtd(e.weighted_savings),
+                    fmtd(e.oracle_weighted_savings), fmtd(e.weighted_gap),
+                    fmtd(e.mean_gap), fmtd(e.violation_rate),
+                    fmtd(e.oracle_violation_rate)});
+  }
+  return write_csv_atomic(
+      path,
+      {"policy", "model", "qos_alpha", "weighted_savings",
+       "oracle_weighted_savings", "weighted_gap", "mean_gap", "violation_rate",
+       "oracle_violation_rate"},
+      rows, error);
+}
+
+void print_figure_report(const FigureReport& report) {
+  std::printf("figure report: fingerprint %016llx, %zu mixes x %zu policies "
+              "x %zu models x %zu alphas\n\n",
+              static_cast<unsigned long long>(report.fingerprint),
+              report.shape.mixes, report.shape.policies, report.shape.models,
+              report.shape.alphas);
+
+  AsciiTable fig6({"Policy", "Model", "Alpha", "Weighted", "Mean", "Max",
+                   "S1", "S2", "S3", "S4"});
+  for (const Fig6Entry& e : report.fig6) {
+    fig6.add_row({rm::rm_policy_name(e.policy), rm::perf_model_name(e.model),
+                  format("%.4g", e.qos_alpha), AsciiTable::pct(e.weighted_savings),
+                  AsciiTable::pct(e.mean_savings), AsciiTable::pct(e.max_savings),
+                  AsciiTable::pct(e.scenario_mean_savings[0]),
+                  AsciiTable::pct(e.scenario_mean_savings[1]),
+                  AsciiTable::pct(e.scenario_mean_savings[2]),
+                  AsciiTable::pct(e.scenario_mean_savings[3])});
+  }
+  std::printf("Fig. 6 - energy savings vs the idle baseline:\n");
+  fig6.print();
+
+  AsciiTable fig7({"Policy", "Model", "Alpha", "Violations", "Rate",
+                   "Mean magnitude", "Max magnitude", "Violating mixes"});
+  for (const Fig7Entry& e : report.fig7) {
+    fig7.add_row({rm::rm_policy_name(e.policy), rm::perf_model_name(e.model),
+                  format("%.4g", e.qos_alpha), std::to_string(e.violations),
+                  AsciiTable::pct(e.violation_rate, 2),
+                  AsciiTable::pct(e.mean_magnitude, 2),
+                  AsciiTable::pct(e.max_magnitude, 2),
+                  std::to_string(e.violating_mixes)});
+  }
+  std::printf("\nFig. 7 - QoS violations:\n");
+  fig7.print();
+
+  if (!report.fig9.empty()) {
+    AsciiTable fig9({"Policy", "Model", "Alpha", "Weighted", "Oracle",
+                     "Gap", "Viol rate", "Oracle viol"});
+    for (const Fig9Entry& e : report.fig9) {
+      fig9.add_row({rm::rm_policy_name(e.policy), rm::perf_model_name(e.model),
+                    format("%.4g", e.qos_alpha),
+                    AsciiTable::pct(e.weighted_savings),
+                    AsciiTable::pct(e.oracle_weighted_savings),
+                    AsciiTable::pct(e.weighted_gap),
+                    AsciiTable::pct(e.violation_rate, 2),
+                    AsciiTable::pct(e.oracle_violation_rate, 2)});
+    }
+    std::printf("\nFig. 9 - online models vs the perfect oracle:\n");
+    fig9.print();
+  }
+}
+
+bool parse_report_cli(const CliArgs& args, ReportCliOptions* out,
+                      std::string* error) {
+  const auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+
+  static const std::set<std::string> kKnownFlags = {
+      "json", "fig6-csv", "fig7-csv", "fig9-csv",
+      "alphas", "fingerprint", "print", "help"};
+  for (const std::string& flag : args.flag_names()) {
+    if (!kKnownFlags.count(flag)) {
+      return fail(format("unknown flag --%s (see --help)", flag.c_str()));
+    }
+  }
+
+  *out = ReportCliOptions{};
+  out->parts = args.positional();
+
+  // A bare "--print part.qospart..." swallows the first part path as the
+  // flag's value (CliArgs space form); recognize that and put the path back
+  // where it belongs (same quirk handling as sweep_merge --list).
+  if (args.has("print")) {
+    const std::string value = args.get("print", "true");
+    if (value == "false" || value == "0" || value == "no") {
+      out->print = false;
+    } else {
+      out->print = true;
+      if (value != "true" && value != "1" && value != "yes") {
+        out->parts.insert(out->parts.begin(), value);
+      }
+    }
+  }
+  if (out->parts.empty()) return fail("no part files given (see --help)");
+
+  out->json_path = args.get("json", "");
+  out->fig6_csv = args.get("fig6-csv", "");
+  out->fig7_csv = args.get("fig7-csv", "");
+  out->fig9_csv = args.get("fig9-csv", "");
+  if (!out->print && out->json_path.empty() && out->fig6_csv.empty() &&
+      out->fig7_csv.empty() && out->fig9_csv.empty()) {
+    return fail("no output requested (pass --json, --fig6/7/9-csv or "
+                "--print; see --help)");
+  }
+
+  if (args.has("alphas")) {
+    std::string alpha_error;
+    if (!try_parse_alphas(args.get("alphas", ""), &out->alphas, &alpha_error)) {
+      return fail(alpha_error);
+    }
+    if (out->alphas.empty()) {
+      return fail("--alphas names no values (see --help)");
+    }
+  }
+
+  if (args.has("fingerprint")) {
+    const std::string spec = args.get("fingerprint", "");
+    if (spec.empty() || spec.size() > 16 ||
+        spec.find_first_not_of("0123456789abcdefABCDEF") != std::string::npos) {
+      return fail(format("bad --fingerprint value '%s' (want up to 16 hex "
+                         "digits, as printed by sweep_merge --list)",
+                         spec.c_str()));
+    }
+    out->expected_fingerprint =
+        std::strtoull(spec.c_str(), nullptr, 16);
+  }
+  return true;
+}
 
 std::string scenario_label(workload::Scenario s) {
   return format("Scenario %d", static_cast<int>(s));

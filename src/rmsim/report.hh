@@ -1,16 +1,157 @@
-// Report formatting shared by bench binaries: paper-style ASCII tables for
-// energy savings grids and QoS evaluations.
+// The figure-report subsystem: turns sweep rows (live runs or merged
+// .qospart output) into versioned, byte-stable paper-figure aggregates,
+// plus the paper-style ASCII tables the bench binaries print.
+//
+// A FigureReport carries the three headline result sets of the paper:
+//   fig6 - per-scenario and scenario-weighted energy savings vs the idle
+//          baseline, one entry per (policy, model, alpha) configuration
+//   fig7 - QoS-violation counts and Eq. 6 magnitudes per configuration
+//   fig9 - online-model-vs-perfect-oracle savings deltas (present only when
+//          the sweep's model axis includes the Perfect oracle)
+//
+// Every report embeds the sweep fingerprint of the rows it was built from
+// (see rmsim/shard.hh), so a report can never be matched against foreign
+// rows: report_main refuses part files whose fingerprint differs from
+// --fingerprint, and the JSON stamp makes any archived report traceable to
+// the exact grid + simulator options + database identity that produced it.
+// Writers emit fixed key order and full-precision ("%.17g") doubles, so
+// equal rows produce byte-identical files regardless of thread or shard
+// count, and commit atomically (tmp + rename) like the .qospart writers.
 #ifndef QOSRM_RMSIM_REPORT_HH
 #define QOSRM_RMSIM_REPORT_HH
 
+#include <array>
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "rmsim/interval_sim.hh"
 #include "rmsim/qos_eval.hh"
+#include "rmsim/shard.hh"
+#include "rmsim/sweep.hh"
 
 namespace qosrm::rmsim {
+
+inline constexpr std::uint32_t kFigureReportVersion = 1;
+
+/// Fig. 6: energy savings of one (policy, model, alpha) configuration over
+/// the mix axis.
+struct Fig6Entry {
+  rm::RmPolicy policy = rm::RmPolicy::Idle;
+  rm::PerfModelKind model = rm::PerfModelKind::Model3;
+  double qos_alpha = 0.0;
+  double weighted_savings = 0.0;  ///< scenario-weighted (paper Fig. 6 bar)
+  double mean_savings = 0.0;      ///< uniform mean over mixes
+  double max_savings = 0.0;
+  /// Uniform mean per scenario (index = scenario - 1); 0 for a scenario
+  /// with no mixes in the grid.
+  std::array<double, 4> scenario_mean_savings{};
+  std::vector<double> per_mix_savings;  ///< grid mix order
+};
+
+/// Fig. 7: QoS-violation statistics of one configuration.
+struct Fig7Entry {
+  rm::RmPolicy policy = rm::RmPolicy::Idle;
+  rm::PerfModelKind model = rm::PerfModelKind::Model3;
+  double qos_alpha = 0.0;
+  std::uint64_t intervals = 0;       ///< total over all mixes and cores
+  std::uint64_t violations = 0;
+  double violation_rate = 0.0;       ///< violations / intervals
+  double mean_violation_rate = 0.0;  ///< uniform mean of per-mix rates
+  double mean_magnitude = 0.0;       ///< mean Eq. 6 magnitude | violation
+  double max_magnitude = 0.0;
+  std::size_t violating_mixes = 0;   ///< mixes with >= 1 violation
+};
+
+/// Fig. 9: one online model vs the Perfect oracle under the same policy and
+/// alpha (savings are scenario-weighted like fig6).
+struct Fig9Entry {
+  rm::RmPolicy policy = rm::RmPolicy::Idle;
+  rm::PerfModelKind model = rm::PerfModelKind::Model3;  ///< never Perfect
+  double qos_alpha = 0.0;
+  double weighted_savings = 0.0;
+  double oracle_weighted_savings = 0.0;
+  double weighted_gap = 0.0;  ///< oracle - model
+  double mean_gap = 0.0;
+  double violation_rate = 0.0;         ///< of the online-model configuration
+  double oracle_violation_rate = 0.0;  ///< of the oracle configuration
+};
+
+struct FigureReport {
+  /// Sweep fingerprint of the source rows (see sweep_fingerprint). For an
+  /// alpha-filtered report this is still the SOURCE sweep's fingerprint -
+  /// the stamp records provenance, not the filtered sub-grid.
+  std::uint64_t fingerprint = 0;
+  GridShape shape{};
+  std::array<double, 4> scenario_weights{};
+  std::vector<std::string> workloads;           ///< mix axis, grid order
+  std::vector<workload::Scenario> scenarios;    ///< per mix
+  /// Configuration axes recovered from the rows (grid order).
+  std::vector<rm::RmPolicy> policies;
+  std::vector<rm::PerfModelKind> models;
+  std::vector<double> qos_alphas;
+
+  std::vector<Fig6Entry> fig6;  ///< grid (alpha-major) configuration order
+  std::vector<Fig7Entry> fig7;
+  std::vector<Fig9Entry> fig9;  ///< empty when Perfect is not a model axis
+};
+
+/// Builds the full report from rows in grid order. `rows.size()` must equal
+/// `shape.size()`; aborts otherwise (callers validate their inputs first).
+[[nodiscard]] FigureReport build_figure_report(
+    const std::vector<SweepRow>& rows, const GridShape& shape,
+    std::uint64_t fingerprint, const std::array<double, 4>& weights);
+
+/// Restricts rows to a sub-grid of alpha values (each must appear exactly
+/// in the rows' alpha axis; duplicates rejected). The returned rows keep
+/// grid order with the requested alpha order; *shape gets the filtered
+/// alpha count. nullopt + *error on an unknown or duplicate alpha.
+[[nodiscard]] std::optional<std::vector<SweepRow>> filter_rows_to_alphas(
+    std::vector<SweepRow> rows, GridShape* shape,
+    const std::vector<double>& alphas, std::string* error);
+
+/// The report as a byte-stable JSON document (fixed key order, "%.17g"
+/// doubles, "\n" line ends): equal reports serialize to equal bytes.
+[[nodiscard]] std::string figure_report_json(const FigureReport& report);
+
+/// Atomic writers (tmp + rename; false + *error on I/O failure, the target
+/// file keeps its previous content).
+bool write_report_json(const FigureReport& report, const std::string& path,
+                       std::string* error);
+bool write_fig6_csv(const FigureReport& report, const std::string& path,
+                    std::string* error);
+bool write_fig7_csv(const FigureReport& report, const std::string& path,
+                    std::string* error);
+bool write_fig9_csv(const FigureReport& report, const std::string& path,
+                    std::string* error);
+
+/// Prints the fig6/fig7/fig9 aggregate tables to stdout.
+void print_figure_report(const FigureReport& report);
+
+/// report_main's parsed+validated command line. Kept as a library type so
+/// the strict validation (unknown flags, bad --alphas lists, malformed
+/// --fingerprint, missing inputs/outputs) is unit-testable without
+/// spawning the binary.
+struct ReportCliOptions {
+  std::vector<std::string> parts;  ///< .qospart inputs, command-line order
+  std::string json_path;
+  std::string fig6_csv;
+  std::string fig7_csv;
+  std::string fig9_csv;
+  std::vector<double> alphas;  ///< empty = keep the full alpha axis
+  std::optional<std::uint64_t> expected_fingerprint;
+  bool print = false;
+};
+
+/// Parses report_main's flags with the same strictness as sweep_main: any
+/// unknown flag, malformed value, missing part input or absent output sink
+/// fails with a diagnostic BEFORE any file is opened. False + *error on
+/// rejection.
+bool parse_report_cli(const CliArgs& args, ReportCliOptions* out,
+                      std::string* error);
 
 /// One row of a savings grid (e.g. paper Fig. 6): a workload with the
 /// savings of several RM variants side by side.

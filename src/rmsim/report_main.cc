@@ -1,0 +1,129 @@
+// report_main - turns sweep part files into versioned, byte-stable figure
+// reports (paper Fig. 6 energy savings, Fig. 7 QoS violations, Fig. 9
+// model-vs-oracle deltas).
+//
+//   report_main --json=paper_report.json [--fig6-csv=... --fig7-csv=...
+//       --fig9-csv=...] rows.csv.0-of-4.qospart rows.csv.1-of-4.qospart ...
+//
+// The parts must form exactly one complete sweep (same validation as
+// sweep_merge: fingerprint, shape, shard coverage, checksums). The report
+// embeds that sweep fingerprint, and --fingerprint=HEX additionally pins
+// the expected identity up front - a part from a different sweep is
+// rejected before any report work. --alphas=LIST restricts the report to a
+// sub-grid of the sweep's alpha axis (each value must be present). Output
+// files are byte-stable (equal rows -> equal bytes, regardless of the
+// thread or shard count that produced the parts) and written atomically.
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "rmsim/report.hh"
+#include "rmsim/shard.hh"
+#include "rmsim/sweep.hh"
+#include "workload/spec_suite.hh"
+
+namespace {
+
+void print_usage() {
+  std::puts(
+      "report_main: build Fig. 6/7/9 figure reports from sweep part files\n"
+      "  usage: report_main [flags] PART.qospart...\n"
+      "  --json=PATH        full figure report as byte-stable JSON\n"
+      "  --fig6-csv=PATH    Fig. 6 savings aggregates as CSV\n"
+      "  --fig7-csv=PATH    Fig. 7 violation statistics as CSV\n"
+      "  --fig9-csv=PATH    Fig. 9 model-vs-oracle deltas as CSV (needs the\n"
+      "                     'perfect' model on the sweep's model axis)\n"
+      "  --alphas=LIST      restrict the report to these qos alphas (each\n"
+      "                     must be on the sweep's alpha axis)\n"
+      "  --fingerprint=HEX  require the parts to carry exactly this sweep\n"
+      "                     fingerprint (as printed by sweep_merge --list)\n"
+      "  --print            print the aggregate tables to stdout\n"
+      "at least one of --json/--fig6-csv/--fig7-csv/--fig9-csv/--print is\n"
+      "required; a part from a different sweep, a corrupt part or an alpha\n"
+      "missing from the grid is a hard error, never a partial report");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace rmsim = qosrm::rmsim;
+  const qosrm::CliArgs args(argc, argv);
+  if (args.has("help")) {
+    print_usage();
+    return 0;
+  }
+
+  // Strict validation before any file is opened: a typo'd flag or malformed
+  // value must fail loudly, never produce a default-shaped report labeled
+  // as if the request had been honored.
+  rmsim::ReportCliOptions options;
+  std::string error;
+  if (!rmsim::parse_report_cli(args, &options, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
+  // Load + merge. merge_part_files checks --fingerprint per part as it
+  // loads, so a foreign part aborts the run before the merge or any report
+  // computation happens.
+  rmsim::SweepIdentity identity;
+  const std::uint64_t* expected =
+      options.expected_fingerprint.has_value()
+          ? &*options.expected_fingerprint
+          : nullptr;
+  std::optional<rmsim::SweepResult> merged = rmsim::merge_part_files(
+      options.parts, expected, &error, &identity);
+  if (!merged.has_value()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
+  rmsim::GridShape shape = identity.shape;
+  std::optional<std::vector<rmsim::SweepRow>> rows = rmsim::filter_rows_to_alphas(
+      std::move(merged->rows), &shape, options.alphas, &error);
+  if (!rows.has_value()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
+  const rmsim::FigureReport report = rmsim::build_figure_report(
+      *rows, shape, identity.fingerprint,
+      rmsim::scenario_weights(qosrm::workload::spec_suite()));
+
+  if (!options.fig9_csv.empty() && report.fig9.empty()) {
+    std::fprintf(stderr,
+                 "--fig9-csv: the sweep's model axis has no 'perfect' oracle "
+                 "(run sweep_main with --models=...,perfect)\n");
+    return 1;
+  }
+
+  const auto write = [&error](bool ok) {
+    if (!ok) std::fprintf(stderr, "%s\n", error.c_str());
+    return ok;
+  };
+  if (!options.json_path.empty()) {
+    if (!write(rmsim::write_report_json(report, options.json_path, &error))) {
+      return 1;
+    }
+    std::printf("wrote figure report to %s\n", options.json_path.c_str());
+  }
+  if (!options.fig6_csv.empty()) {
+    if (!write(rmsim::write_fig6_csv(report, options.fig6_csv, &error))) return 1;
+    std::printf("wrote %zu Fig. 6 aggregates to %s\n", report.fig6.size(),
+                options.fig6_csv.c_str());
+  }
+  if (!options.fig7_csv.empty()) {
+    if (!write(rmsim::write_fig7_csv(report, options.fig7_csv, &error))) return 1;
+    std::printf("wrote %zu Fig. 7 aggregates to %s\n", report.fig7.size(),
+                options.fig7_csv.c_str());
+  }
+  if (!options.fig9_csv.empty()) {
+    if (!write(rmsim::write_fig9_csv(report, options.fig9_csv, &error))) return 1;
+    std::printf("wrote %zu Fig. 9 deltas to %s\n", report.fig9.size(),
+                options.fig9_csv.c_str());
+  }
+  if (options.print) rmsim::print_figure_report(report);
+  return 0;
+}

@@ -9,6 +9,7 @@
 
 #include "common/binary_io.hh"
 #include "common/check.hh"
+#include "common/file_util.hh"
 #include "common/str.hh"
 #include "workload/spec_suite.hh"
 
@@ -194,8 +195,7 @@ bool save_sweep_part(const SweepPart& part, const std::string& path,
   // Write to a uniquely named sibling and rename into place: a killed
   // worker leaves at worst a *.tmp.* orphan, never a partial part file that
   // a resume pass would have to distrust.
-  const std::string tmp_path =
-      format("%s.tmp.%ld", path.c_str(), static_cast<long>(::getpid()));
+  const std::string tmp_path = atomic_tmp_path(path);
   std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
   if (!out.good()) {
     return fail(error, format("cannot open %s for writing", path.c_str()));
@@ -380,7 +380,8 @@ std::optional<std::vector<SweepRow>> merge_sweep_parts(
 
 std::optional<SweepResult> merge_part_files(
     const std::vector<std::string>& paths,
-    const std::uint64_t* expected_fingerprint, std::string* error) {
+    const std::uint64_t* expected_fingerprint, std::string* error,
+    SweepIdentity* identity) {
   std::vector<SweepPart> parts;
   parts.reserve(paths.size());
   for (const std::string& path : paths) {
@@ -401,6 +402,10 @@ std::optional<SweepResult> merge_part_files(
   }
 
   const GridShape shape = parts.front().shape;
+  if (identity != nullptr) {
+    identity->fingerprint = parts.front().fingerprint;
+    identity->shape = shape;
+  }
   std::optional<std::vector<SweepRow>> rows =
       merge_sweep_parts(std::move(parts), error);
   if (!rows.has_value()) return std::nullopt;

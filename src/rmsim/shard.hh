@@ -105,16 +105,27 @@ bool save_sweep_part(const SweepPart& part, const std::string& path,
 [[nodiscard]] std::optional<std::vector<SweepRow>> merge_sweep_parts(
     std::vector<SweepPart> parts, std::string* error);
 
-/// Driver-level convenience shared by sweep_main --workers and the
-/// sweep_merge CLI: loads every path, optionally enforces that all parts
-/// carry `expected_fingerprint` (pass nullptr to accept any one sweep),
-/// merges, and recomputes the aggregates with the global suite's scenario
-/// weights - yielding the same SweepResult (minus idle_computations) a
-/// single-process SweepRunner::run would have produced. nullopt + *error
-/// naming the offending part on any validation failure.
+/// Identity a merged sweep carries forward into figure reports: the
+/// fingerprint the parts agreed on plus the grid shape of their rows.
+struct SweepIdentity {
+  std::uint64_t fingerprint = 0;
+  GridShape shape{};
+};
+
+/// Driver-level convenience shared by sweep_main --workers, the sweep_merge
+/// CLI and report_main: loads every path, optionally enforces that all
+/// parts carry `expected_fingerprint` (pass nullptr to accept any one
+/// sweep), merges, and recomputes the aggregates with the global suite's
+/// scenario weights - yielding the same SweepResult (minus
+/// idle_computations) a single-process SweepRunner::run would have
+/// produced. `identity` (optional) receives the merged sweep's fingerprint
+/// and shape, which figure reports embed so they can never be matched
+/// against foreign rows. nullopt + *error naming the offending part on any
+/// validation failure.
 [[nodiscard]] std::optional<SweepResult> merge_part_files(
     const std::vector<std::string>& paths,
-    const std::uint64_t* expected_fingerprint, std::string* error);
+    const std::uint64_t* expected_fingerprint, std::string* error,
+    SweepIdentity* identity = nullptr);
 
 /// Resume support: the shard indices whose part file under `prefix` is
 /// missing, unreadable, corrupt, or belongs to a different sweep (wrong

@@ -68,6 +68,10 @@ std::vector<SweepRow> SweepRunner::run_range(const SweepGrid& grid,
     rm::RmConfig config;
     config.policy = row.policy;
     config.model = row.model;
+    // The Perfect axis is the paper's Fig. 9 oracle: exact time prediction
+    // paired with ground-truth energy (same pairing as bench_fig9). Leaving
+    // the energy model online would mislabel "Perfect" rows as a half-oracle.
+    config.energy.perfect = row.model == rm::PerfModelKind::Perfect;
     // Per-thread simulation scratch: worker threads run many rows, so the
     // per-run warmup buffers (core state, counter snapshots) are reused for
     // the thread's whole lifetime. Results are independent of the reuse.
@@ -189,6 +193,7 @@ void write_rows_csv(const SweepResult& result, const std::string& path) {
                  fmt(run.violation_rate()), std::to_string(run.rm_invocations),
                  std::to_string(run.rm_ops)});
   }
+  csv.close();  // atomic commit; throws instead of publishing a partial file
 }
 
 void write_aggregates_csv(const SweepResult& result, const std::string& path) {
@@ -199,6 +204,7 @@ void write_aggregates_csv(const SweepResult& result, const std::string& path) {
                  fmt(agg.qos_alpha), fmt(agg.weighted_savings),
                  fmt(agg.mean_savings), fmt(agg.mean_violation_rate)});
   }
+  csv.close();  // atomic commit; throws instead of publishing a partial file
 }
 
 std::vector<rm::RmPolicy> parse_policies(const std::string& spec) {
@@ -239,19 +245,41 @@ std::vector<rm::PerfModelKind> parse_models(const std::string& spec) {
 
 std::vector<double> parse_alphas(const std::string& spec) {
   std::vector<double> out;
+  std::string error;
+  QOSRM_CHECK_MSG(try_parse_alphas(spec, &out, &error),
+                  "bad --alphas value (want comma-separated numbers, 0 or a "
+                  "positive factor)");
+  return out;
+}
+
+bool try_parse_alphas(const std::string& spec, std::vector<double>* out,
+                      std::string* error) {
+  out->clear();
   for (const std::string& part : split_csv_list(spec)) {
     char* end = nullptr;
     const double value = std::strtod(part.c_str(), &end);
-    QOSRM_CHECK_MSG(end != part.c_str() && *end == '\0',
-                    "bad --alphas value (want comma-separated numbers)");
+    if (end == part.c_str() || *end != '\0') {
+      if (error != nullptr) {
+        *error = format("bad --alphas entry '%s' (want comma-separated "
+                        "numbers)",
+                        part.c_str());
+      }
+      return false;
+    }
     // 0 selects the system default; anything else must be a usable
     // relaxation factor (negative/NaN would silently fall back to the
     // default while mislabeling every CSV row).
-    QOSRM_CHECK_MSG(std::isfinite(value) && value >= 0.0,
-                    "bad --alphas value (want 0 or a positive factor)");
-    out.push_back(value);
+    if (!(std::isfinite(value) && value >= 0.0)) {
+      if (error != nullptr) {
+        *error = format("bad --alphas entry '%s' (want 0 or a positive "
+                        "factor)",
+                        part.c_str());
+      }
+      return false;
+    }
+    out->push_back(value);
   }
-  return out;
+  return true;
 }
 
 }  // namespace qosrm::rmsim

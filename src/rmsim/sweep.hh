@@ -115,10 +115,13 @@ class SweepRunner {
     const std::array<double, 4>& weights);
 
 /// Writes one CSV row per grid point (stable column set and formatting, so
-/// equal results produce byte-identical files).
+/// equal results produce byte-identical files). The file is committed
+/// atomically (tmp + rename): an interrupted run never leaves a truncated
+/// CSV behind.
 void write_rows_csv(const SweepResult& result, const std::string& path);
 
-/// Writes one CSV row per (policy, model, alpha) aggregate.
+/// Writes one CSV row per (policy, model, alpha) aggregate. Atomic like
+/// write_rows_csv.
 void write_aggregates_csv(const SweepResult& result, const std::string& path);
 
 /// Parses comma-separated policy names ("idle,rm1,rm2,rm3"); aborts on an
@@ -130,6 +133,12 @@ void write_aggregates_csv(const SweepResult& result, const std::string& path);
 
 /// Parses comma-separated doubles ("0,1.05,1.1").
 [[nodiscard]] std::vector<double> parse_alphas(const std::string& spec);
+
+/// Non-aborting form of parse_alphas, for CLIs that report the error
+/// themselves (report_main): comma-separated finite values >= 0. False +
+/// *error naming the offending entry on any malformed value.
+bool try_parse_alphas(const std::string& spec, std::vector<double>* out,
+                      std::string* error);
 
 }  // namespace qosrm::rmsim
 

@@ -31,9 +31,11 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "common/file_util.hh"
 #include "common/str.hh"
 #include "common/subprocess.hh"
 #include "power/power_model.hh"
+#include "rmsim/report.hh"
 #include "rmsim/shard.hh"
 #include "rmsim/sweep.hh"
 #include "workload/db_io.hh"
@@ -50,7 +52,11 @@ using Clock = std::chrono::steady_clock;
 void print_usage() {
   std::puts(
       "sweep_main: sweep RM policies over generated workload mixes\n"
-      "  --cores=N          cores per workload (default 4)\n"
+      "  --cores=N          cores per generated workload (default 4)\n"
+      "  --replicate=K      scale every mix to K x its cores by scenario-\n"
+      "                     preserving replication (default 1; e.g.\n"
+      "                     --cores=4 --replicate=2 sweeps 8-core scaled\n"
+      "                     versions of the 4-core paper mixes)\n"
       "  --per-scenario=N   workload mixes per scenario (default 1; paper: 6)\n"
       "  --seed=N           workload-generation seed (default 2020)\n"
       "  --policies=LIST    comma list of idle|rm1|rm2|rm3 (default all)\n"
@@ -61,6 +67,8 @@ void print_usage() {
       "  --threads=N        sweep parallelism; 0 = hardware concurrency\n"
       "  --rows-csv=PATH    per-run CSV output (default sweep_rows.csv)\n"
       "  --agg-csv=PATH     per-configuration CSV output (optional)\n"
+      "  --report-json=PATH Fig. 6/7/9 figure report (byte-stable JSON,\n"
+      "                     stamped with the sweep fingerprint; optional)\n"
       "  --overheads=BOOL   model RM/enforcement overheads (default true)\n"
       "  --db-cache=PATH    simulation-database snapshot: load it when the\n"
       "                     file exists (a stale/corrupt snapshot is an\n"
@@ -94,6 +102,7 @@ std::string self_exe_path(const char* argv0) {
 /// and validated once, before any expensive work.
 struct SweepSetup {
   int cores = 4;
+  int replicate = 1;  ///< scenario-preserving mix scaling factor
   int threads = 0;
   int per_scenario = 1;
   std::uint64_t seed = 2020;
@@ -103,6 +112,10 @@ struct SweepSetup {
   bool overheads = true;
   std::string db_cache;  ///< resolved path ("" = no cache)
   rmsim::SweepGrid grid;  ///< mixes filled in later (needs only the suite)
+
+  /// Cores the simulated system actually has (replication scales the
+  /// 4-core paper mixes to 8/16-core workloads).
+  [[nodiscard]] int total_cores() const noexcept { return cores * replicate; }
 };
 
 /// The grid+options fingerprint every process must agree on. Computable
@@ -111,7 +124,7 @@ struct SweepSetup {
 std::uint64_t setup_fingerprint(const SweepSetup& setup,
                                 const rmsim::SweepOptions& options) {
   qosrm::arch::SystemConfig system;
-  system.cores = setup.cores;
+  system.cores = setup.total_cores();
   const std::uint64_t db_fp = workload::simdb_fingerprint(
       workload::spec_suite(), system, workload::PhaseStatsOptions{});
   return rmsim::sweep_fingerprint(setup.grid, options.sim, db_fp);
@@ -133,6 +146,23 @@ double secs(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
+/// --report-json: the figure report of this sweep, stamped with the sweep
+/// fingerprint so it can never be matched against foreign rows.
+bool write_sweep_report(const rmsim::SweepResult& result,
+                        const rmsim::GridShape& shape,
+                        std::uint64_t fingerprint, const std::string& path) {
+  const rmsim::FigureReport report = rmsim::build_figure_report(
+      result.rows, shape, fingerprint,
+      rmsim::scenario_weights(workload::spec_suite()));
+  std::string error;
+  if (!rmsim::write_report_json(report, path, &error)) {
+    std::fprintf(stderr, "--report-json: %s\n", error.c_str());
+    return false;
+  }
+  std::printf("wrote figure report to %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -145,10 +175,10 @@ int main(int argc, char** argv) {
   // Reject unknown flags: a typo'd flag name would otherwise silently run
   // a default sweep labeled as if the request had been honored.
   static const std::set<std::string> kKnownFlags = {
-      "cores",      "per-scenario", "seed",    "policies",    "models",
-      "alphas",     "threads",      "rows-csv", "agg-csv",    "overheads",
-      "db-cache",   "shard",        "part-output", "workers", "parts-dir",
-      "resume",     "keep-parts"};
+      "cores",      "replicate",    "per-scenario", "seed",    "policies",
+      "models",     "alphas",       "threads",      "rows-csv", "agg-csv",
+      "report-json", "overheads",   "db-cache",     "shard",
+      "part-output", "workers",     "parts-dir",    "resume",  "keep-parts"};
   for (const std::string& flag : args.flag_names()) {
     if (!kKnownFlags.count(flag)) {
       std::fprintf(stderr, "unknown flag --%s (see --help)\n", flag.c_str());
@@ -180,10 +210,11 @@ int main(int argc, char** argv) {
                  "runs one shard; the orchestrator forks the workers)\n");
     return 1;
   }
-  if (worker_mode && (args.has("rows-csv") || args.has("agg-csv"))) {
+  if (worker_mode &&
+      (args.has("rows-csv") || args.has("agg-csv") || args.has("report-json"))) {
     std::fprintf(stderr,
-                 "--rows-csv/--agg-csv do not apply in --shard worker mode "
-                 "(the merge step writes the CSVs)\n");
+                 "--rows-csv/--agg-csv/--report-json do not apply in --shard "
+                 "worker mode (the merge step writes the outputs)\n");
     return 1;
   }
   if (!orchestrate &&
@@ -212,11 +243,14 @@ int main(int argc, char** argv) {
 
   SweepSetup setup;
   setup.cores = static_cast<int>(args.get_int("cores", 4));
+  setup.replicate = static_cast<int>(args.get_int("replicate", 1));
   setup.threads = static_cast<int>(args.get_int("threads", 0));
   setup.per_scenario = static_cast<int>(args.get_int("per-scenario", 1));
-  if (setup.cores < 1 || setup.threads < 0 || setup.per_scenario < 1) {
+  if (setup.cores < 1 || setup.replicate < 1 || setup.per_scenario < 1 ||
+      setup.threads < 0) {
     std::fprintf(stderr,
-                 "--cores/--per-scenario must be >= 1 and --threads >= 0\n");
+                 "--cores/--replicate/--per-scenario must be >= 1 and "
+                 "--threads >= 0\n");
     return 1;
   }
   setup.seed = static_cast<std::uint64_t>(args.get_int("seed", 2020));
@@ -243,12 +277,14 @@ int main(int argc, char** argv) {
   options.sim.model_overheads = setup.overheads;
 
   // Probe the output paths too: a bad path should fail here, before the
-  // multi-second database build, not after the sweep (append mode: an
-  // existing file is left untouched by the probe). Files the probe itself
-  // created are removed again on later failure paths, so a failed run does
-  // not leave an empty decoy CSV behind.
+  // multi-second database build, not after the sweep. Each probe touches
+  // only the uniquely named temp sibling the later atomic commit will use,
+  // NEVER the target itself - an interrupted or failed run must not leave
+  // an empty decoy CSV/report, and an existing file stays untouched until
+  // its atomic replacement.
   const std::string rows_csv = args.get("rows-csv", "sweep_rows.csv");
   const std::string agg_csv = args.get("agg-csv", "");
+  const std::string report_json = args.get("report-json", "");
   const std::string part_output = args.get("part-output", "");
   // Orchestrator part files live next to the rows CSV unless --parts-dir
   // says otherwise; the prefix keeps the sharding self-describing
@@ -272,6 +308,7 @@ int main(int argc, char** argv) {
   } else {
     probe_paths.push_back(rows_csv);
     if (!agg_csv.empty()) probe_paths.push_back(agg_csv);
+    if (!report_json.empty()) probe_paths.push_back(report_json);
     if (orchestrate) {
       for (int i = 0; i < workers; ++i) {
         probe_paths.push_back(rmsim::part_path(
@@ -280,24 +317,13 @@ int main(int argc, char** argv) {
       }
     }
   }
-  std::vector<std::string> probe_created;
   for (const std::string& path : probe_paths) {
-    std::error_code ec;
-    const bool existed = std::filesystem::exists(path, ec);
-    std::ofstream probe(path, std::ios::app);
-    if (!probe.good()) {
-      std::fprintf(stderr, "cannot write to %s\n", path.c_str());
-      for (const std::string& created : probe_created) {
-        std::remove(created.c_str());
-      }
+    std::string probe_error;
+    if (!qosrm::probe_writable_atomic(path, &probe_error)) {
+      std::fprintf(stderr, "%s\n", probe_error.c_str());
       return 1;
     }
-    if (!existed) probe_created.push_back(path);
   }
-  const auto fail_with_cleanup = [&probe_created]() {
-    for (const std::string& path : probe_created) std::remove(path.c_str());
-    return 1;
-  };
 
   // --db-cache: decide hit/miss now, and on a miss probe writability, so a
   // bad path fails here instead of after the multi-second database build.
@@ -311,7 +337,8 @@ int main(int argc, char** argv) {
     // QOSRM_DB_CACHE_DIR use; resolve it the same way.
     std::error_code ec;
     if (std::filesystem::is_directory(setup.db_cache, ec)) {
-      setup.db_cache = workload::db_cache_path(setup.db_cache, setup.cores);
+      setup.db_cache =
+          workload::db_cache_path(setup.db_cache, setup.total_cores());
     }
     std::ifstream rprobe(setup.db_cache, std::ios::binary);
     db_cache_hit = rprobe.good();
@@ -322,7 +349,7 @@ int main(int argc, char** argv) {
       if (!wprobe.good()) {
         std::fprintf(stderr, "--db-cache: cannot write to %s\n",
                      setup.db_cache.c_str());
-        return fail_with_cleanup();
+        return 1;
       }
       wprobe.close();
       std::remove(probe_path.c_str());
@@ -331,7 +358,7 @@ int main(int argc, char** argv) {
 
   const workload::SpecSuite& suite = workload::spec_suite();
   qosrm::arch::SystemConfig system;
-  system.cores = setup.cores;
+  system.cores = setup.total_cores();
   const qosrm::power::PowerModel power;
 
   workload::SimDbOptions db_options;
@@ -344,7 +371,8 @@ int main(int argc, char** argv) {
   gen.cores = setup.cores;
   gen.per_scenario = setup.per_scenario;
   gen.seed = setup.seed;
-  setup.grid.mixes = workload::generate_workloads(suite, gen);
+  setup.grid.mixes = workload::replicate_workloads(
+      workload::generate_workloads(suite, gen), setup.replicate);
 
   // ---------------------------------------------------------------------
   // Orchestrator mode: fork shard workers, merge their parts, write CSVs.
@@ -391,17 +419,17 @@ int main(int argc, char** argv) {
                                   setup.db_cache, &error)
                  .has_value()) {
           std::fprintf(stderr, "--db-cache: %s\n", error.c_str());
-          return fail_with_cleanup();
+          return 1;
         }
       } else {
         std::printf("characterizing %d-app suite for %d cores (shared by all "
                     "workers)...\n",
-                    suite.size(), setup.cores);
+                    suite.size(), setup.total_cores());
         const workload::SimDb db(suite, system, power, db_options);
         if (!workload::save_simdb(db, setup.db_cache, &error)) {
           std::fprintf(stderr, "--db-cache: %s\n", error.c_str());
           cleanup_temp_db();
-          return fail_with_cleanup();
+          return 1;
         }
         std::printf("saved simulation database snapshot to %s\n",
                     setup.db_cache.c_str());
@@ -417,14 +445,6 @@ int main(int argc, char** argv) {
     std::printf("sweeping %zu runs across %d shard workers (%u threads "
                 "each)...\n",
                 setup.grid.size(), workers, worker_threads);
-
-    // The workers own the part files from here on: a failure below must
-    // KEEP completed parts so --resume can reuse them, so only the CSV
-    // probes stay in the cleanup set (a leftover empty probe part is
-    // invalid by construction and gets re-run/overwritten).
-    std::erase_if(probe_created, [](const std::string& path) {
-      return path.ends_with(rmsim::kSweepPartExtension);
-    });
 
     const std::string exe = self_exe_path(argv[0]);
     const auto t_sweep = Clock::now();
@@ -442,6 +462,7 @@ int main(int argc, char** argv) {
       worker.argv = {
           exe,
           qosrm::format("--cores=%d", setup.cores),
+          qosrm::format("--replicate=%d", setup.replicate),
           qosrm::format("--per-scenario=%d", setup.per_scenario),
           qosrm::format("--seed=%llu",
                         static_cast<unsigned long long>(setup.seed)),
@@ -506,7 +527,7 @@ int main(int argc, char** argv) {
                    "sweep aborted; completed parts are kept - re-run with "
                    "--resume to redo only the failed shards\n");
       cleanup_temp_db();
-      return fail_with_cleanup();
+      return 1;
     }
 
     // Merge. Every part must match the fingerprint this orchestrator
@@ -522,7 +543,7 @@ int main(int argc, char** argv) {
     if (!merged.has_value()) {
       std::fprintf(stderr, "merge: %s\n", error.c_str());
       cleanup_temp_db();
-      return fail_with_cleanup();
+      return 1;
     }
     const auto t_done = Clock::now();
     const rmsim::SweepResult& result = *merged;
@@ -534,6 +555,10 @@ int main(int argc, char** argv) {
       rmsim::write_aggregates_csv(result, agg_csv);
       std::printf("wrote %zu aggregates to %s\n", result.aggregates.size(),
                   agg_csv.c_str());
+    }
+    if (!report_json.empty() &&
+        !write_sweep_report(result, shape, fingerprint, report_json)) {
+      return 1;
     }
     if (!args.get_bool("keep-parts", false)) {
       for (std::size_t i = 0; i < n; ++i) {
@@ -560,17 +585,17 @@ int main(int argc, char** argv) {
                                       setup.db_cache, &error);
     if (!db_storage.has_value()) {
       std::fprintf(stderr, "--db-cache: %s\n", error.c_str());
-      return fail_with_cleanup();
+      return 1;
     }
   } else {
     std::printf("characterizing %d-app suite for %d cores...\n", suite.size(),
-                setup.cores);
+                setup.total_cores());
     db_storage.emplace(suite, system, power, db_options);
     if (!setup.db_cache.empty()) {
       std::string error;
       if (!workload::save_simdb(*db_storage, setup.db_cache, &error)) {
         std::fprintf(stderr, "--db-cache: %s\n", error.c_str());
-        return fail_with_cleanup();
+        return 1;
       }
       std::printf("saved simulation database snapshot to %s\n",
                   setup.db_cache.c_str());
@@ -607,7 +632,7 @@ int main(int argc, char** argv) {
     std::string error;
     if (!rmsim::save_sweep_part(part, part_output, &error)) {
       std::fprintf(stderr, "--part-output: %s\n", error.c_str());
-      return fail_with_cleanup();
+      return 1;
     }
     std::printf("wrote %zu rows to %s\n", part.rows.size(), part_output.c_str());
     std::printf("idle references simulated: %zu\n", idle_computations);
@@ -632,6 +657,11 @@ int main(int argc, char** argv) {
     rmsim::write_aggregates_csv(result, agg_csv);
     std::printf("wrote %zu aggregates to %s\n", result.aggregates.size(),
                 agg_csv.c_str());
+  }
+  if (!report_json.empty() &&
+      !write_sweep_report(result, setup.grid.shape(),
+                          setup_fingerprint(setup, options), report_json)) {
+    return 1;
   }
 
   print_aggregates(result.aggregates);

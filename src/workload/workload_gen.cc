@@ -124,4 +124,38 @@ std::vector<WorkloadMix> generate_workloads(const SpecSuite& suite,
   return out;
 }
 
+WorkloadMix replicate_mix(const WorkloadMix& mix, int factor) {
+  QOSRM_CHECK_MSG(factor >= 1, "replication factor must be >= 1");
+  const auto cores = static_cast<int>(mix.app_ids.size());
+  QOSRM_CHECK_MSG(cores >= 2 && cores % 2 == 0,
+                  "replication needs a two-half (even-core) mix");
+  if (factor == 1) return mix;
+
+  WorkloadMix scaled;
+  scaled.scenario = mix.scenario;
+  scaled.name = format("%sx%d", mix.name.c_str(), factor);
+  scaled.app_ids.reserve(mix.app_ids.size() * static_cast<std::size_t>(factor));
+  // Repeat each category half contiguously so the scaled mix still has the
+  // "first half from category 1, second half from category 2" layout that
+  // scenario classification and the generator rely on.
+  const int half = cores / 2;
+  for (int h = 0; h < 2; ++h) {
+    for (int r = 0; r < factor; ++r) {
+      for (int i = 0; i < half; ++i) {
+        scaled.app_ids.push_back(
+            mix.app_ids[static_cast<std::size_t>(h * half + i)]);
+      }
+    }
+  }
+  return scaled;
+}
+
+std::vector<WorkloadMix> replicate_workloads(
+    const std::vector<WorkloadMix>& mixes, int factor) {
+  std::vector<WorkloadMix> out;
+  out.reserve(mixes.size());
+  for (const WorkloadMix& mix : mixes) out.push_back(replicate_mix(mix, factor));
+  return out;
+}
+
 }  // namespace qosrm::workload

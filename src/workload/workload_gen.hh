@@ -67,6 +67,19 @@ struct WorkloadGenOptions {
 [[nodiscard]] std::vector<WorkloadMix> generate_workloads(
     const SpecSuite& suite, const WorkloadGenOptions& options);
 
+/// Scenario-preserving replication of one mix to `factor` times its core
+/// count: each category half is repeated `factor` times in place, so an
+/// 8/16-core scaled workload keeps the 4-core mix's category composition
+/// (and therefore its scenario) exactly. The name gains an "x{factor}"
+/// suffix ("4Core-W7" -> "4Core-W7x2"), so scaled mixes can never alias a
+/// natively generated suite in sweep fingerprints.
+[[nodiscard]] WorkloadMix replicate_mix(const WorkloadMix& mix, int factor);
+
+/// replicate_mix over a whole suite, preserving order. factor == 1 returns
+/// the input unchanged (no name suffix).
+[[nodiscard]] std::vector<WorkloadMix> replicate_workloads(
+    const std::vector<WorkloadMix>& mixes, int factor);
+
 }  // namespace qosrm::workload
 
 #endif  // QOSRM_WORKLOAD_WORKLOAD_GEN_HH

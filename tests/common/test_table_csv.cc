@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/csv.hh"
 #include "common/str.hh"
@@ -62,6 +64,75 @@ TEST(Csv, WritesHeaderAndRows) {
 
 TEST(Csv, ThrowsOnUnwritablePath) {
   EXPECT_THROW(CsvWriter("/nonexistent-dir/foo.csv", {"a"}), std::runtime_error);
+}
+
+TEST(Csv, TargetUntouchedUntilCloseThenReplacedAtomically) {
+  const std::string path = ::testing::TempDir() + "/qosrm_atomic.csv";
+  {
+    std::ofstream old(path);
+    old << "old content\n";
+  }
+  {
+    CsvWriter csv(path, {"a"});
+    csv.add_row({"1"});
+    // Not committed yet: a reader (or a crash) at this point sees the OLD
+    // complete file, never a truncated half-written one.
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "old content");
+    csv.close();
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "a");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, PartialResultIsAbandonedWhenAnExceptionUnwinds) {
+  const std::string path = ::testing::TempDir() + "/qosrm_abandoned.csv";
+  std::remove(path.c_str());
+  try {
+    CsvWriter csv(path, {"a"});
+    csv.add_row({"partial"});
+    throw std::runtime_error("run failed mid-sweep");
+  } catch (const std::runtime_error&) {
+  }
+  // The failed run published nothing - no decoy CSV, no temp leftovers.
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good());
+  const std::string tmp_prefix = path + ".tmp.";
+  for (const auto& entry :
+       std::filesystem::directory_iterator(::testing::TempDir())) {
+    EXPECT_NE(entry.path().string().rfind(tmp_prefix, 0), 0u)
+        << "temp file left behind: " << entry.path();
+  }
+}
+
+TEST(Csv, AbandonPublishesNothing) {
+  const std::string path = ::testing::TempDir() + "/qosrm_abandon_call.csv";
+  std::remove(path.c_str());
+  {
+    CsvWriter csv(path, {"a"});
+    csv.add_row({"1"});
+    csv.abandon();
+    csv.close();  // no-op after abandon
+  }
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good());
+}
+
+TEST(Csv, CloseIsIdempotent) {
+  const std::string path = ::testing::TempDir() + "/qosrm_idempotent.csv";
+  CsvWriter csv(path, {"a"});
+  csv.close();
+  csv.close();  // second close (and the destructor) must be a no-op
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "a");
+  std::remove(path.c_str());
 }
 
 TEST(Str, FormatBasic) {

@@ -1,0 +1,172 @@
+// Golden-aggregate regression gate for the PAPER-SCALE grid: the committed
+// tests/data files pin the exact bytes of the full 24-mix, 4-core figure
+// pipeline - all policies, Model3 + the Perfect oracle, the alpha
+// sensitivity axis {1.0, 1.05, 1.1} - i.e. the scenario-weighted Fig. 6
+// savings, the Fig. 7 violation statistics and the Fig. 9 oracle deltas the
+// paper reports. Any result-moving change must regenerate the paper numbers
+// in the same commit, so savings drift is visible in review, never silent.
+//
+// Regenerate with:
+//   ./build/src/sweep_main --cores=4 --per-scenario=6 \
+//       --models=model3,perfect --alphas=1,1.05,1.1 \
+//       --db-cache=.qosdb-cache --rows-csv=/tmp/paper_rows.csv \
+//       --agg-csv=tests/data/golden_paper_grid_agg.csv \
+//       --report-json=tests/data/golden_paper_grid_report.json
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "rmsim/report.hh"
+#include "rmsim/shard.hh"
+#include "rmsim/sweep.hh"
+#include "support/shared_db.hh"
+#include "workload/db_io.hh"
+#include "workload/workload_gen.hh"
+
+namespace qosrm::rmsim {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// The canonical paper grid (must match the regeneration command above and
+/// the CI paper-grid job).
+SweepGrid paper_grid(const workload::SimDb& db) {
+  workload::WorkloadGenOptions gen;
+  gen.cores = 4;
+  gen.per_scenario = 6;
+  gen.seed = 2020;
+
+  SweepGrid grid;
+  grid.mixes = workload::generate_workloads(db.suite(), gen);
+  grid.policies = {rm::RmPolicy::Idle, rm::RmPolicy::Rm1, rm::RmPolicy::Rm2,
+                   rm::RmPolicy::Rm3};
+  grid.models = {rm::PerfModelKind::Model3, rm::PerfModelKind::Perfect};
+  grid.qos_alphas = {1.0, 1.05, 1.1};
+  return grid;
+}
+
+class GoldenAggregates : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const workload::SimDb& db = testing::shared_db(4);
+    grid_ = new SweepGrid(paper_grid(db));
+    SweepRunner runner(db, {});
+    result_ = new SweepResult(runner.run(*grid_));
+    fingerprint_ = sweep_fingerprint(
+        *grid_, SimOptions{},
+        workload::simdb_fingerprint(db.suite(), db.system(),
+                                    db.phase_options()));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+    delete grid_;
+    grid_ = nullptr;
+  }
+
+  static SweepGrid* grid_;
+  static SweepResult* result_;
+  static std::uint64_t fingerprint_;
+};
+
+SweepGrid* GoldenAggregates::grid_ = nullptr;
+SweepResult* GoldenAggregates::result_ = nullptr;
+std::uint64_t GoldenAggregates::fingerprint_ = 0;
+
+TEST_F(GoldenAggregates, PaperGridAggregatesMatchCommittedGolden) {
+  ASSERT_EQ(result_->rows.size(), 24u * 4u * 2u * 3u);
+
+  const std::string actual_path =
+      ::testing::TempDir() + "/golden_check_paper_agg.csv";
+  write_aggregates_csv(*result_, actual_path);
+  const std::string actual = slurp(actual_path);
+  std::remove(actual_path.c_str());
+
+  const std::string golden_path =
+      std::string(QOSRM_TEST_DATA_DIR) + "/golden_paper_grid_agg.csv";
+  const std::string golden = slurp(golden_path);
+  ASSERT_FALSE(golden.empty()) << golden_path;
+
+  EXPECT_EQ(actual, golden)
+      << "paper-grid aggregates drifted from " << golden_path
+      << "\nIf the change is intentional, regenerate the golden files (see "
+         "the header of this test) and justify the numerical diff in the "
+         "same commit.";
+}
+
+TEST_F(GoldenAggregates, PaperGridFigureReportMatchesCommittedGolden) {
+  const workload::SimDb& db = testing::shared_db(4);
+  const FigureReport report = build_figure_report(
+      result_->rows, grid_->shape(), fingerprint_, scenario_weights(db.suite()));
+
+  // The report must carry the paper's three result sets: 24 configurations
+  // of fig6/fig7 and the Model3-vs-Perfect deltas of fig9.
+  ASSERT_EQ(report.fig6.size(), 4u * 2u * 3u);
+  ASSERT_EQ(report.fig7.size(), 4u * 2u * 3u);
+  ASSERT_EQ(report.fig9.size(), 4u * 3u);
+
+  const std::string golden_path =
+      std::string(QOSRM_TEST_DATA_DIR) + "/golden_paper_grid_report.json";
+  const std::string golden = slurp(golden_path);
+  ASSERT_FALSE(golden.empty()) << golden_path;
+
+  EXPECT_EQ(figure_report_json(report), golden)
+      << "paper-grid figure report drifted from " << golden_path
+      << "\nIf the change is intentional, regenerate the golden files (see "
+         "the header of this test) and justify the numerical diff in the "
+         "same commit.";
+}
+
+TEST_F(GoldenAggregates, ReportBytesAreStableAcrossShardCounts) {
+  // The same rows routed through the part-file save/load/merge path (as the
+  // CI paper-grid job's sharded run produces them) must yield the exact
+  // golden report bytes - shard count can never show up in a report.
+  const GridShape shape = grid_->shape();
+  const std::size_t kShards = 3;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    SweepPart part;
+    part.fingerprint = fingerprint_;
+    part.shape = shape;
+    part.shard_index = i;
+    part.shard_count = kShards;
+    part.range = shard_range(shape.size(), i, kShards);
+    part.rows.assign(result_->rows.begin() +
+                         static_cast<std::ptrdiff_t>(part.range.begin),
+                     result_->rows.begin() +
+                         static_cast<std::ptrdiff_t>(part.range.end));
+    const std::string path =
+        part_path(::testing::TempDir() + "/golden_paper", i, kShards);
+    std::string error;
+    ASSERT_TRUE(save_sweep_part(part, path, &error)) << error;
+    paths.push_back(path);
+  }
+
+  std::string error;
+  SweepIdentity identity;
+  const std::optional<SweepResult> merged =
+      merge_part_files(paths, &fingerprint_, &error, &identity);
+  for (const std::string& path : paths) std::remove(path.c_str());
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_EQ(identity.fingerprint, fingerprint_);
+
+  const workload::SimDb& db = testing::shared_db(4);
+  const FigureReport direct = build_figure_report(
+      result_->rows, shape, fingerprint_, scenario_weights(db.suite()));
+  const FigureReport via_parts = build_figure_report(
+      merged->rows, identity.shape, identity.fingerprint,
+      scenario_weights(db.suite()));
+  EXPECT_EQ(figure_report_json(via_parts), figure_report_json(direct));
+}
+
+}  // namespace
+}  // namespace qosrm::rmsim

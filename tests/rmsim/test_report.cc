@@ -1,0 +1,351 @@
+// Figure-report subsystem tests: aggregate math on synthetic rows, JSON
+// byte-stability, alpha filtering, atomic writes, and report_main's strict
+// CLI validation (unknown flags, bad --alphas lists, malformed
+// --fingerprint, fingerprint-mismatched part inputs rejected before any
+// report work) - the same conventions sweep_main enforces.
+#include "rmsim/report.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rmsim/shard.hh"
+#include "rmsim/sweep.hh"
+
+namespace qosrm::rmsim {
+namespace {
+
+CliArgs parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "report_main");
+  return CliArgs(static_cast<int>(argv.size()),
+                 const_cast<char**>(argv.data()));
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+SweepRow make_row(const std::string& workload, workload::Scenario scenario,
+                  rm::RmPolicy policy, rm::PerfModelKind model, double alpha,
+                  double savings, std::uint64_t intervals,
+                  std::uint64_t violations, double violation_sum,
+                  double violation_max) {
+  SweepRow row;
+  row.workload = workload;
+  row.scenario = scenario;
+  row.policy = policy;
+  row.model = model;
+  row.qos_alpha = alpha;
+  row.result.savings = savings;
+  RunResult& run = row.result.run;
+  run.workload = workload;
+  run.scenario = scenario;
+  run.policy = policy;
+  run.model = model;
+  CoreResult core;
+  core.app = 0;
+  core.intervals = intervals;
+  core.qos_violations = violations;
+  core.violation_sum = violation_sum;
+  core.violation_max = violation_max;
+  run.cores = {core};
+  return row;
+}
+
+/// 2 mixes x {Idle, RM3} x {Model3, Perfect} x 2 alphas, in grid order
+/// (alpha-major, mix-minor). Savings are synthetic but distinct per cell.
+struct SyntheticGrid {
+  GridShape shape{2, 2, 2, 2};
+  std::vector<SweepRow> rows;
+  std::array<double, 4> weights{0.47, 0.221, 0.221, 0.088};
+
+  SyntheticGrid() {
+    const std::vector<rm::RmPolicy> policies = {rm::RmPolicy::Idle,
+                                                rm::RmPolicy::Rm3};
+    const std::vector<rm::PerfModelKind> models = {rm::PerfModelKind::Model3,
+                                                   rm::PerfModelKind::Perfect};
+    const std::vector<double> alphas = {1.0, 1.1};
+    double value = 0.0;
+    for (std::size_t ai = 0; ai < alphas.size(); ++ai) {
+      for (std::size_t ki = 0; ki < models.size(); ++ki) {
+        for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+          for (std::size_t mi = 0; mi < 2; ++mi) {
+            value += 0.01;
+            const auto scenario =
+                mi == 0 ? workload::Scenario::One : workload::Scenario::Three;
+            rows.push_back(make_row(
+                mi == 0 ? "W1" : "W2", scenario, policies[pi], models[ki],
+                alphas[ai], value, /*intervals=*/100 + mi,
+                /*violations=*/mi == 0 ? 4 : 0,
+                /*violation_sum=*/mi == 0 ? 0.2 : 0.0,
+                /*violation_max=*/mi == 0 ? 0.09 : 0.0));
+          }
+        }
+      }
+    }
+  }
+};
+
+TEST(FigureReport, Fig6AggregatesMatchTheSharedWeightedAverage) {
+  const SyntheticGrid g;
+  const FigureReport report =
+      build_figure_report(g.rows, g.shape, 0xabcdu, g.weights);
+
+  ASSERT_EQ(report.fig6.size(), 8u);  // 2 policies x 2 models x 2 alphas
+  ASSERT_EQ(report.workloads, (std::vector<std::string>{"W1", "W2"}));
+  ASSERT_EQ(report.qos_alphas, (std::vector<double>{1.0, 1.1}));
+  EXPECT_EQ(report.fingerprint, 0xabcdu);
+
+  // Entry 1 = (alpha 1.0, Model3, RM3): rows 2 and 3 of the synthetic grid.
+  const Fig6Entry& e = report.fig6[1];
+  EXPECT_EQ(e.policy, rm::RmPolicy::Rm3);
+  EXPECT_EQ(e.model, rm::PerfModelKind::Model3);
+  EXPECT_DOUBLE_EQ(e.qos_alpha, 1.0);
+  const double s1 = g.rows[2].result.savings;
+  const double s2 = g.rows[3].result.savings;
+  EXPECT_EQ(e.per_mix_savings, (std::vector<double>{s1, s2}));
+  EXPECT_DOUBLE_EQ(e.mean_savings, (s1 + s2) / 2.0);
+  EXPECT_DOUBLE_EQ(e.max_savings, s2);
+  EXPECT_DOUBLE_EQ(e.scenario_mean_savings[0], s1);
+  EXPECT_DOUBLE_EQ(e.scenario_mean_savings[2], s2);
+  EXPECT_DOUBLE_EQ(e.scenario_mean_savings[1], 0.0);  // no scenario-2 mixes
+  EXPECT_DOUBLE_EQ(e.weighted_savings,
+                   weighted_average_savings(
+                       {workload::Scenario::One, workload::Scenario::Three},
+                       {s1, s2}, g.weights));
+}
+
+TEST(FigureReport, Fig7CountsViolationsAndMagnitudes) {
+  const SyntheticGrid g;
+  const FigureReport report =
+      build_figure_report(g.rows, g.shape, 1u, g.weights);
+
+  ASSERT_EQ(report.fig7.size(), 8u);
+  const Fig7Entry& e = report.fig7[0];  // (alpha 1.0, Model3, Idle)
+  EXPECT_EQ(e.intervals, 201u);         // 100 + 101
+  EXPECT_EQ(e.violations, 4u);
+  EXPECT_DOUBLE_EQ(e.violation_rate, 4.0 / 201.0);
+  // Uniform mean of the per-mix rates: (4/100 + 0/101) / 2.
+  EXPECT_DOUBLE_EQ(e.mean_violation_rate, (4.0 / 100.0) / 2.0);
+  EXPECT_DOUBLE_EQ(e.mean_magnitude, 0.2 / 4.0);
+  EXPECT_DOUBLE_EQ(e.max_magnitude, 0.09);
+  EXPECT_EQ(e.violating_mixes, 1u);
+}
+
+TEST(FigureReport, Fig9ReportsOracleDeltasOnlyWithPerfectAxis) {
+  const SyntheticGrid g;
+  const FigureReport report =
+      build_figure_report(g.rows, g.shape, 1u, g.weights);
+
+  // One delta per (alpha, non-Perfect model, policy).
+  ASSERT_EQ(report.fig9.size(), 4u);
+  const Fig9Entry& e = report.fig9[1];  // (alpha 1.0, Model3, RM3)
+  EXPECT_EQ(e.model, rm::PerfModelKind::Model3);
+  EXPECT_EQ(e.policy, rm::RmPolicy::Rm3);
+  const Fig6Entry& model6 = report.fig6[1];
+  const Fig6Entry& oracle6 = report.fig6[3];
+  EXPECT_DOUBLE_EQ(e.weighted_savings, model6.weighted_savings);
+  EXPECT_DOUBLE_EQ(e.oracle_weighted_savings, oracle6.weighted_savings);
+  EXPECT_DOUBLE_EQ(e.weighted_gap,
+                   oracle6.weighted_savings - model6.weighted_savings);
+
+  // Without the Perfect axis the section is empty (Model3-only sub-grid).
+  std::vector<SweepRow> model3_only;
+  GridShape shape = g.shape;
+  shape.models = 1;
+  for (const SweepRow& row : g.rows) {
+    if (row.model == rm::PerfModelKind::Model3) model3_only.push_back(row);
+  }
+  const FigureReport no_oracle =
+      build_figure_report(model3_only, shape, 1u, g.weights);
+  EXPECT_TRUE(no_oracle.fig9.empty());
+  EXPECT_EQ(no_oracle.fig6.size(), 4u);
+}
+
+TEST(FigureReport, JsonIsByteStableAndStampsTheFingerprint) {
+  const SyntheticGrid g;
+  const FigureReport a =
+      build_figure_report(g.rows, g.shape, 0xdeadbeefcafe0123u, g.weights);
+  const FigureReport b =
+      build_figure_report(g.rows, g.shape, 0xdeadbeefcafe0123u, g.weights);
+  const std::string json = figure_report_json(a);
+  EXPECT_EQ(json, figure_report_json(b));
+  EXPECT_NE(json.find("\"fingerprint\": \"deadbeefcafe0123\""),
+            std::string::npos);
+  // A different fingerprint changes the stamp (and nothing silently strips it).
+  const FigureReport c = build_figure_report(g.rows, g.shape, 1u, g.weights);
+  EXPECT_NE(json, figure_report_json(c));
+}
+
+TEST(FigureReport, AlphaFilterSelectsSubGridInRequestOrder) {
+  const SyntheticGrid g;
+  GridShape shape = g.shape;
+  std::string error;
+  const auto filtered =
+      filter_rows_to_alphas(g.rows, &shape, {1.1, 1.0}, &error);
+  ASSERT_TRUE(filtered.has_value()) << error;
+  EXPECT_EQ(shape.alphas, 2u);
+  ASSERT_EQ(filtered->size(), g.rows.size());
+  // Requested order: the 1.1 block now comes first.
+  EXPECT_DOUBLE_EQ(filtered->front().qos_alpha, 1.1);
+  EXPECT_DOUBLE_EQ(filtered->back().qos_alpha, 1.0);
+
+  shape = g.shape;
+  const auto single = filter_rows_to_alphas(g.rows, &shape, {1.1}, &error);
+  ASSERT_TRUE(single.has_value()) << error;
+  EXPECT_EQ(shape.alphas, 1u);
+  EXPECT_EQ(single->size(), g.rows.size() / 2);
+  for (const SweepRow& row : *single) EXPECT_DOUBLE_EQ(row.qos_alpha, 1.1);
+}
+
+TEST(FigureReport, AlphaFilterRejectsUnknownAndDuplicateValues) {
+  const SyntheticGrid g;
+  GridShape shape = g.shape;
+  std::string error;
+  EXPECT_FALSE(
+      filter_rows_to_alphas(g.rows, &shape, {1.05}, &error).has_value());
+  EXPECT_NE(error.find("not on the sweep's alpha axis"), std::string::npos);
+
+  shape = g.shape;
+  EXPECT_FALSE(
+      filter_rows_to_alphas(g.rows, &shape, {1.0, 1.0}, &error).has_value());
+  EXPECT_NE(error.find("given twice"), std::string::npos);
+}
+
+TEST(FigureReport, JsonWriteIsAtomicAndLeavesNoTempFiles) {
+  const SyntheticGrid g;
+  const FigureReport report =
+      build_figure_report(g.rows, g.shape, 7u, g.weights);
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/report_atomic_check.json";
+
+  std::string error;
+  ASSERT_TRUE(write_report_json(report, path, &error)) << error;
+  EXPECT_EQ(slurp(path), figure_report_json(report));
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().string().find(".tmp."), std::string::npos)
+        << "temp file left behind: " << entry.path();
+  }
+  std::remove(path.c_str());
+
+  // A failing write reports an error and leaves no target file behind.
+  EXPECT_FALSE(write_report_json(
+      report, "/nonexistent-dir/report.json", &error));
+  EXPECT_FALSE(std::filesystem::exists("/nonexistent-dir/report.json"));
+}
+
+TEST(ReportCli, RejectsUnknownFlagsAndMissingInputs) {
+  ReportCliOptions options;
+  std::string error;
+
+  EXPECT_FALSE(parse_report_cli(parse({"--bogus=1", "--json=r.json", "p.qospart"}),
+                                &options, &error));
+  EXPECT_NE(error.find("unknown flag --bogus"), std::string::npos);
+
+  EXPECT_FALSE(parse_report_cli(parse({"--json=r.json"}), &options, &error));
+  EXPECT_NE(error.find("no part files"), std::string::npos);
+
+  EXPECT_FALSE(parse_report_cli(parse({"p.qospart"}), &options, &error));
+  EXPECT_NE(error.find("no output requested"), std::string::npos);
+}
+
+TEST(ReportCli, RejectsBadAlphaLists) {
+  ReportCliOptions options;
+  std::string error;
+  EXPECT_FALSE(parse_report_cli(
+      parse({"--json=r.json", "--alphas=1.0,zap", "p.qospart"}), &options,
+      &error));
+  EXPECT_NE(error.find("bad --alphas entry 'zap'"), std::string::npos);
+
+  EXPECT_FALSE(parse_report_cli(
+      parse({"--json=r.json", "--alphas=-1", "p.qospart"}), &options, &error));
+  EXPECT_NE(error.find("bad --alphas entry '-1'"), std::string::npos);
+
+  EXPECT_FALSE(parse_report_cli(
+      parse({"--json=r.json", "--alphas=", "p.qospart"}), &options, &error));
+  EXPECT_NE(error.find("--alphas names no values"), std::string::npos);
+}
+
+TEST(ReportCli, RejectsMalformedFingerprints) {
+  ReportCliOptions options;
+  std::string error;
+  for (const char* bad : {"--fingerprint=xyz", "--fingerprint=",
+                          "--fingerprint=0123456789abcdef0"}) {
+    EXPECT_FALSE(parse_report_cli(parse({"--json=r.json", bad, "p.qospart"}),
+                                  &options, &error))
+        << bad;
+    EXPECT_NE(error.find("bad --fingerprint"), std::string::npos);
+  }
+}
+
+TEST(ReportCli, ParsesAFullCommandLine) {
+  ReportCliOptions options;
+  std::string error;
+  ASSERT_TRUE(parse_report_cli(
+      parse({"--json=r.json", "--fig6-csv=f6.csv", "--fig9-csv=f9.csv",
+             "--alphas=1.0,1.1", "--fingerprint=00ff00ff00ff00ff", "a.qospart",
+             "b.qospart"}),
+      &options, &error))
+      << error;
+  EXPECT_EQ(options.parts, (std::vector<std::string>{"a.qospart", "b.qospart"}));
+  EXPECT_EQ(options.json_path, "r.json");
+  EXPECT_EQ(options.fig6_csv, "f6.csv");
+  EXPECT_EQ(options.fig9_csv, "f9.csv");
+  EXPECT_EQ(options.alphas, (std::vector<double>{1.0, 1.1}));
+  ASSERT_TRUE(options.expected_fingerprint.has_value());
+  EXPECT_EQ(*options.expected_fingerprint, 0x00ff00ff00ff00ffull);
+  EXPECT_FALSE(options.print);
+
+  // Bare --print must not swallow the first part path as its value.
+  ASSERT_TRUE(parse_report_cli(parse({"--print", "a.qospart"}), &options,
+                               &error))
+      << error;
+  EXPECT_TRUE(options.print);
+  EXPECT_EQ(options.parts, (std::vector<std::string>{"a.qospart"}));
+}
+
+TEST(ReportCli, FingerprintMismatchedPartsAreRejectedBeforeAnyWork) {
+  // A valid part whose fingerprint differs from the pinned one must be
+  // refused by the merge step report_main runs first - no report output can
+  // ever mix rows from a foreign sweep.
+  SweepPart part;
+  part.fingerprint = 0x1111u;
+  part.shape = GridShape{2, 1, 1, 1};
+  part.shard_index = 0;
+  part.shard_count = 1;
+  part.range = shard_range(2, 0, 1);
+  part.rows = {make_row("W1", workload::Scenario::One, rm::RmPolicy::Idle,
+                        rm::PerfModelKind::Model3, 1.0, 0.0, 10, 0, 0.0, 0.0),
+               make_row("W2", workload::Scenario::Two, rm::RmPolicy::Idle,
+                        rm::PerfModelKind::Model3, 1.0, 0.0, 10, 0, 0.0, 0.0)};
+
+  const std::string path = ::testing::TempDir() + "/foreign.qospart";
+  std::string error;
+  ASSERT_TRUE(save_sweep_part(part, path, &error)) << error;
+
+  const std::uint64_t expected = 0x2222u;
+  EXPECT_FALSE(merge_part_files({path}, &expected, &error).has_value());
+  EXPECT_NE(error.find("different sweep"), std::string::npos);
+
+  // The same part merges fine when the pinned fingerprint matches, and the
+  // identity out-param carries the stamp the report will embed.
+  SweepIdentity identity;
+  const std::uint64_t match = 0x1111u;
+  ASSERT_TRUE(merge_part_files({path}, &match, &error, &identity).has_value())
+      << error;
+  EXPECT_EQ(identity.fingerprint, 0x1111u);
+  EXPECT_EQ(identity.shape, (GridShape{2, 1, 1, 1}));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qosrm::rmsim

@@ -133,6 +133,56 @@ TEST(WorkloadGen, CoverageAcrossSuite) {
   EXPECT_GE(used.size(), 24u);  // nearly all of the 27 applications
 }
 
+TEST(WorkloadGen, ReplicationPreservesScenarioAndCategoryHalves) {
+  WorkloadGenOptions opt;
+  opt.cores = 4;
+  const auto mixes = generate_workloads(spec_suite(), opt);
+  const auto scaled = replicate_workloads(mixes, 2);
+  ASSERT_EQ(scaled.size(), mixes.size());
+  for (std::size_t i = 0; i < mixes.size(); ++i) {
+    const WorkloadMix& base = mixes[i];
+    const WorkloadMix& big = scaled[i];
+    EXPECT_EQ(big.scenario, base.scenario);
+    EXPECT_EQ(big.name, base.name + "x2");
+    ASSERT_EQ(big.app_ids.size(), base.app_ids.size() * 2);
+    // Each half is the base half repeated, so the category composition of
+    // both halves (and therefore the scenario) is preserved exactly.
+    const std::size_t half = base.app_ids.size() / 2;
+    for (std::size_t h = 0; h < 2; ++h) {
+      for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t k = 0; k < half; ++k) {
+          EXPECT_EQ(big.app_ids[2 * half * h + half * r + k],
+                    base.app_ids[half * h + k]);
+        }
+      }
+    }
+  }
+}
+
+TEST(WorkloadGen, ReplicationFactorOneIsIdentity) {
+  WorkloadGenOptions opt;
+  opt.cores = 2;
+  const auto mixes = generate_workloads(spec_suite(), opt);
+  const auto same = replicate_workloads(mixes, 1);
+  ASSERT_EQ(same.size(), mixes.size());
+  for (std::size_t i = 0; i < mixes.size(); ++i) {
+    EXPECT_EQ(same[i].name, mixes[i].name);  // no "x1" suffix
+    EXPECT_EQ(same[i].app_ids, mixes[i].app_ids);
+  }
+}
+
+TEST(WorkloadGen, ReplicationToSixteenCores) {
+  WorkloadGenOptions opt;
+  opt.cores = 4;
+  const auto mixes = generate_workloads(spec_suite(), opt);
+  const WorkloadMix big = replicate_mix(mixes.front(), 4);
+  EXPECT_EQ(big.app_ids.size(), 16u);
+  EXPECT_EQ(big.name, mixes.front().name + "x4");
+  EXPECT_EQ(scenario_of(spec_suite().intended_category(big.app_ids.front()),
+                        spec_suite().intended_category(big.app_ids.back())),
+            big.scenario);
+}
+
 TEST(WorkloadGen, ScenarioFourIsAllCiPi) {
   WorkloadGenOptions opt;
   opt.cores = 4;
