@@ -1,0 +1,150 @@
+// Google-benchmark coverage of the colocation-service event loop: one
+// ServiceEngine::step() per iteration (arrival admission, interval
+// completion or departure, each with a partial-occupancy RM invocation).
+// The steady-state loop is required to be allocation-free - after one full
+// warm pass every buffer (queue ring, histogram, snapshots, RM workspaces)
+// has reached capacity and reset()+step() must never touch the heap again.
+//
+// Besides ns/op every benchmark reports allocs/op through the same global
+// operator-new hook as bench_rm_invoke; CI runs this binary briefly and
+// uploads the JSON (BENCH_service.json) so the perf trajectory is tracked
+// across PRs.
+//
+// The simulation database honours QOSRM_DB_CACHE_DIR (same protocol as the
+// slow test suites): set it to restore the characterization from a binary
+// snapshot instead of paying the multi-second build per run.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <new>
+#include <string>
+
+#include "power/power_model.hh"
+#include "rmsim/service.hh"
+#include "workload/arrival_gen.hh"
+#include "workload/db_io.hh"
+#include "workload/sim_db.hh"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+// Counting operator-new hooks (all variants funnel here). Kept outside any
+// namespace so they replace the global versions for the whole binary.
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace qosrm;
+
+/// One shared database per core count (the build is seconds-expensive).
+const workload::SimDb& bench_db(int cores) {
+  static std::map<int, std::unique_ptr<workload::SimDb>> dbs;
+  auto it = dbs.find(cores);
+  if (it == dbs.end()) {
+    arch::SystemConfig system;
+    system.cores = cores;
+    const char* cache_dir = std::getenv("QOSRM_DB_CACHE_DIR");
+    const std::string cache_path =
+        cache_dir != nullptr ? workload::db_cache_path(cache_dir, cores)
+                             : std::string();
+    it = dbs.emplace(cores, std::make_unique<workload::SimDb>(workload::warm_simdb(
+                                workload::spec_suite(), system,
+                                power::PowerModel{}, {}, cache_path)))
+             .first;
+  }
+  return *it->second;
+}
+
+void report_allocs(benchmark::State& state, std::uint64_t before) {
+  const std::uint64_t allocs =
+      g_allocations.load(std::memory_order_relaxed) - before;
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(allocs), benchmark::Counter::kAvgIterations);
+}
+
+/// ServiceEngine::step() at a given (policy, core count). One full trace
+/// pass warms every buffer to capacity before measurement; the measured
+/// loop wraps around via reset(), which is itself allocation-free after the
+/// warm pass, so a long measurement stays in the steady state throughout.
+void BM_ServiceStep(benchmark::State& state) {
+  const auto policy = static_cast<rm::RmPolicy>(state.range(0));
+  const int cores = static_cast<int>(state.range(1));
+  const workload::SimDb& db = bench_db(cores);
+
+  rmsim::ServiceConfig config;
+  config.arrivals = 512;
+  rmsim::ServicePoint point;
+  point.policy = policy;
+  rmsim::ServiceEngine engine(db, config, point);
+  (void)engine.run();  // warm pass: every buffer grows to capacity
+  engine.reset();
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    if (!engine.step()) engine.reset();
+  }
+  report_allocs(state, before);
+}
+BENCHMARK(BM_ServiceStep)
+    ->ArgsProduct({{static_cast<long>(rm::RmPolicy::Idle),
+                    static_cast<long>(rm::RmPolicy::Rm3)},
+                   {4, 8}})
+    ->ArgNames({"policy", "cores"});
+
+/// Arrival-trace synthesis into reused storage (the per-grid-point setup
+/// cost; allocation-free once the trace vector is at capacity).
+void BM_ArrivalGenReuse(benchmark::State& state) {
+  const auto pattern = static_cast<workload::ArrivalPattern>(state.range(0));
+  workload::ArrivalGenOptions options;
+  options.pattern = pattern;
+  options.count = 4096;
+  workload::ArrivalTrace trace;
+  workload::generate_arrivals_into(options, &trace);
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    workload::generate_arrivals_into(options, &trace);
+    benchmark::DoNotOptimize(trace.events.data());
+  }
+  report_allocs(state, before);
+}
+BENCHMARK(BM_ArrivalGenReuse)
+    ->Arg(static_cast<long>(workload::ArrivalPattern::Poisson))
+    ->Arg(static_cast<long>(workload::ArrivalPattern::Bursty))
+    ->Arg(static_cast<long>(workload::ArrivalPattern::Diurnal))
+    ->ArgNames({"pattern"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

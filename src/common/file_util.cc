@@ -1,8 +1,11 @@
 #include "common/file_util.hh"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <utility>
 
@@ -38,23 +41,51 @@ bool write_file_atomic(const std::string& path, const std::string& content,
     return false;
   };
 
+  // fd-based writer: the rename-into-place trick only guarantees "old file
+  // or new file" if the new file's DATA is durable before the rename. An
+  // ofstream flush hands the bytes to the page cache, so a crash shortly
+  // after the rename could leave a zero-length or partial file at the FINAL
+  // path - exactly the truncated-report decoy this module exists to prevent.
+  // fsync on the fd forces the data down before the name flips over.
   const std::string tmp_path = atomic_tmp_path(path);
-  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-  if (!out.good()) {
-    return fail(format("cannot open %s for writing", path.c_str()));
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0666);
+  if (fd < 0) {
+    return fail(format("cannot open %s for writing: %s", path.c_str(),
+                       std::strerror(errno)));
   }
-  out.write(content.data(),
-            static_cast<std::streamsize>(content.size()));
-  out.flush();
-  if (!out.good()) {
-    out.close();
+  const auto abort_write = [&](const char* what) {
+    const int saved_errno = errno;
+    ::close(fd);
     std::remove(tmp_path.c_str());
-    return fail(format("write to %s failed", path.c_str()));
+    return fail(format("%s %s failed: %s", what, path.c_str(),
+                       std::strerror(saved_errno)));
+  };
+
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return abort_write("write to");
+    }
+    written += static_cast<std::size_t>(n);
   }
-  out.close();
+  if (::fsync(fd) != 0) return abort_write("fsync of");
+  // close() can surface deferred write errors (e.g. NFS, quota); a silent
+  // close failure here would publish a file whose content never made it.
+  if (::close(fd) != 0) {
+    const int saved_errno = errno;
+    std::remove(tmp_path.c_str());
+    return fail(format("close of %s failed: %s", path.c_str(),
+                       std::strerror(saved_errno)));
+  }
   if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const int saved_errno = errno;
     std::remove(tmp_path.c_str());
-    return fail(format("cannot move %s into place", path.c_str()));
+    return fail(format("cannot move %s into place: %s", path.c_str(),
+                       std::strerror(saved_errno)));
   }
   return true;
 }

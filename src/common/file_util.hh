@@ -21,9 +21,12 @@ namespace qosrm {
 /// A pre-existing target file is neither created, truncated nor touched.
 bool probe_writable_atomic(const std::string& path, std::string* error);
 
-/// Writes `content` to `path` via a uniquely named sibling temp file plus
-/// rename. On failure the temp file is removed, `path` is left untouched
-/// (old content intact) and false + *error is returned.
+/// Writes `content` to `path` via a uniquely named sibling temp file that is
+/// fsync'ed before the rename, so after a crash the final path holds either
+/// the old content or the complete new content - never a truncated file. On
+/// failure (including a failing close(), which can surface deferred write
+/// errors) the temp file is removed, `path` is left untouched (old content
+/// intact) and false + *error (with the errno detail) is returned.
 bool write_file_atomic(const std::string& path, const std::string& content,
                        std::string* error);
 

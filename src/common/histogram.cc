@@ -15,6 +15,10 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x, double weight) noexcept {
+  if (!std::isfinite(x) || !std::isfinite(weight)) {
+    ++dropped_;
+    return;
+  }
   std::size_t idx;
   if (x < lo_) {
     idx = 0;
@@ -26,6 +30,26 @@ void Histogram::add(double x, double weight) noexcept {
   }
   counts_[idx] += weight;
   total_ += weight;
+}
+
+void Histogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0.0);
+  total_ = 0.0;
+  dropped_ = 0;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ <= 0.0) return lo_;
+  const double target = std::clamp(q, 0.0, 1.0) * total_;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double c = counts_[i];
+    if (c > 0.0 && cum + c >= target) {
+      return bin_lo(i) + (target - cum) / c * bin_width_;
+    }
+    cum += c;
+  }
+  return hi_;
 }
 
 double Histogram::bin_lo(std::size_t i) const noexcept {

@@ -33,4 +33,19 @@ std::string pad_right(const std::string& s, std::size_t width) {
   return s + std::string(width - s.size(), ' ');
 }
 
+std::vector<std::string> split_csv_list(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (const char ch : spec) {
+    if (ch == ',') {
+      parts.push_back(cur);
+      cur.clear();
+    } else if (ch != ' ') {
+      cur += ch;
+    }
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
 }  // namespace qosrm

@@ -3,6 +3,7 @@
 #define QOSRM_COMMON_STR_HH
 
 #include <string>
+#include <vector>
 
 namespace qosrm {
 
@@ -15,6 +16,11 @@ namespace qosrm {
 
 /// Right-pads `s` with spaces to at least `width` characters.
 [[nodiscard]] std::string pad_right(const std::string& s, std::size_t width);
+
+/// Splits on commas, stripping spaces. Empty entries are PRESERVED (an empty
+/// spec yields one empty entry) so list parsers can reject "--alphas=" and
+/// "--alphas=1," instead of silently sweeping a zero-row or shortened grid.
+[[nodiscard]] std::vector<std::string> split_csv_list(const std::string& spec);
 
 }  // namespace qosrm
 

@@ -21,6 +21,15 @@ namespace {
 /// design: the subprocess helper is a single-threaded orchestrator tool.
 std::vector<std::pair<pid_t, int>> g_stray_statuses;
 
+/// Non-consuming stash lookup: running()/terminate() must observe that a
+/// child was already reaped without stealing the status its wait() needs.
+bool stray_status_pending(pid_t pid) {
+  for (const auto& entry : g_stray_statuses) {
+    if (entry.first == pid) return true;
+  }
+  return false;
+}
+
 bool take_stray_status(pid_t pid, int* status) {
   for (auto it = g_stray_statuses.begin(); it != g_stray_statuses.end(); ++it) {
     if (it->first == pid) {
@@ -104,6 +113,14 @@ SubprocessExit Subprocess::wait() {
   return exit_;
 }
 
+bool Subprocess::running() const noexcept {
+  // The stash check matters: a child reaped by a foreign wait_any() is gone,
+  // and the kernel may have recycled its pid for an unrelated process. Until
+  // our wait() consumes the stashed status, pid_/reaped_ alone would still
+  // claim the child is alive - and terminate() would SIGTERM the recycled pid.
+  return pid_ > 0 && !reaped_ && !stray_status_pending(pid_);
+}
+
 void Subprocess::terminate() {
   if (running()) ::kill(pid_, SIGTERM);
 }
@@ -113,7 +130,9 @@ std::optional<std::size_t> Subprocess::wait_any(
   bool any_running = false;
   for (std::size_t i = 0; i < children.size(); ++i) {
     Subprocess* child = children[i];
-    if (child == nullptr || !child->running()) continue;
+    // Raw pid_/reaped_ checks, NOT running(): a stashed child reads as
+    // not-running but must still be surfaced from the stash here.
+    if (child == nullptr || child->pid_ <= 0 || child->reaped_) continue;
     // An earlier wait_any() on a different list may already have reaped this
     // child; its status is in the stash, no waitpid needed.
     int status = 0;

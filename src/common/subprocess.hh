@@ -51,10 +51,16 @@ class Subprocess {
   static std::optional<std::size_t> wait_any(
       const std::vector<Subprocess*>& children);
 
-  /// Sends SIGTERM (no-op once the child was already reaped).
+  /// Sends SIGTERM (no-op once the child was already reaped - including a
+  /// child reaped into the stray-status stash by a foreign wait_any(), whose
+  /// pid the kernel may already have recycled).
   void terminate();
 
-  [[nodiscard]] bool running() const noexcept { return pid_ > 0 && !reaped_; }
+  /// True while the child is alive and unreaped. A child whose exit status
+  /// sits in the stray-status stash (reaped by a wait_any() that did not
+  /// track it) reads as NOT running: the process is gone even though this
+  /// object's wait() has not consumed the status yet.
+  [[nodiscard]] bool running() const noexcept;
   [[nodiscard]] pid_t pid() const noexcept { return pid_; }
 
  private:

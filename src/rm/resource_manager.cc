@@ -23,9 +23,11 @@ ResourceManager::ResourceManager(const RmConfig& config,
                                  const power::PowerModel& offline_power)
     : cfg_(config), system_(system), perf_(config.model, system),
       energy_(offline_power, config.energy), local_(perf_, energy_, local_options()),
-      cached_(static_cast<std::size_t>(system.cores)) {
+      cached_(static_cast<std::size_t>(system.cores)),
+      all_active_(static_cast<std::size_t>(system.cores), 1) {
   ws_.curve_energy.resize(static_cast<std::size_t>(system.cores));
   ws_.views.reserve(static_cast<std::size_t>(system.cores));
+  ws_.idle_energy.assign(1, 0.0);
 }
 
 LocalOptOptions ResourceManager::local_options() const noexcept {
@@ -42,8 +44,17 @@ void ResourceManager::reset() {
 
 const RmDecision& ResourceManager::invoke(
     int invoking_core, std::span<const CounterSnapshot> snapshots) {
+  return invoke(invoking_core, snapshots, all_active_);
+}
+
+const RmDecision& ResourceManager::invoke(
+    int invoking_core, std::span<const CounterSnapshot> snapshots,
+    std::span<const std::uint8_t> active) {
   QOSRM_CHECK(static_cast<int>(snapshots.size()) == system_.cores);
+  QOSRM_CHECK(static_cast<int>(active.size()) == system_.cores);
   QOSRM_CHECK(invoking_core >= 0 && invoking_core < system_.cores);
+  QOSRM_CHECK_MSG(active[static_cast<std::size_t>(invoking_core)] != 0,
+                  "RM invoked on behalf of an inactive core");
 
   RmDecision& decision = ws_.decision;
   decision.ops = 0;
@@ -53,13 +64,19 @@ const RmDecision& ResourceManager::invoke(
 
   if (cfg_.policy == RmPolicy::Idle) return decision;
 
-  // Local optimization: fresh curve for the invoking core; cores never seen
-  // before also get one from their latest counters (cold start), matching
-  // Fig. 3 where other cores' curves are "already available". Recomputed
-  // curves are flattened into the workspace's per-core E*(w) array once;
-  // cached cores keep theirs, so no curve is copied on the steady path.
+  // Local optimization: fresh curve for the invoking core; active cores
+  // never seen before also get one from their latest counters (cold start),
+  // matching Fig. 3 where other cores' curves are "already available".
+  // Recomputed curves are flattened into the workspace's per-core E*(w)
+  // array once; cached cores keep theirs, so no curve is copied on the
+  // steady path. Inactive cores drop their cache (their counters describe
+  // an app that has departed) and take no part in the local step.
   for (int core = 0; core < system_.cores; ++core) {
     CoreCache& cache = cached_[static_cast<std::size_t>(core)];
+    if (active[static_cast<std::size_t>(core)] == 0) {
+      cache.valid = false;
+      continue;
+    }
     const bool fresh = core == invoking_core;
     if (!fresh && cache.valid) continue;
     local_.optimize_into(snapshots[static_cast<std::size_t>(core)], cache.local,
@@ -75,6 +92,14 @@ const RmDecision& ResourceManager::invoke(
 
   ws_.views.clear();
   for (int core = 0; core < system_.cores; ++core) {
+    if (active[static_cast<std::size_t>(core)] == 0) {
+      // A length-1 zero-energy curve: the global optimizer has exactly one
+      // choice for this core (llc.min_ways), so idle cores hold the minimum
+      // allocation and the remaining ways go to the active ones.
+      ws_.views.push_back(
+          {system_.llc.min_ways, std::span<const double>(ws_.idle_energy)});
+      continue;
+    }
     ws_.views.push_back(
         {cached_[static_cast<std::size_t>(core)].local.min_ways,
          std::span<const double>(ws_.curve_energy[static_cast<std::size_t>(core)])});
@@ -91,6 +116,7 @@ const RmDecision& ResourceManager::invoke(
   }
 
   for (int core = 0; core < system_.cores; ++core) {
+    if (active[static_cast<std::size_t>(core)] == 0) continue;  // baseline
     const LocalOptResult& local = cached_[static_cast<std::size_t>(core)].local;
     const WayChoice& choice = local.at(global.ways[static_cast<std::size_t>(core)]);
     QOSRM_CHECK_MSG(choice.feasible, "global optimizer chose an infeasible way");

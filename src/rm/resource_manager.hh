@@ -13,6 +13,7 @@
 #ifndef QOSRM_RM_RESOURCE_MANAGER_HH
 #define QOSRM_RM_RESOURCE_MANAGER_HH
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -50,6 +51,9 @@ struct RmDecision {
 struct RmWorkspace {
   std::vector<std::vector<double>> curve_energy;  ///< per-core E*(w), flat
   std::vector<EnergyCurveView> views;             ///< spans over curve_energy
+  /// Length-1 zero-energy curve presented for inactive cores: it pins them
+  /// to llc.min_ways in the global optimization without contributing energy.
+  std::vector<double> idle_energy;
   GlobalOptWorkspace global;
   GlobalOptResult global_result;
   RmDecision decision;
@@ -67,6 +71,16 @@ class ResourceManager {
   /// keep a decision across boundaries).
   [[nodiscard]] const RmDecision& invoke(
       int invoking_core, std::span<const CounterSnapshot> snapshots);
+
+  /// Partial-occupancy variant for the colocation-service mode: `active[k]`
+  /// non-zero means core k currently runs an application. Inactive cores are
+  /// pinned to the minimum LLC allocation with zero energy contribution,
+  /// keep their baseline setting in the decision, and have their cached
+  /// curves invalidated (the next app on that core cold-starts). The
+  /// invoking core must be active.
+  [[nodiscard]] const RmDecision& invoke(
+      int invoking_core, std::span<const CounterSnapshot> snapshots,
+      std::span<const std::uint8_t> active);
 
   /// Drops all cached energy curves (e.g. when the workload changes). The
   /// underlying buffers are kept, so the next boundaries stay allocation-free.
@@ -95,6 +109,9 @@ class ResourceManager {
   OnlineEnergyModel energy_;
   LocalOptimizer local_;
   std::vector<CoreCache> cached_;  ///< per-core curves
+  /// All-ones mask backing the mask-free invoke() overload. std::uint8_t
+  /// (not bool) so a std::span can view the storage.
+  std::vector<std::uint8_t> all_active_;
   RmWorkspace ws_;
 };
 

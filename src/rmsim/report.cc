@@ -362,6 +362,71 @@ bool write_report_json(const FigureReport& report, const std::string& path,
   return write_file_atomic(path, figure_report_json(report), error);
 }
 
+std::string service_report_json(const std::vector<ServiceRow>& rows,
+                                const ServiceGridShape& shape,
+                                std::uint64_t fingerprint) {
+  QOSRM_CHECK_MSG(rows.size() == shape.size(),
+                  "service report row count does not match the grid shape");
+  std::string o;
+  o += "{\n";
+  o += "  \"schema\": \"qosrm-service-report\",\n";
+  o += format("  \"version\": %u,\n", kServiceReportVersion);
+  o += format("  \"fingerprint\": \"%016llx\",\n",
+              static_cast<unsigned long long>(fingerprint));
+  o += format(
+      "  \"grid\": {\"patterns\": %zu, \"loads\": %zu, \"policies\": %zu, "
+      "\"alphas\": %zu},\n",
+      shape.patterns, shape.loads, shape.policies, shape.alphas);
+
+  o += "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ServiceRow& row = rows[i];
+    const ServiceMetrics& m = row.metrics;
+    o += format("    {\"pattern\": \"%s\", \"load\": %s, \"policy\": \"%s\", "
+                "\"model\": \"%s\", \"alpha\": %s",
+                workload::arrival_pattern_name(row.pattern),
+                fmtd(row.load).c_str(), rm::rm_policy_name(row.policy),
+                rm::perf_model_name(row.model), fmtd(row.qos_alpha).c_str());
+    o += format(", \"arrivals\": %llu, \"served\": %llu, \"rejected\": %llu, "
+                "\"intervals\": %llu, \"violations\": %llu",
+                static_cast<unsigned long long>(m.arrivals),
+                static_cast<unsigned long long>(m.served),
+                static_cast<unsigned long long>(m.rejected),
+                static_cast<unsigned long long>(m.intervals),
+                static_cast<unsigned long long>(m.violations));
+    o += format(", \"violation_rate\": %s, \"p50_violation\": %s, "
+                "\"p95_violation\": %s, \"p99_violation\": %s, "
+                "\"max_violation\": %s, \"mean_violation\": %s",
+                fmtd(m.violation_rate).c_str(), fmtd(m.p50_violation).c_str(),
+                fmtd(m.p95_violation).c_str(), fmtd(m.p99_violation).c_str(),
+                fmtd(m.max_violation).c_str(), fmtd(m.mean_violation).c_str());
+    o += format(", \"energy_total_j\": %s, \"uncore_energy_j\": %s, "
+                "\"energy_per_app_j\": %s",
+                fmtd(m.energy_total_j).c_str(),
+                fmtd(m.uncore_energy_j).c_str(),
+                fmtd(m.energy_per_app_j).c_str());
+    o += format(", \"rm_invocations\": %llu, \"rm_ops\": %llu, "
+                "\"decisions_per_sec\": %s, \"occupancy\": %s, "
+                "\"mean_wait_s\": %s, \"wall_time_s\": %s}%s\n",
+                static_cast<unsigned long long>(m.rm_invocations),
+                static_cast<unsigned long long>(m.rm_ops),
+                fmtd(m.decisions_per_sec).c_str(), fmtd(m.occupancy).c_str(),
+                fmtd(m.mean_wait_s).c_str(), fmtd(m.wall_time_s).c_str(),
+                i + 1 < rows.size() ? "," : "");
+  }
+  o += "  ]\n";
+  o += "}\n";
+  return o;
+}
+
+bool write_service_report_json(const std::vector<ServiceRow>& rows,
+                               const ServiceGridShape& shape,
+                               std::uint64_t fingerprint,
+                               const std::string& path, std::string* error) {
+  return write_file_atomic(path, service_report_json(rows, shape, fingerprint),
+                           error);
+}
+
 bool write_fig6_csv(const FigureReport& report, const std::string& path,
                     std::string* error) {
   std::vector<std::vector<std::string>> rows;
@@ -516,11 +581,10 @@ bool parse_report_cli(const CliArgs& args, ReportCliOptions* out,
 
   if (args.has("alphas")) {
     std::string alpha_error;
+    // try_parse_alphas rejects empty lists and empty entries itself, so a
+    // successful parse always yields at least one value.
     if (!try_parse_alphas(args.get("alphas", ""), &out->alphas, &alpha_error)) {
       return fail(alpha_error);
-    }
-    if (out->alphas.empty()) {
-      return fail("--alphas names no values (see --help)");
     }
   }
 

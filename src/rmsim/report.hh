@@ -131,6 +131,24 @@ bool write_fig9_csv(const FigureReport& report, const std::string& path,
 /// Prints the fig6/fig7/fig9 aggregate tables to stdout.
 void print_figure_report(const FigureReport& report);
 
+inline constexpr std::uint32_t kServiceReportVersion = 1;
+
+/// Service-mode report: one JSON object per grid row with the full streaming
+/// tail-metric set (p50/p95/p99 violation, energy per app, decisions/sec,
+/// occupancy). Byte-stable like figure_report_json (fixed key order, "%.17g"
+/// doubles) and stamped with the service fingerprint + grid shape, so a
+/// report can never be matched against foreign rows.
+[[nodiscard]] std::string service_report_json(const std::vector<ServiceRow>& rows,
+                                              const ServiceGridShape& shape,
+                                              std::uint64_t fingerprint);
+
+/// Atomic writer for service_report_json (tmp + rename; false + *error on
+/// I/O failure, the target file keeps its previous content).
+bool write_service_report_json(const std::vector<ServiceRow>& rows,
+                               const ServiceGridShape& shape,
+                               std::uint64_t fingerprint,
+                               const std::string& path, std::string* error);
+
 /// report_main's parsed+validated command line. Kept as a library type so
 /// the strict validation (unknown flags, bad --alphas lists, malformed
 /// --fingerprint, missing inputs/outputs) is unit-testable without

@@ -1,0 +1,563 @@
+#include "rmsim/service.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <thread>
+
+#include "common/binary_io.hh"
+#include "common/check.hh"
+#include "common/csv.hh"
+#include "common/histogram.hh"
+#include "common/stats.hh"
+#include "common/str.hh"
+#include "common/thread_pool.hh"
+#include "rmsim/snapshot.hh"
+
+namespace qosrm::rmsim {
+
+namespace {
+
+/// Full-precision double formatting so equal results yield byte-identical
+/// CSV files (same convention as sweep.cc).
+std::string fmt(double v) { return format("%.17g", v); }
+
+/// Per-core service state. Identical interval-freezing semantics to the
+/// interval simulator's CoreState (rmsim/interval_sim.cc), extended with
+/// occupancy bookkeeping: a core is either idle or runs one admitted
+/// application for `remaining` more intervals.
+struct ServiceCoreState {
+  bool active = false;
+  int app = -1;
+  int seq_pos = 0;    ///< sequence position of the RUNNING interval
+  int remaining = 0;  ///< intervals left including the running one
+  double app_energy_j = 0.0;  ///< core+memory energy of the current app
+  workload::Setting setting{};  ///< setting of the running interval
+  workload::Setting pending{};  ///< latest RM decision for this core
+  rm::EnforcementCost next_overhead{};  ///< charged to the next interval
+
+  // Frozen properties of the running interval:
+  int phase = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double energy_j = 0.0;
+  double base_time_s = 0.0;  ///< baseline-setting time of the same phase
+};
+
+struct QueueEntry {
+  double arrival_s = 0.0;
+  int app = 0;
+  int demand = 0;
+};
+
+}  // namespace
+
+ServicePoint ServiceGrid::point(std::size_t idx) const {
+  QOSRM_CHECK_MSG(idx < size(), "service grid index out of range");
+  std::size_t rest = idx;
+  const std::size_t pi = rest % patterns.size();
+  rest /= patterns.size();
+  const std::size_t li = rest % loads.size();
+  rest /= loads.size();
+  const std::size_t oi = rest % policies.size();
+  const std::size_t ai = rest / policies.size();
+  return {patterns[pi], loads[li], policies[oi], qos_alphas[ai]};
+}
+
+double mean_baseline_interval_s(const workload::SimDb& db) {
+  RunningStats app_means;
+  for (int app = 0; app < db.suite().size(); ++app) {
+    const auto& seq = db.suite().app(app).phase_sequence;
+    RunningStats intervals;
+    for (const int phase : seq) intervals.add(db.baseline_time(app, phase));
+    app_means.add(intervals.mean());
+  }
+  QOSRM_CHECK(app_means.mean() > 0.0);
+  return app_means.mean();
+}
+
+struct ServiceEngine::Impl {
+  const workload::SimDb* db;
+  ServiceConfig cfg;
+  ServicePoint point;
+  arch::SystemConfig sys;
+  workload::Setting base;
+  bool perfect = false;
+
+  rm::ResourceManager manager;
+  rm::OverheadModel overheads;
+  workload::ArrivalTrace trace;
+
+  std::vector<ServiceCoreState> cores;
+  std::vector<rm::CounterSnapshot> snapshots;
+  std::vector<std::uint8_t> active_mask;
+
+  // Fixed-capacity FIFO ring (no allocation while queueing/draining).
+  std::vector<QueueEntry> queue;
+  std::size_t q_head = 0;
+  std::size_t q_size = 0;
+
+  Histogram violation_hist;
+  RunningStats violation_stats;
+  RunningStats app_energy_stats;
+  RunningStats wait_stats;
+
+  std::size_t next_arrival = 0;
+  std::uint64_t served = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t intervals = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t rm_invocations = 0;
+  std::uint64_t rm_ops = 0;
+  double core_energy_j = 0.0;  ///< core+memory energy over ALL intervals
+  double busy_s = 0.0;
+  double wall_s = 0.0;
+
+  static arch::SystemConfig system_for(const workload::SimDb& db,
+                                       const ServicePoint& point) {
+    arch::SystemConfig sys = db.system();
+    if (point.qos_alpha > 0.0) sys.qos_alpha = point.qos_alpha;
+    return sys;
+  }
+
+  static rm::RmConfig rm_config_for(const ServiceConfig& cfg,
+                                    const ServicePoint& point) {
+    rm::RmConfig config;
+    config.policy = point.policy;
+    config.model = cfg.model;
+    // Same oracle pairing as the sweep: the Perfect axis means exact time
+    // prediction AND ground-truth energy.
+    config.energy.perfect = cfg.model == rm::PerfModelKind::Perfect;
+    return config;
+  }
+
+  Impl(const workload::SimDb& database, const ServiceConfig& config,
+       const ServicePoint& grid_point)
+      : db(&database), cfg(config), point(grid_point),
+        sys(system_for(database, grid_point)),
+        base(workload::baseline_setting(sys)),
+        perfect(config.model == rm::PerfModelKind::Perfect),
+        manager(rm_config_for(config, grid_point), sys, database.power()),
+        overheads(config.sim.overheads, database.power()),
+        violation_hist(0.0, config.hist_max_violation, config.hist_bins) {
+    QOSRM_CHECK_MSG(cfg.arrivals > 0, "service run needs at least one arrival");
+    QOSRM_CHECK_MSG(cfg.queue_capacity >= 1, "queue capacity must be >= 1");
+    QOSRM_CHECK_MSG(cfg.demand_min > 0 && cfg.demand_max >= cfg.demand_min,
+                    "demand range must satisfy 0 < demand_min <= demand_max");
+
+    // All (policy, alpha) cells of one (pattern, load) grid point face the
+    // SAME arrival trace: the trace seed mixes only the base seed with the
+    // pattern and the load, so policies are compared on identical demand.
+    Fnv1a64 seed_hash;
+    seed_hash.add_u64(cfg.seed);
+    seed_hash.add_u32(static_cast<std::uint32_t>(point.pattern));
+    seed_hash.add_f64(point.load);
+
+    workload::ArrivalGenOptions gen;
+    gen.pattern = point.pattern;
+    gen.load = point.load;
+    gen.cores = sys.cores;
+    gen.count = cfg.arrivals;
+    gen.seed = seed_hash.digest();
+    gen.mean_service_time =
+        mean_baseline_interval_s(*db) *
+        0.5 * static_cast<double>(cfg.demand_min + cfg.demand_max);
+    gen.num_apps = db->suite().size();
+    gen.demand_min = cfg.demand_min;
+    gen.demand_max = cfg.demand_max;
+    workload::generate_arrivals_into(gen, &trace);
+
+    queue.resize(cfg.queue_capacity);
+    reset();
+  }
+
+  [[nodiscard]] int phase_at(const ServiceCoreState& st, int seq_pos) const {
+    const auto& seq = db->suite().app(st.app).phase_sequence;
+    return seq[static_cast<std::size_t>(seq_pos) % seq.size()];
+  }
+
+  void reset() {
+    cores.assign(static_cast<std::size_t>(sys.cores), ServiceCoreState{});
+    // resize (not assign) keeps each snapshot's ATD buffers; every field is
+    // overwritten by make_snapshot_into before first use.
+    snapshots.resize(static_cast<std::size_t>(sys.cores));
+    active_mask.assign(static_cast<std::size_t>(sys.cores), 0);
+    q_head = 0;
+    q_size = 0;
+    violation_hist.reset();
+    violation_stats = {};
+    app_energy_stats = {};
+    wait_stats = {};
+    next_arrival = 0;
+    served = 0;
+    rejected = 0;
+    intervals = 0;
+    violations = 0;
+    rm_invocations = 0;
+    rm_ops = 0;
+    core_energy_j = 0.0;
+    busy_s = 0.0;
+    wall_s = 0.0;
+    manager.reset();
+  }
+
+  /// Freezes the next interval of `st` (identical to interval_sim.cc):
+  /// adopts the pending setting and charges accumulated overheads.
+  void start_interval(ServiceCoreState& st, double now_s) {
+    if (!(st.pending == st.setting)) {
+      if (cfg.sim.model_overheads) {
+        st.next_overhead += overheads.transition(st.setting, st.pending);
+      }
+      st.setting = st.pending;
+    }
+    st.phase = phase_at(st, st.seq_pos);
+    const arch::IntervalTiming timing = db->timing(st.app, st.phase, st.setting);
+    const power::IntervalEnergy energy = db->energy(st.app, st.phase, st.setting);
+    st.start_s = now_s;
+    st.end_s = now_s + timing.total_seconds + st.next_overhead.time_s;
+    st.energy_j = energy.total_j() + st.next_overhead.energy_j;
+    st.base_time_s = db->baseline_time(st.app, st.phase);
+    st.next_overhead = {};
+  }
+
+  /// One RM invocation on behalf of active core `k`; distributes the
+  /// decision to every active core's pending setting. The idle RM never
+  /// reconfigures anything, so it is skipped entirely (energy reference).
+  void invoke_rm(int k) {
+    if (point.policy == rm::RmPolicy::Idle) return;
+    const rm::RmDecision& decision = manager.invoke(k, snapshots, active_mask);
+    ++rm_invocations;
+    rm_ops += decision.ops;
+    ServiceCoreState& st = cores[static_cast<std::size_t>(k)];
+    if (cfg.sim.model_overheads) {
+      st.next_overhead += overheads.rm_execution(decision.ops, st.setting);
+    }
+    for (int j = 0; j < sys.cores; ++j) {
+      if (active_mask[static_cast<std::size_t>(j)] != 0) {
+        cores[static_cast<std::size_t>(j)].pending =
+            decision.settings[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+
+  /// Seats (app, demand) on idle core `k` at time `now_s`: cold-start
+  /// counters at the baseline setting (like the interval simulator's run
+  /// start), then an RM invocation so the machine re-balances immediately.
+  void admit(int k, int app, int demand, double arrival_s, double now_s) {
+    ServiceCoreState& st = cores[static_cast<std::size_t>(k)];
+    st = ServiceCoreState{};
+    st.active = true;
+    st.app = app;
+    st.remaining = demand;
+    st.setting = base;
+    st.pending = base;
+    active_mask[static_cast<std::size_t>(k)] = 1;
+    wait_stats.add(now_s - arrival_s);
+    if (point.policy != rm::RmPolicy::Idle) {
+      const int phase0 = phase_at(st, 0);
+      make_snapshot_into(*db, app, phase0, base, perfect ? phase0 : -1,
+                         snapshots[static_cast<std::size_t>(k)]);
+      invoke_rm(k);
+    }
+    start_interval(st, now_s);
+  }
+
+  void on_arrival() {
+    const workload::ArrivalEvent& ev = trace.events[next_arrival++];
+    wall_s = std::max(wall_s, ev.time_s);
+    for (int k = 0; k < sys.cores; ++k) {
+      if (!cores[static_cast<std::size_t>(k)].active) {
+        admit(k, ev.app, ev.demand_intervals, ev.time_s, ev.time_s);
+        return;
+      }
+    }
+    if (q_size < queue.size()) {
+      queue[(q_head + q_size) % queue.size()] = {ev.time_s, ev.app,
+                                                 ev.demand_intervals};
+      ++q_size;
+    } else {
+      ++rejected;
+    }
+  }
+
+  void on_completion(int k) {
+    ServiceCoreState& st = cores[static_cast<std::size_t>(k)];
+    const double duration = st.end_s - st.start_s;
+    busy_s += duration;
+    ++intervals;
+    st.app_energy_j += st.energy_j;
+    core_energy_j += st.energy_j;
+    wall_s = std::max(wall_s, st.end_s);
+
+    // QoS accounting identical to interval_sim.cc: target is the
+    // alpha-relaxed baseline time (Eq. 3), the magnitude is Eq. 6 against
+    // that same target.
+    const double qos_target_s = st.base_time_s * sys.qos_alpha;
+    if (duration > qos_target_s * (1.0 + cfg.sim.qos_epsilon)) {
+      ++violations;
+      const double violation = (duration - qos_target_s) / qos_target_s;
+      violation_hist.add(violation);
+      violation_stats.add(violation);
+    }
+
+    const int finished_phase = st.phase;
+    ++st.seq_pos;
+    --st.remaining;
+
+    if (st.remaining == 0) {
+      // Departure: free the core, seat the longest-waiting queued app on it,
+      // or - with an empty queue - let the RM redistribute the freed
+      // resources among the cores that remain busy.
+      ++served;
+      app_energy_stats.add(st.app_energy_j);
+      st.active = false;
+      active_mask[static_cast<std::size_t>(k)] = 0;
+      const double now_s = st.end_s;
+      if (q_size > 0) {
+        const QueueEntry entry = queue[q_head];
+        q_head = (q_head + 1) % queue.size();
+        --q_size;
+        admit(k, entry.app, entry.demand, entry.arrival_s, now_s);
+      } else {
+        for (int j = 0; j < sys.cores; ++j) {
+          if (active_mask[static_cast<std::size_t>(j)] != 0) {
+            // Running intervals are frozen; the redistribution reaches each
+            // core at its next boundary via the pending setting.
+            invoke_rm(j);
+            break;
+          }
+        }
+      }
+      return;
+    }
+
+    // Interval boundary of a resident app: fresh counters, RM invocation,
+    // next interval - the Fig. 5 loop of the interval simulator.
+    if (point.policy != rm::RmPolicy::Idle) {
+      const int next_phase = phase_at(st, st.seq_pos);
+      make_snapshot_into(*db, st.app, finished_phase, st.setting,
+                         perfect ? next_phase : -1,
+                         snapshots[static_cast<std::size_t>(k)]);
+      invoke_rm(k);
+    }
+    start_interval(st, st.end_s);
+  }
+
+  bool step() {
+    const double arrival_t =
+        next_arrival < trace.events.size()
+            ? trace.events[next_arrival].time_s
+            : std::numeric_limits<double>::infinity();
+    int next_core = -1;
+    double best_end = std::numeric_limits<double>::infinity();
+    for (int k = 0; k < sys.cores; ++k) {
+      const ServiceCoreState& st = cores[static_cast<std::size_t>(k)];
+      if (st.active && st.end_s < best_end) {
+        best_end = st.end_s;
+        next_core = k;
+      }
+    }
+    if (next_core < 0 && next_arrival >= trace.events.size()) {
+      // Drained. The queue must be empty: entries only exist while every
+      // core is busy.
+      QOSRM_CHECK(q_size == 0);
+      return false;
+    }
+    // Completions at time t run before an arrival at the same t, so the
+    // arrival can be seated on the just-freed core instead of queueing.
+    if (next_core >= 0 && best_end <= arrival_t) {
+      on_completion(next_core);
+    } else {
+      on_arrival();
+    }
+    return true;
+  }
+
+  [[nodiscard]] ServiceMetrics metrics() const {
+    ServiceMetrics m;
+    m.arrivals = next_arrival;
+    m.served = served;
+    m.rejected = rejected;
+    m.intervals = intervals;
+    m.violations = violations;
+    m.violation_rate =
+        intervals > 0
+            ? static_cast<double>(violations) / static_cast<double>(intervals)
+            : 0.0;
+    m.p50_violation = violations > 0 ? violation_hist.quantile(0.50) : 0.0;
+    m.p95_violation = violations > 0 ? violation_hist.quantile(0.95) : 0.0;
+    m.p99_violation = violations > 0 ? violation_hist.quantile(0.99) : 0.0;
+    m.max_violation = violation_stats.max();
+    m.mean_violation = violation_stats.mean();
+    m.uncore_energy_j = db->power().uncore_power(sys.cores) * wall_s;
+    m.energy_total_j = core_energy_j + m.uncore_energy_j;
+    m.energy_per_app_j = app_energy_stats.mean();
+    m.rm_invocations = rm_invocations;
+    m.rm_ops = rm_ops;
+    m.decisions_per_sec =
+        wall_s > 0.0 ? static_cast<double>(rm_invocations) / wall_s : 0.0;
+    m.occupancy = wall_s > 0.0
+                      ? busy_s / (static_cast<double>(sys.cores) * wall_s)
+                      : 0.0;
+    m.mean_wait_s = wait_stats.mean();
+    m.wall_time_s = wall_s;
+    return m;
+  }
+};
+
+ServiceEngine::ServiceEngine(const workload::SimDb& db,
+                             const ServiceConfig& config,
+                             const ServicePoint& point)
+    : impl_(std::make_unique<Impl>(db, config, point)) {}
+
+ServiceEngine::~ServiceEngine() = default;
+ServiceEngine::ServiceEngine(ServiceEngine&&) noexcept = default;
+ServiceEngine& ServiceEngine::operator=(ServiceEngine&&) noexcept = default;
+
+void ServiceEngine::reset() { impl_->reset(); }
+
+bool ServiceEngine::step() { return impl_->step(); }
+
+ServiceMetrics ServiceEngine::run() {
+  impl_->reset();
+  while (impl_->step()) {
+  }
+  QOSRM_CHECK_MSG(impl_->served + impl_->rejected == impl_->trace.events.size(),
+                  "service drain lost arrivals");
+  return impl_->metrics();
+}
+
+ServiceMetrics ServiceEngine::metrics() const { return impl_->metrics(); }
+
+std::vector<ServiceRow> run_service_range(const workload::SimDb& db,
+                                          const ServiceGrid& grid,
+                                          const ServiceConfig& config,
+                                          std::size_t begin, std::size_t end,
+                                          const ServiceOptions& options) {
+  QOSRM_CHECK_MSG(!grid.patterns.empty(), "service grid has no arrival patterns");
+  QOSRM_CHECK_MSG(!grid.loads.empty(), "service grid has no load levels");
+  QOSRM_CHECK_MSG(!grid.policies.empty(), "service grid has no policies");
+  QOSRM_CHECK_MSG(!grid.qos_alphas.empty(), "service grid has no qos alphas");
+  QOSRM_CHECK_MSG(begin <= end && end <= grid.size(),
+                  "service row range out of bounds");
+
+  std::vector<ServiceRow> rows(end - begin);
+
+  // Every task writes its own slot, so the result vector is identical for
+  // any thread count (and any [begin, end) slicing across processes).
+  const auto run_point = [&](std::size_t offset) {
+    const ServicePoint point = grid.point(begin + offset);
+    ServiceRow& row = rows[offset];
+    row.pattern = point.pattern;
+    row.load = point.load;
+    row.policy = point.policy;
+    row.model = config.model;
+    row.qos_alpha = point.qos_alpha;
+    ServiceEngine engine(db, config, point);
+    row.metrics = engine.run();
+  };
+
+  std::size_t threads =
+      options.threads <= 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : static_cast<std::size_t>(options.threads);
+  if (threads <= 1 || rows.size() <= 1) {
+    for (std::size_t i = 0; i < rows.size(); ++i) run_point(i);
+  } else {
+    ThreadPool pool(threads - 1);  // pool workers + the calling thread
+    parallel_for(pool, 0, rows.size(), run_point);
+  }
+  return rows;
+}
+
+ServiceResult run_service(const workload::SimDb& db, const ServiceGrid& grid,
+                          const ServiceConfig& config,
+                          const ServiceOptions& options) {
+  ServiceResult result;
+  result.rows = run_service_range(db, grid, config, 0, grid.size(), options);
+  return result;
+}
+
+std::uint64_t service_fingerprint(const ServiceGrid& grid,
+                                  const ServiceConfig& config,
+                                  std::uint64_t db_fingerprint) {
+  Fnv1a64 h;
+  h.add_u32(1);  // service fingerprint schema version
+  h.add_u64(db_fingerprint);
+
+  h.add_u64(grid.patterns.size());
+  for (const workload::ArrivalPattern p : grid.patterns) {
+    h.add_u32(static_cast<std::uint32_t>(p));
+  }
+  h.add_u64(grid.loads.size());
+  for (const double l : grid.loads) h.add_f64(l);
+  h.add_u64(grid.policies.size());
+  for (const rm::RmPolicy p : grid.policies) {
+    h.add_u32(static_cast<std::uint32_t>(p));
+  }
+  h.add_u64(grid.qos_alphas.size());
+  for (const double a : grid.qos_alphas) h.add_f64(a);
+
+  h.add_u64(config.arrivals);
+  h.add_u64(config.seed);
+  h.add_u32(static_cast<std::uint32_t>(config.model));
+  h.add_i64(config.demand_min);
+  h.add_i64(config.demand_max);
+  h.add_u64(config.queue_capacity);
+  h.add_u32(config.sim.model_overheads ? 1u : 0u);
+  h.add_f64(config.sim.overheads.instr_base);
+  h.add_f64(config.sim.overheads.instr_per_op);
+  h.add_f64(config.sim.overheads.dvfs.time_s);
+  h.add_f64(config.sim.overheads.dvfs.energy_j);
+  h.add_f64(config.sim.qos_epsilon);
+  h.add_f64(config.hist_max_violation);
+  h.add_u64(config.hist_bins);
+  return h.digest();
+}
+
+void write_service_csv(const std::vector<ServiceRow>& rows,
+                       const std::string& path) {
+  CsvWriter csv(path,
+                {"pattern", "load", "policy", "model", "qos_alpha", "arrivals",
+                 "served", "rejected", "intervals", "violations",
+                 "violation_rate", "p50_violation", "p95_violation",
+                 "p99_violation", "max_violation", "mean_violation",
+                 "energy_total_j", "uncore_energy_j", "energy_per_app_j",
+                 "rm_invocations", "rm_ops", "decisions_per_sec", "occupancy",
+                 "mean_wait_s", "wall_time_s"});
+  for (const ServiceRow& row : rows) {
+    const ServiceMetrics& m = row.metrics;
+    csv.add_row({workload::arrival_pattern_name(row.pattern), fmt(row.load),
+                 rm::rm_policy_name(row.policy), rm::perf_model_name(row.model),
+                 fmt(row.qos_alpha), std::to_string(m.arrivals),
+                 std::to_string(m.served), std::to_string(m.rejected),
+                 std::to_string(m.intervals), std::to_string(m.violations),
+                 fmt(m.violation_rate), fmt(m.p50_violation),
+                 fmt(m.p95_violation), fmt(m.p99_violation),
+                 fmt(m.max_violation), fmt(m.mean_violation),
+                 fmt(m.energy_total_j), fmt(m.uncore_energy_j),
+                 fmt(m.energy_per_app_j), std::to_string(m.rm_invocations),
+                 std::to_string(m.rm_ops), fmt(m.decisions_per_sec),
+                 fmt(m.occupancy), fmt(m.mean_wait_s), fmt(m.wall_time_s)});
+  }
+  csv.close();  // atomic commit; throws instead of publishing a partial file
+}
+
+std::vector<double> parse_loads(const std::string& spec) {
+  std::vector<double> out;
+  for (const std::string& part : split_csv_list(spec)) {
+    QOSRM_CHECK_MSG(!part.empty(),
+                    "empty --load entry (an empty list or stray comma would "
+                    "silently sweep a zero-row or shortened grid)");
+    char* end = nullptr;
+    const double value = std::strtod(part.c_str(), &end);
+    QOSRM_CHECK_MSG(end != nullptr && *end == '\0' && std::isfinite(value) &&
+                        value > 0.0,
+                    "bad --load entry (want a finite value > 0)");
+    out.push_back(value);
+  }
+  return out;
+}
+
+}  // namespace qosrm::rmsim

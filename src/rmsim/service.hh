@@ -1,0 +1,205 @@
+// Colocation-service mode: an open-loop arrival engine over the interval
+// simulator's machinery.
+//
+// Where the sweep subsystem (rmsim/sweep.hh) runs fixed multiprogrammed
+// mixes to completion, the service engine draws a seeded arrival trace
+// (workload/arrival_gen.hh) and plays it against a pool of cores: each
+// arriving application is admitted to a free core (or queued, or rejected
+// when the queue is full), executes a bounded number of trace intervals,
+// and departs. The resource manager is re-invoked at every admission,
+// departure and interval boundary through the partial-occupancy
+// ResourceManager::invoke overload, so partially filled machines
+// redistribute LLC ways/VF/core size exactly like the paper's fully loaded
+// ones.
+//
+// Metrics are streamed (common/histogram + RunningStats): per run the
+// engine reports tail QoS-violation magnitudes (p50/p95/p99), energy per
+// served application, RM decisions per simulated second and pool occupancy.
+// The {arrival pattern x load x policy x alpha} grid mirrors the sweep's
+// fixed row order, so sharded service runs merge byte-identically
+// (rmsim/shard.hh).
+//
+// Everything is deterministic from the seed: one Rng stream per grid point
+// (derived from the base seed and the point's pattern/load, so all policies
+// at one (pattern, load) face the SAME arrival trace), no wall-clock, no
+// platform-dependent distributions. The steady-state event loop is
+// allocation-free (bench/bench_service.cc pins this).
+#ifndef QOSRM_RMSIM_SERVICE_HH
+#define QOSRM_RMSIM_SERVICE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rmsim/interval_sim.hh"
+#include "workload/arrival_gen.hh"
+
+namespace qosrm::rmsim {
+
+/// Fixed (per run) service parameters; the swept axes live in ServiceGrid.
+struct ServiceConfig {
+  std::size_t arrivals = 5000;  ///< arrivals per grid point
+  std::uint64_t seed = 2020;
+  rm::PerfModelKind model = rm::PerfModelKind::Model3;
+  int demand_min = 40;   ///< per-app demand in intervals, inclusive
+  int demand_max = 160;  ///< >= demand_min
+  /// Arrivals finding every core busy wait here; one more arrival is
+  /// rejected (counted, not simulated). Must be >= 1.
+  std::size_t queue_capacity = 4096;
+  SimOptions sim{};  ///< qos_alpha_override is replaced per grid point
+  /// Violation-magnitude histogram layout (quantiles interpolate within
+  /// bins, so the bin count bounds the quantile resolution).
+  double hist_max_violation = 2.0;
+  std::size_t hist_bins = 4096;
+};
+
+/// One grid point of the service sweep.
+struct ServicePoint {
+  workload::ArrivalPattern pattern = workload::ArrivalPattern::Poisson;
+  double load = 0.8;
+  rm::RmPolicy policy = rm::RmPolicy::Rm3;
+  double qos_alpha = 0.0;  ///< 0 keeps the database system's qos_alpha
+};
+
+/// Axis extents of an expanded service grid (row order: pattern-minor, then
+/// load, then policy, alpha-major) - the service analogue of GridShape.
+struct ServiceGridShape {
+  std::size_t patterns = 0;
+  std::size_t loads = 0;
+  std::size_t policies = 0;
+  std::size_t alphas = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return patterns * loads * policies * alphas;
+  }
+  bool operator==(const ServiceGridShape&) const = default;
+};
+
+/// The grid to expand; every (alpha, policy, load, pattern) combination is
+/// one service run.
+struct ServiceGrid {
+  std::vector<workload::ArrivalPattern> patterns = {
+      workload::ArrivalPattern::Poisson};
+  std::vector<double> loads = {0.8};
+  std::vector<rm::RmPolicy> policies = {rm::RmPolicy::Rm3};
+  std::vector<double> qos_alphas = {0.0};
+
+  [[nodiscard]] ServiceGridShape shape() const noexcept {
+    return {patterns.size(), loads.size(), policies.size(), qos_alphas.size()};
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return shape().size(); }
+
+  /// Decomposes flat row index `idx` (pattern-minor, alpha-major).
+  [[nodiscard]] ServicePoint point(std::size_t idx) const;
+};
+
+/// Streaming tail metrics of one service run.
+struct ServiceMetrics {
+  std::uint64_t arrivals = 0;
+  std::uint64_t served = 0;    ///< applications that ran to completion
+  std::uint64_t rejected = 0;  ///< arrivals dropped on a full queue
+  std::uint64_t intervals = 0;
+  std::uint64_t violations = 0;
+  double violation_rate = 0.0;   ///< violations / intervals
+  double p50_violation = 0.0;    ///< quantiles of Eq. 6 magnitudes over
+  double p95_violation = 0.0;    ///< VIOLATING intervals (0 when none)
+  double p99_violation = 0.0;
+  double max_violation = 0.0;
+  double mean_violation = 0.0;
+  double energy_total_j = 0.0;   ///< core+memory+uncore over the whole run
+  double uncore_energy_j = 0.0;
+  double energy_per_app_j = 0.0; ///< mean core+memory energy per served app
+  std::uint64_t rm_invocations = 0;
+  std::uint64_t rm_ops = 0;
+  double decisions_per_sec = 0.0;  ///< rm_invocations / simulated wall time
+  double occupancy = 0.0;          ///< busy core-seconds / (cores * wall)
+  double mean_wait_s = 0.0;        ///< queueing delay of admitted apps
+  double wall_time_s = 0.0;
+};
+
+struct ServiceRow {
+  workload::ArrivalPattern pattern = workload::ArrivalPattern::Poisson;
+  double load = 0.8;
+  rm::RmPolicy policy = rm::RmPolicy::Rm3;
+  rm::PerfModelKind model = rm::PerfModelKind::Model3;
+  double qos_alpha = 0.0;
+  ServiceMetrics metrics;
+};
+
+struct ServiceResult {
+  std::vector<ServiceRow> rows;  ///< grid order, thread-count independent
+};
+
+/// Mean baseline interval time over every application and phase-sequence
+/// entry of the database - the per-interval service-time scale the arrival
+/// generator's load calibration divides by.
+[[nodiscard]] double mean_baseline_interval_s(const workload::SimDb& db);
+
+/// One grid point's open-loop engine. Construction synthesizes the arrival
+/// trace and builds the resource manager; reset() + step() replay it without
+/// touching the heap (the bench pins 0 allocations per steady-state event).
+class ServiceEngine {
+ public:
+  ServiceEngine(const workload::SimDb& db, const ServiceConfig& config,
+                const ServicePoint& point);
+  ~ServiceEngine();
+  ServiceEngine(ServiceEngine&&) noexcept;
+  ServiceEngine& operator=(ServiceEngine&&) noexcept;
+
+  /// Rewinds to time zero (same trace, cleared metrics and core states).
+  /// Allocation-free once the first pass has grown every buffer.
+  void reset();
+
+  /// Processes the next event (arrival, interval completion or departure).
+  /// Returns false once the trace is exhausted and every core has drained.
+  bool step();
+
+  /// Runs reset() + step() to completion and returns the metrics.
+  [[nodiscard]] ServiceMetrics run();
+
+  /// Metrics accumulated so far (final once step() returned false).
+  [[nodiscard]] ServiceMetrics metrics() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+struct ServiceOptions {
+  int threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// Executes rows [begin, end) of the expanded grid in grid row order - the
+/// shard-worker primitive. Rows land at fixed slots, so the result is
+/// bit-identical for any thread count and any [begin, end) slicing.
+[[nodiscard]] std::vector<ServiceRow> run_service_range(
+    const workload::SimDb& db, const ServiceGrid& grid,
+    const ServiceConfig& config, std::size_t begin, std::size_t end,
+    const ServiceOptions& options = {});
+
+/// Expands and executes the whole grid.
+[[nodiscard]] ServiceResult run_service(const workload::SimDb& db,
+                                        const ServiceGrid& grid,
+                                        const ServiceConfig& config,
+                                        const ServiceOptions& options = {});
+
+/// Identity of one service sweep: hashes the database fingerprint, every
+/// grid axis and every ServiceConfig field. Two processes agree on this iff
+/// they produce bit-identical rows for equal row indices.
+[[nodiscard]] std::uint64_t service_fingerprint(const ServiceGrid& grid,
+                                                const ServiceConfig& config,
+                                                std::uint64_t db_fingerprint);
+
+/// One CSV row per grid point (stable columns and %.17g formatting, so equal
+/// results produce byte-identical files; atomic tmp+rename commit).
+void write_service_csv(const std::vector<ServiceRow>& rows,
+                       const std::string& path);
+
+/// Parses comma-separated load levels ("0.5,0.8,1.1"): finite, > 0. Aborts
+/// on malformed values, empty lists and empty entries, like parse_alphas.
+[[nodiscard]] std::vector<double> parse_loads(const std::string& spec);
+
+}  // namespace qosrm::rmsim
+
+#endif  // QOSRM_RMSIM_SERVICE_HH

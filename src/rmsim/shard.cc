@@ -19,6 +19,9 @@ namespace {
 
 // "QOSRMPT\0" little-endian.
 constexpr std::uint64_t kMagic = 0x0054504D52534F51ULL;
+// "QOSRMSV\0" little-endian - the service-part magic, distinct from the
+// sweep magic so the two part kinds can never be cross-merged.
+constexpr std::uint64_t kServiceMagic = 0x0056534D52534F51ULL;
 
 bool fail(std::string* error, std::string message) {
   if (error != nullptr) *error = std::move(message);
@@ -114,6 +117,75 @@ void write_row(BinaryWriter& w, const SweepRow& row) {
   run.wall_time_s = r.read_f64();
   run.rm_invocations = r.read_u64();
   run.rm_ops = r.read_u64();
+  return row;
+}
+
+void write_service_row(BinaryWriter& w, const ServiceRow& row) {
+  w.write_u32(static_cast<std::uint32_t>(row.pattern));
+  w.write_f64(row.load);
+  w.write_u32(static_cast<std::uint32_t>(row.policy));
+  w.write_u32(static_cast<std::uint32_t>(row.model));
+  w.write_f64(row.qos_alpha);
+
+  const ServiceMetrics& m = row.metrics;
+  w.write_u64(m.arrivals);
+  w.write_u64(m.served);
+  w.write_u64(m.rejected);
+  w.write_u64(m.intervals);
+  w.write_u64(m.violations);
+  w.write_f64(m.violation_rate);
+  w.write_f64(m.p50_violation);
+  w.write_f64(m.p95_violation);
+  w.write_f64(m.p99_violation);
+  w.write_f64(m.max_violation);
+  w.write_f64(m.mean_violation);
+  w.write_f64(m.energy_total_j);
+  w.write_f64(m.uncore_energy_j);
+  w.write_f64(m.energy_per_app_j);
+  w.write_u64(m.rm_invocations);
+  w.write_u64(m.rm_ops);
+  w.write_f64(m.decisions_per_sec);
+  w.write_f64(m.occupancy);
+  w.write_f64(m.mean_wait_s);
+  w.write_f64(m.wall_time_s);
+}
+
+[[nodiscard]] ServiceRow read_service_row(BinaryReader& r) {
+  // Enum fields are range-checked before the cast, like read_row above.
+  ServiceRow row;
+  const std::uint32_t pattern = r.read_u32();
+  if (pattern > 2) r.fail();
+  row.pattern = static_cast<workload::ArrivalPattern>(pattern);
+  row.load = r.read_f64();
+  const std::uint32_t policy = r.read_u32();
+  if (policy > 3) r.fail();
+  row.policy = static_cast<rm::RmPolicy>(policy);
+  const std::uint32_t model = r.read_u32();
+  if (model > 3) r.fail();
+  row.model = static_cast<rm::PerfModelKind>(model);
+  row.qos_alpha = r.read_f64();
+
+  ServiceMetrics& m = row.metrics;
+  m.arrivals = r.read_u64();
+  m.served = r.read_u64();
+  m.rejected = r.read_u64();
+  m.intervals = r.read_u64();
+  m.violations = r.read_u64();
+  m.violation_rate = r.read_f64();
+  m.p50_violation = r.read_f64();
+  m.p95_violation = r.read_f64();
+  m.p99_violation = r.read_f64();
+  m.max_violation = r.read_f64();
+  m.mean_violation = r.read_f64();
+  m.energy_total_j = r.read_f64();
+  m.uncore_energy_j = r.read_f64();
+  m.energy_per_app_j = r.read_f64();
+  m.rm_invocations = r.read_u64();
+  m.rm_ops = r.read_u64();
+  m.decisions_per_sec = r.read_f64();
+  m.occupancy = r.read_f64();
+  m.mean_wait_s = r.read_f64();
+  m.wall_time_s = r.read_f64();
   return row;
 }
 
@@ -426,6 +498,243 @@ std::vector<std::size_t> shards_to_run(const std::string& prefix,
     std::string error;
     const std::optional<SweepPart> part =
         load_sweep_part(part_path(prefix, i, count), &error);
+    const bool complete = part.has_value() && part->fingerprint == fingerprint &&
+                          part->shape == shape && part->shard_index == i &&
+                          part->shard_count == count;
+    if (!complete) pending.push_back(i);
+  }
+  return pending;
+}
+
+bool save_service_part(const ServicePart& part, const std::string& path,
+                       std::string* error) {
+  if (part.shard_count < 1 || part.shard_index >= part.shard_count ||
+      part.range.begin > part.range.end ||
+      part.range.end > part.shape.size() ||
+      part.range != shard_range(part.shape.size(), part.shard_index,
+                                part.shard_count) ||
+      part.rows.size() != part.range.size()) {
+    return fail(error, "inconsistent service part metadata");
+  }
+
+  const std::string tmp_path = atomic_tmp_path(path);
+  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    return fail(error, format("cannot open %s for writing", path.c_str()));
+  }
+
+  BinaryWriter w(out);
+  w.write_u64(kServiceMagic);
+  w.write_u32(kServicePartVersion);
+  w.write_u32(kByteOrderMark);
+  w.write_u64(part.fingerprint);
+  w.write_u64(part.shape.patterns);
+  w.write_u64(part.shape.loads);
+  w.write_u64(part.shape.policies);
+  w.write_u64(part.shape.alphas);
+  w.write_u64(part.shard_index);
+  w.write_u64(part.shard_count);
+  w.write_u64(part.range.begin);
+  w.write_u64(part.range.end);
+  for (const ServiceRow& row : part.rows) write_service_row(w, row);
+  w.write_trailing_checksum();
+  out.flush();
+  if (!out.good()) {
+    out.close();
+    std::remove(tmp_path.c_str());
+    return fail(error, format("write to %s failed", path.c_str()));
+  }
+  out.close();
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return fail(error, format("cannot move part into place at %s", path.c_str()));
+  }
+  return true;
+}
+
+std::optional<ServicePart> load_service_part(const std::string& path,
+                                             std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    fail(error, format("cannot open %s for reading", path.c_str()));
+    return std::nullopt;
+  }
+
+  BinaryReader r(in);
+  const std::uint64_t magic = r.read_u64();
+  if (!r.ok() || magic != kServiceMagic) {
+    fail(error, format("%s is not a service part (bad magic)", path.c_str()));
+    return std::nullopt;
+  }
+  const std::uint32_t version = r.read_u32();
+  if (!r.ok() || version != kServicePartVersion) {
+    fail(error, format("%s has part version %u, expected %u", path.c_str(),
+                       version, kServicePartVersion));
+    return std::nullopt;
+  }
+  const std::uint32_t bom = r.read_u32();
+  if (!r.ok() || bom != kByteOrderMark) {
+    fail(error,
+         format("%s was written on a machine with different byte order",
+                path.c_str()));
+    return std::nullopt;
+  }
+
+  ServicePart part;
+  part.fingerprint = r.read_u64();
+  part.shape.patterns = static_cast<std::size_t>(r.read_u64());
+  part.shape.loads = static_cast<std::size_t>(r.read_u64());
+  part.shape.policies = static_cast<std::size_t>(r.read_u64());
+  part.shape.alphas = static_cast<std::size_t>(r.read_u64());
+  part.shard_index = static_cast<std::size_t>(r.read_u64());
+  part.shard_count = static_cast<std::size_t>(r.read_u64());
+  part.range.begin = static_cast<std::size_t>(r.read_u64());
+  part.range.end = static_cast<std::size_t>(r.read_u64());
+
+  // Same overflow-free shape sanity as the sweep loader: a corrupt header
+  // must neither drive a huge allocation nor wrap the axis product.
+  constexpr std::size_t kMaxAxis = std::size_t{1} << 20;
+  constexpr unsigned __int128 kMaxRows = std::size_t{1} << 32;
+  const unsigned __int128 total_rows = static_cast<unsigned __int128>(
+                                           part.shape.patterns) *
+                                       part.shape.loads * part.shape.policies *
+                                       part.shape.alphas;
+  if (!r.ok() || part.shape.patterns == 0 || part.shape.patterns > kMaxAxis ||
+      part.shape.loads == 0 || part.shape.loads > kMaxAxis ||
+      part.shape.policies == 0 || part.shape.policies > kMaxAxis ||
+      part.shape.alphas == 0 || part.shape.alphas > kMaxAxis ||
+      total_rows > kMaxRows ||
+      part.shard_count < 1 || part.shard_index >= part.shard_count ||
+      part.range !=
+          shard_range(part.shape.size(), part.shard_index, part.shard_count)) {
+    fail(error, format("%s is corrupt (inconsistent part header)", path.c_str()));
+    return std::nullopt;
+  }
+
+  part.rows.reserve(std::min<std::size_t>(part.range.size(), 4096));
+  for (std::size_t i = 0; i < part.range.size(); ++i) {
+    part.rows.push_back(read_service_row(r));
+    if (!r.ok()) {
+      fail(error, format("%s is corrupt (truncated row data)", path.c_str()));
+      return std::nullopt;
+    }
+  }
+  if (!r.verify_trailing_checksum()) {
+    fail(error,
+         format("%s is corrupt (truncated or checksum mismatch)", path.c_str()));
+    return std::nullopt;
+  }
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    fail(error, format("%s is corrupt (trailing bytes after checksum)",
+                       path.c_str()));
+    return std::nullopt;
+  }
+  return part;
+}
+
+std::optional<std::vector<ServiceRow>> merge_service_parts(
+    std::vector<ServicePart> parts, std::string* error) {
+  if (parts.empty()) {
+    fail(error, "no service parts to merge");
+    return std::nullopt;
+  }
+
+  const ServicePart& first = parts.front();
+  for (const ServicePart& part : parts) {
+    if (part.fingerprint != first.fingerprint) {
+      fail(error,
+           format("shard %zu/%zu belongs to a different service sweep "
+                  "(fingerprint %016llx, expected %016llx)",
+                  part.shard_index, part.shard_count,
+                  static_cast<unsigned long long>(part.fingerprint),
+                  static_cast<unsigned long long>(first.fingerprint)));
+      return std::nullopt;
+    }
+    if (!(part.shape == first.shape) || part.shard_count != first.shard_count) {
+      fail(error, format("shard %zu has a mismatched grid shape or shard count",
+                         part.shard_index));
+      return std::nullopt;
+    }
+  }
+  if (parts.size() != first.shard_count) {
+    fail(error, format("have %zu parts but the sweep was sharded %zu ways",
+                       parts.size(), first.shard_count));
+    return std::nullopt;
+  }
+
+  std::sort(parts.begin(), parts.end(),
+            [](const ServicePart& a, const ServicePart& b) {
+              return a.shard_index < b.shard_index;
+            });
+  const std::size_t total = first.shape.size();
+  std::size_t next_row = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const ServicePart& part = parts[i];
+    if (part.shard_index != i) {
+      fail(error, format("shard %zu is missing or duplicated", i));
+      return std::nullopt;
+    }
+    if (part.range.begin != next_row) {
+      fail(error, format("shard %zu rows [%zu, %zu) leave a gap or overlap at "
+                         "row %zu",
+                         i, part.range.begin, part.range.end, next_row));
+      return std::nullopt;
+    }
+    next_row = part.range.end;
+  }
+  if (next_row != total) {
+    fail(error, format("parts cover %zu of %zu grid rows", next_row, total));
+    return std::nullopt;
+  }
+
+  std::vector<ServiceRow> rows;
+  rows.reserve(total);
+  for (ServicePart& part : parts) {
+    for (ServiceRow& row : part.rows) rows.push_back(row);
+  }
+  return rows;
+}
+
+std::optional<std::vector<ServiceRow>> merge_service_part_files(
+    const std::vector<std::string>& paths,
+    const std::uint64_t* expected_fingerprint, std::string* error,
+    ServiceIdentity* identity) {
+  std::vector<ServicePart> parts;
+  parts.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::optional<ServicePart> part = load_service_part(path, error);
+    if (!part.has_value()) return std::nullopt;
+    if (expected_fingerprint != nullptr &&
+        part->fingerprint != *expected_fingerprint) {
+      fail(error,
+           format("%s belongs to a different service sweep than this command "
+                  "line",
+                  path.c_str()));
+      return std::nullopt;
+    }
+    parts.push_back(std::move(*part));
+  }
+  if (parts.empty()) {
+    fail(error, "no service parts to merge");
+    return std::nullopt;
+  }
+
+  if (identity != nullptr) {
+    identity->fingerprint = parts.front().fingerprint;
+    identity->shape = parts.front().shape;
+  }
+  return merge_service_parts(std::move(parts), error);
+}
+
+std::vector<std::size_t> service_shards_to_run(const std::string& prefix,
+                                               std::size_t count,
+                                               std::uint64_t fingerprint,
+                                               const ServiceGridShape& shape) {
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string error;
+    const std::optional<ServicePart> part =
+        load_service_part(part_path(prefix, i, count), &error);
     const bool complete = part.has_value() && part->fingerprint == fingerprint &&
                           part->shape == shape && part->shard_index == i &&
                           part->shard_count == count;

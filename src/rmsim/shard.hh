@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "rmsim/service.hh"
 #include "rmsim/sweep.hh"
 
 namespace qosrm::rmsim {
@@ -135,6 +136,61 @@ struct SweepIdentity {
                                                      std::size_t count,
                                                      std::uint64_t fingerprint,
                                                      const GridShape& shape);
+
+// ---------------------------------------------------------------------------
+// Service-mode parts: the same shard/part/merge machinery for the colocation
+// service's {pattern x load x policy x alpha} grid (rmsim/service.hh). The
+// layout mirrors the sweep part format under a distinct magic, so the two
+// part kinds can never be cross-merged by accident.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint32_t kServicePartVersion = 1;
+
+/// One shard's output of a service sweep.
+struct ServicePart {
+  std::uint64_t fingerprint = 0;
+  ServiceGridShape shape{};
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  ShardRange range{};
+  std::vector<ServiceRow> rows;
+};
+
+/// Saves a service part (atomic tmp+rename, like save_sweep_part). False +
+/// *error on I/O failure or inconsistent metadata.
+bool save_service_part(const ServicePart& part, const std::string& path,
+                       std::string* error);
+
+/// Loads and fully validates one service part (magic/version/byte order,
+/// metadata consistency, trailing checksum). nullopt + *error on mismatch.
+[[nodiscard]] std::optional<ServicePart> load_service_part(
+    const std::string& path, std::string* error);
+
+/// Validates that `parts` are one complete service sweep and concatenates
+/// the rows in grid order (same rules as merge_sweep_parts). nullopt +
+/// *error otherwise.
+[[nodiscard]] std::optional<std::vector<ServiceRow>> merge_service_parts(
+    std::vector<ServicePart> parts, std::string* error);
+
+/// Identity a merged service sweep carries into its report.
+struct ServiceIdentity {
+  std::uint64_t fingerprint = 0;
+  ServiceGridShape shape{};
+};
+
+/// Loads every path, optionally enforces `expected_fingerprint`, merges.
+/// `identity` (optional) receives the merged fingerprint and shape. nullopt
+/// + *error naming the offending part on any validation failure.
+[[nodiscard]] std::optional<std::vector<ServiceRow>> merge_service_part_files(
+    const std::vector<std::string>& paths,
+    const std::uint64_t* expected_fingerprint, std::string* error,
+    ServiceIdentity* identity = nullptr);
+
+/// Resume support for service sweeps: shard indices whose part under
+/// `prefix` is missing, unreadable, corrupt or from a different sweep.
+[[nodiscard]] std::vector<std::size_t> service_shards_to_run(
+    const std::string& prefix, std::size_t count, std::uint64_t fingerprint,
+    const ServiceGridShape& shape);
 
 }  // namespace qosrm::rmsim
 

@@ -159,21 +159,6 @@ namespace {
 /// CSV files.
 std::string fmt(double v) { return format("%.17g", v); }
 
-std::vector<std::string> split_csv_list(const std::string& spec) {
-  std::vector<std::string> parts;
-  std::string cur;
-  for (const char ch : spec) {
-    if (ch == ',') {
-      if (!cur.empty()) parts.push_back(cur);
-      cur.clear();
-    } else if (ch != ' ') {
-      cur += ch;
-    }
-  }
-  if (!cur.empty()) parts.push_back(cur);
-  return parts;
-}
-
 }  // namespace
 
 void write_rows_csv(const SweepResult& result, const std::string& path) {
@@ -210,6 +195,9 @@ void write_aggregates_csv(const SweepResult& result, const std::string& path) {
 std::vector<rm::RmPolicy> parse_policies(const std::string& spec) {
   std::vector<rm::RmPolicy> out;
   for (const std::string& name : split_csv_list(spec)) {
+    QOSRM_CHECK_MSG(!name.empty(),
+                    "empty --policies entry (an empty list or stray comma "
+                    "would silently sweep a zero-row or shortened grid)");
     if (name == "idle") {
       out.push_back(rm::RmPolicy::Idle);
     } else if (name == "rm1") {
@@ -228,6 +216,9 @@ std::vector<rm::RmPolicy> parse_policies(const std::string& spec) {
 std::vector<rm::PerfModelKind> parse_models(const std::string& spec) {
   std::vector<rm::PerfModelKind> out;
   for (const std::string& name : split_csv_list(spec)) {
+    QOSRM_CHECK_MSG(!name.empty(),
+                    "empty --models entry (an empty list or stray comma "
+                    "would silently sweep a zero-row or shortened grid)");
     if (name == "model1" || name == "m1") {
       out.push_back(rm::PerfModelKind::Model1);
     } else if (name == "model2" || name == "m2") {
@@ -246,9 +237,10 @@ std::vector<rm::PerfModelKind> parse_models(const std::string& spec) {
 std::vector<double> parse_alphas(const std::string& spec) {
   std::vector<double> out;
   std::string error;
-  QOSRM_CHECK_MSG(try_parse_alphas(spec, &out, &error),
-                  "bad --alphas value (want comma-separated numbers, 0 or a "
-                  "positive factor)");
+  const bool ok = try_parse_alphas(spec, &out, &error);
+  // Surface try_parse_alphas's specific diagnostic (empty entry vs malformed
+  // value), not a generic one.
+  QOSRM_CHECK_MSG(ok, error.c_str());
   return out;
 }
 
@@ -256,6 +248,13 @@ bool try_parse_alphas(const std::string& spec, std::vector<double>* out,
                       std::string* error) {
   out->clear();
   for (const std::string& part : split_csv_list(spec)) {
+    if (part.empty()) {
+      if (error != nullptr) {
+        *error = "empty --alphas entry (an empty list or stray comma would "
+                 "silently sweep a zero-row or shortened grid)";
+      }
+      return false;
+    }
     char* end = nullptr;
     const double value = std::strtod(part.c_str(), &end);
     if (end == part.c_str() || *end != '\0') {

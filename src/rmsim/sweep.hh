@@ -125,18 +125,23 @@ void write_rows_csv(const SweepResult& result, const std::string& path);
 void write_aggregates_csv(const SweepResult& result, const std::string& path);
 
 /// Parses comma-separated policy names ("idle,rm1,rm2,rm3"); aborts on an
-/// unknown name. Used by the sweep CLI and handy for tests.
+/// unknown name, an empty list or an empty CSV entry ("rm1," / ",rm1") -
+/// either would silently sweep a zero-row or shortened grid. Used by the
+/// sweep CLI and handy for tests.
 [[nodiscard]] std::vector<rm::RmPolicy> parse_policies(const std::string& spec);
 
 /// Parses comma-separated model names ("model1,model2,model3,perfect").
+/// Same strictness as parse_policies (empty lists/entries abort).
 [[nodiscard]] std::vector<rm::PerfModelKind> parse_models(const std::string& spec);
 
-/// Parses comma-separated doubles ("0,1.05,1.1").
+/// Parses comma-separated doubles ("0,1.05,1.1"). Same strictness as
+/// parse_policies (empty lists/entries abort).
 [[nodiscard]] std::vector<double> parse_alphas(const std::string& spec);
 
 /// Non-aborting form of parse_alphas, for CLIs that report the error
 /// themselves (report_main): comma-separated finite values >= 0. False +
-/// *error naming the offending entry on any malformed value.
+/// *error naming the offending entry on any malformed value, empty list or
+/// empty CSV entry.
 bool try_parse_alphas(const std::string& spec, std::vector<double>* out,
                       std::string* error);
 

@@ -1,0 +1,145 @@
+#include "workload/arrival_gen.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/binary_io.hh"
+#include "common/check.hh"
+#include "common/rng.hh"
+#include "common/str.hh"
+
+namespace qosrm::workload {
+namespace {
+
+/// Exponential draw with the given rate; uniform() < 1 keeps the log finite.
+double exp_draw(Rng& rng, double rate) {
+  return -std::log(1.0 - rng.uniform()) / rate;
+}
+
+void validate(const ArrivalGenOptions& o) {
+  QOSRM_CHECK_MSG(std::isfinite(o.load) && o.load > 0.0, "load must be > 0");
+  QOSRM_CHECK_MSG(o.cores > 0, "cores must be > 0");
+  QOSRM_CHECK_MSG(o.count > 0, "arrival count must be > 0");
+  QOSRM_CHECK_MSG(std::isfinite(o.mean_service_time) && o.mean_service_time > 0.0,
+                  "mean_service_time must be > 0");
+  QOSRM_CHECK_MSG(o.num_apps > 0, "num_apps must be > 0");
+  QOSRM_CHECK_MSG(o.demand_min > 0 && o.demand_max >= o.demand_min,
+                  "demand range must satisfy 0 < demand_min <= demand_max");
+  QOSRM_CHECK_MSG(o.burst_mean_length >= 1.0, "burst_mean_length must be >= 1");
+  QOSRM_CHECK_MSG(o.burst_rate_factor > 1.0, "burst_rate_factor must be > 1");
+  QOSRM_CHECK_MSG(o.diurnal_amplitude >= 0.0 && o.diurnal_amplitude <= 1.0,
+                  "diurnal_amplitude must be in [0, 1]");
+  QOSRM_CHECK_MSG(o.diurnal_cycles > 0.0, "diurnal_cycles must be > 0");
+}
+
+}  // namespace
+
+const char* arrival_pattern_name(ArrivalPattern pattern) noexcept {
+  switch (pattern) {
+    case ArrivalPattern::Poisson: return "poisson";
+    case ArrivalPattern::Bursty: return "bursty";
+    case ArrivalPattern::Diurnal: return "diurnal";
+  }
+  return "?";
+}
+
+std::vector<ArrivalPattern> parse_arrival_patterns(const std::string& spec) {
+  std::vector<ArrivalPattern> patterns;
+  for (const std::string& name : split_csv_list(spec)) {
+    QOSRM_CHECK_MSG(!name.empty(),
+                    "empty --arrivals entry (an empty list or stray comma "
+                    "would silently sweep a zero-row or shortened grid)");
+    if (name == "poisson") {
+      patterns.push_back(ArrivalPattern::Poisson);
+    } else if (name == "bursty") {
+      patterns.push_back(ArrivalPattern::Bursty);
+    } else if (name == "diurnal") {
+      patterns.push_back(ArrivalPattern::Diurnal);
+    } else {
+      QOSRM_CHECK_MSG(false, "unknown arrival pattern (want poisson, bursty "
+                             "or diurnal)");
+    }
+  }
+  return patterns;
+}
+
+void generate_arrivals_into(const ArrivalGenOptions& options, ArrivalTrace* out) {
+  validate(options);
+  QOSRM_CHECK(out != nullptr);
+
+  const double lambda =
+      options.load * static_cast<double>(options.cores) / options.mean_service_time;
+  Rng rng(options.seed);
+
+  out->events.clear();
+  out->events.reserve(options.count);
+
+  // Diurnal thinning parameters: the nominal trace spans count/lambda
+  // seconds, over which `diurnal_cycles` full sine periods fit.
+  const double period =
+      (static_cast<double>(options.count) / lambda) / options.diurnal_cycles;
+  const double peak_rate = lambda * (1.0 + options.diurnal_amplitude);
+
+  // Bursty gap calibration: within a burst arrivals come at factor*lambda;
+  // a burst holds Geometric(1/L) + 1 arrivals (mean L). Idle gaps of mean
+  // L*(1 - 1/factor)/lambda restore the long-run rate to exactly lambda.
+  const double burst_end_p = 1.0 / options.burst_mean_length;
+  const double gap_mean = options.burst_mean_length *
+                          (1.0 - 1.0 / options.burst_rate_factor) / lambda;
+
+  double t = 0.0;
+  while (out->events.size() < options.count) {
+    switch (options.pattern) {
+      case ArrivalPattern::Poisson:
+        t += exp_draw(rng, lambda);
+        break;
+      case ArrivalPattern::Bursty:
+        t += exp_draw(rng, options.burst_rate_factor * lambda);
+        break;
+      case ArrivalPattern::Diurnal: {
+        t += exp_draw(rng, peak_rate);
+        const double rate =
+            lambda * (1.0 + options.diurnal_amplitude *
+                                std::sin(2.0 * std::numbers::pi * t / period));
+        if (rng.uniform() * peak_rate >= rate) continue;  // thinned out
+        break;
+      }
+    }
+    ArrivalEvent event;
+    event.time_s = t;
+    event.app = static_cast<int>(rng.uniform_u64(
+        static_cast<std::uint64_t>(options.num_apps)));
+    event.demand_intervals =
+        static_cast<int>(rng.uniform_int(options.demand_min, options.demand_max));
+    out->events.push_back(event);
+    if (options.pattern == ArrivalPattern::Bursty && rng.bernoulli(burst_end_p)) {
+      t += exp_draw(rng, 1.0 / gap_mean);
+    }
+  }
+}
+
+ArrivalTrace generate_arrivals(const ArrivalGenOptions& options) {
+  ArrivalTrace trace;
+  generate_arrivals_into(options, &trace);
+  return trace;
+}
+
+std::uint64_t arrival_gen_fingerprint(const ArrivalGenOptions& o) noexcept {
+  Fnv1a64 hash;
+  hash.add_u32(static_cast<std::uint32_t>(o.pattern));
+  hash.add_f64(o.load);
+  hash.add_u32(static_cast<std::uint32_t>(o.cores));
+  hash.add_u64(o.count);
+  hash.add_u64(o.seed);
+  hash.add_f64(o.mean_service_time);
+  hash.add_u32(static_cast<std::uint32_t>(o.num_apps));
+  hash.add_u32(static_cast<std::uint32_t>(o.demand_min));
+  hash.add_u32(static_cast<std::uint32_t>(o.demand_max));
+  hash.add_f64(o.burst_mean_length);
+  hash.add_f64(o.burst_rate_factor);
+  hash.add_f64(o.diurnal_amplitude);
+  hash.add_f64(o.diurnal_cycles);
+  return hash.digest();
+}
+
+}  // namespace qosrm::workload

@@ -30,6 +30,22 @@ TEST(Cli, BareFlagIsTrue) {
   EXPECT_TRUE(args.has("verbose"));
 }
 
+TEST(Cli, EmptyEqualsValueIsPresentAndEmpty) {
+  // "--alphas=" must reach the grid parsers as an EMPTY string, not as the
+  // default: the parsers reject empty lists (a silent fallback would run a
+  // sweep labeled with values the user never asked for).
+  const CliArgs args = parse({"--alphas="});
+  EXPECT_TRUE(args.has("alphas"));
+  EXPECT_EQ(args.get("alphas", "0"), "");
+}
+
+TEST(Cli, TrailingCommaValueSurvivesVerbatim) {
+  // The CLI layer does no list parsing; "1," must round-trip untouched so
+  // the grid parsers can reject the stray comma.
+  const CliArgs args = parse({"--alphas=1,"});
+  EXPECT_EQ(args.get("alphas", ""), "1,");
+}
+
 TEST(Cli, FallbacksWhenMissing) {
   const CliArgs args = parse({});
   EXPECT_EQ(args.get("missing", "dflt"), "dflt");

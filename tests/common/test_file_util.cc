@@ -1,0 +1,72 @@
+#include "common/file_util.hh"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+namespace qosrm {
+namespace {
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(FileUtil, AtomicTmpPathIsPidUniqueSibling) {
+  const std::string tmp = atomic_tmp_path("/some/dir/file.csv");
+  EXPECT_EQ(tmp.rfind("/some/dir/file.csv.tmp.", 0), 0u);
+}
+
+TEST(FileUtil, WriteFileAtomicRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/file_util_roundtrip.txt";
+  std::remove(path.c_str());
+  std::string error;
+  const std::string content = std::string("line one\nline two\n") +
+                              std::string(1, '\0') + "binary tail";
+  ASSERT_TRUE(write_file_atomic(path, content, &error)) << error;
+  EXPECT_EQ(read_all(path), content);
+  // No temp sibling left behind.
+  std::ifstream tmp(atomic_tmp_path(path));
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(FileUtil, WriteFileAtomicReplacesExistingContent) {
+  const std::string path = ::testing::TempDir() + "/file_util_replace.txt";
+  std::string error;
+  ASSERT_TRUE(write_file_atomic(path, "old", &error)) << error;
+  ASSERT_TRUE(write_file_atomic(path, "new", &error)) << error;
+  EXPECT_EQ(read_all(path), "new");
+  std::remove(path.c_str());
+}
+
+TEST(FileUtil, FailedWriteReportsErrnoDetailAndTouchesNothing) {
+  // An unwritable destination must fail with the OS reason in the message
+  // (the fd-based writer surfaces errno; the old ofstream writer could only
+  // say "cannot open") and must not create anything at the target path.
+  const std::string path =
+      ::testing::TempDir() + "/no_such_dir_qosrm/report.json";
+  std::string error;
+  EXPECT_FALSE(write_file_atomic(path, "content", &error));
+  EXPECT_NE(error.find(path), std::string::npos) << error;
+  EXPECT_NE(error.find(std::strerror(ENOENT)), std::string::npos) << error;
+  std::ifstream target(path);
+  EXPECT_FALSE(target.good());
+}
+
+TEST(FileUtil, ProbeDoesNotTouchTarget) {
+  const std::string path = ::testing::TempDir() + "/file_util_probe.txt";
+  std::string error;
+  ASSERT_TRUE(write_file_atomic(path, "keep me", &error)) << error;
+  ASSERT_TRUE(probe_writable_atomic(path, &error)) << error;
+  EXPECT_EQ(read_all(path), "keep me");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qosrm

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 namespace qosrm {
 namespace {
 
@@ -76,6 +79,58 @@ TEST(Histogram, AsciiContainsEveryBin) {
   h.add(0.5);
   const std::string s = h.ascii();
   EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+}
+
+TEST(Histogram, NonFiniteSamplesAreDroppedNotBinned) {
+  // NaN fails both range checks, and the float->size_t cast of a NaN index
+  // is undefined; infinities would silently masquerade as edge-bin mass.
+  Histogram h(0.0, 1.0, 4);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.dropped(), 3u);
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+  for (std::size_t i = 0; i < h.bin_count(); ++i) {
+    EXPECT_DOUBLE_EQ(h.count(i), 0.0) << i;
+  }
+}
+
+TEST(Histogram, NonFiniteWeightIsDropped) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.5, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.dropped(), 1u);
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+  h.add(0.5, 2.0);  // finite samples still land normally
+  EXPECT_DOUBLE_EQ(h.total(), 2.0);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBins) {
+  Histogram h(0.0, 1.0, 4);  // bin width 0.25
+  for (int i = 0; i < 4; ++i) h.add(0.1);   // 4 samples in [0, 0.25)
+  for (int i = 0; i < 4; ++i) h.add(0.6);   // 4 samples in [0.5, 0.75)
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.25);  // all of bin 0 = half the mass
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 0.125);  // half of bin 0
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 0.625);  // half of bin 2
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));  // clamped
+}
+
+TEST(Histogram, QuantileOfEmptyHistogramIsRangeMinimum) {
+  Histogram h(2.0, 5.0, 3);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+}
+
+TEST(Histogram, ResetClearsCountsAndDropped) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+  EXPECT_EQ(h.dropped(), 0u);
+  EXPECT_DOUBLE_EQ(h.count(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 0.0);
+  h.add(0.1);  // layout survives the reset
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
 }
 
 }  // namespace

@@ -141,6 +141,25 @@ TEST(Subprocess, WaitAnyFindsPreviouslyStashedChildWithoutBlocking) {
   EXPECT_EQ(other.wait().exit_code, 11);
 }
 
+TEST(Subprocess, StashedChildReadsAsNotRunningAndIsNeverSignalled) {
+  // `other` exits and is reaped into the stray stash by a wait_any() that
+  // tracks only `slow`. From that moment the process is gone and its pid may
+  // be recycled by the kernel: running() must read false and terminate()
+  // must not signal (pre-fix both consulted only pid_/reaped_, so
+  // terminate() would SIGTERM whatever process now owns the recycled pid).
+  Subprocess other = Subprocess::spawn({"sh", "-c", "exit 23"});
+  Subprocess slow = Subprocess::spawn({"sh", "-c", "sleep 0.3"});
+  usleep(100 * 1000);
+
+  std::vector<Subprocess*> tracked = {&slow};
+  ASSERT_TRUE(Subprocess::wait_any(tracked).has_value());
+  ASSERT_TRUE(slow.wait().success());
+
+  EXPECT_FALSE(other.running());
+  other.terminate();  // must be a no-op, and must not consume the stash
+  EXPECT_EQ(other.wait().exit_code, 23);
+}
+
 TEST(Subprocess, EmptyArgvFailsToSpawn) {
   Subprocess child = Subprocess::spawn({});
   EXPECT_FALSE(child.running());

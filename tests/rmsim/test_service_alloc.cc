@@ -1,0 +1,105 @@
+// Pins the colocation-service steady-state event loop at ZERO heap
+// allocations per event: after one warm pass has grown every buffer (queue
+// ring, violation histogram, counter snapshots, RM workspaces), reset() +
+// step() must never touch the heap again. bench/bench_service.cc measures
+// the same property; this test makes it a hard gate that fails the suite,
+// not just a counter in a benchmark JSON.
+//
+// The count is taken through a global operator-new hook, which replaces the
+// allocator for this whole binary - the test lives alone in its own test
+// executable so gtest's own allocations can be excluded by bracketing only
+// the measured loop.
+//
+// Builds the full simulation database (tests/support/shared_db.hh), so the
+// binary carries LABELS slow.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "rmsim/service.hh"
+#include "support/shared_db.hh"
+#include "workload/arrival_gen.hh"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+// Counting operator-new hooks (all variants funnel here). Kept outside any
+// namespace so they replace the global versions for the whole binary.
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace qosrm::rmsim {
+namespace {
+
+TEST(ServiceAlloc, SteadyStateLoopIsAllocationFree) {
+  const workload::SimDb& db = qosrm::testing::shared_db(2);
+
+  ServiceConfig config;
+  config.arrivals = 256;
+  config.seed = 7;
+  config.demand_min = 10;
+  config.demand_max = 40;
+  ServicePoint point;
+  point.policy = rm::RmPolicy::Rm3;
+  ServiceEngine engine(db, config, point);
+
+  // Warm pass: every buffer grows to its high-water capacity, every RM
+  // per-core curve cache fills.
+  (void)engine.run();
+  engine.reset();
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    if (!engine.step()) engine.reset();
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " heap allocations leaked into the steady-state "
+      << "service loop (required: zero per event after warmup)";
+}
+
+TEST(ServiceAlloc, ArrivalRegenerationIsAllocationFree) {
+  workload::ArrivalGenOptions options;
+  options.count = 2048;
+  workload::ArrivalTrace trace;
+  workload::generate_arrivals_into(options, &trace);  // grow to capacity
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10; ++i) {
+    workload::generate_arrivals_into(options, &trace);
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+}
+
+}  // namespace
+}  // namespace qosrm::rmsim

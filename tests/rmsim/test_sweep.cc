@@ -191,5 +191,33 @@ TEST(SweepParse, PoliciesModelsAlphas) {
   EXPECT_EQ(alphas[2], 1.1);
 }
 
+TEST(SweepParse, TryParseAlphasRejectsEmptyListsAndEntries) {
+  // "--alphas=" and "--alphas=1," used to parse into empty/short lists and
+  // silently sweep a zero-row or shortened grid.
+  std::vector<double> out;
+  std::string error;
+  EXPECT_FALSE(try_parse_alphas("", &out, &error));
+  EXPECT_NE(error.find("empty"), std::string::npos) << error;
+  EXPECT_FALSE(try_parse_alphas("1,", &out, &error));
+  EXPECT_FALSE(try_parse_alphas(",1", &out, &error));
+  EXPECT_FALSE(try_parse_alphas("1,,2", &out, &error));
+  EXPECT_FALSE(try_parse_alphas(" , ", &out, &error));
+  // Valid specs still parse after the rejects.
+  ASSERT_TRUE(try_parse_alphas("1.05", &out, &error)) << error;
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 1.05);
+}
+
+using SweepParseDeathTest = ::testing::Test;
+
+TEST(SweepParseDeathTest, AbortingParsersRejectEmptyListsAndEntries) {
+  EXPECT_DEATH((void)parse_policies(""), "empty --policies entry");
+  EXPECT_DEATH((void)parse_policies("rm1,"), "empty --policies entry");
+  EXPECT_DEATH((void)parse_policies(",rm1"), "empty --policies entry");
+  EXPECT_DEATH((void)parse_models(""), "empty --models entry");
+  EXPECT_DEATH((void)parse_models("model3,,model1"), "empty --models entry");
+  EXPECT_DEATH((void)parse_alphas("1,"), "empty --alphas entry");
+}
+
 }  // namespace
 }  // namespace qosrm::rmsim
