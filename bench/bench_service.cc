@@ -22,6 +22,7 @@
 #include <new>
 #include <string>
 
+#include "common/simd.hh"
 #include "power/power_model.hh"
 #include "rmsim/service.hh"
 #include "workload/arrival_gen.hh"
@@ -119,7 +120,7 @@ void BM_ServiceStep(benchmark::State& state) {
 BENCHMARK(BM_ServiceStep)
     ->ArgsProduct({{static_cast<long>(rm::RmPolicy::Idle),
                     static_cast<long>(rm::RmPolicy::Rm3)},
-                   {4, 8}})
+                   {4, 8, 16}})
     ->ArgNames({"policy", "cores"});
 
 /// Arrival-trace synthesis into reused storage (the per-grid-point setup
@@ -147,4 +148,15 @@ BENCHMARK(BM_ArrivalGenReuse)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the JSON context records which
+// SIMD kernel the optimizer hot path actually dispatched to (see
+// bench_rm_invoke.cc).
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext(
+      "simd", qosrm::simd::level_name(qosrm::simd::active_level()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

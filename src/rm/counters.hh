@@ -10,6 +10,7 @@
 #define QOSRM_RM_COUNTERS_HH
 
 #include <array>
+#include <cstdint>
 #include <vector>
 
 #include "arch/core_config.hh"
@@ -56,6 +57,17 @@ struct CounterSnapshot {
   power::PowerSample power_sample{};
 
   OracleRef oracle{};  ///< perfect-model hook (Fig. 9 only)
+
+  /// Dense identity of the evaluation-grid cell these counters were measured
+  /// at, stamped by the snapshot producer (rmsim::make_snapshot_into): the
+  /// snapshot's contents are a pure function of (db, key), which lets the RM
+  /// memoize per-interval local-optimization outcomes. A refresh of the
+  /// snapshot restamps all three fields, so a memo keyed by them can never
+  /// serve an outcome for counters that are no longer in the snapshot.
+  /// memo_key < 0 (hand-built snapshots) disables memoization.
+  std::int64_t memo_key = -1;
+  std::int64_t memo_space = 0;                 ///< db.interval_key_space()
+  const workload::SimDb* memo_db = nullptr;    ///< producing database
 
   [[nodiscard]] int max_ways() const noexcept {
     return static_cast<int>(atd_misses.size());

@@ -6,122 +6,249 @@
 
 #include "common/check.hh"
 
+#ifdef QOSRM_SIMD_HAVE_AVX2
+#include <immintrin.h>
+#endif
+
 namespace qosrm::rm {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+// ---------------------------------------------------------------------------
+// Per-row combine kernels. One call folds row ia of the left child into the
+// output slice starting at ne (already offset by ia, so index k in the
+// kernel addresses output total lo + ia + k): the min-plus update
+//
+//   ne[k] = min(ne[k], ea + eb[k])
+//
+// The forward pass keeps values only - the argmin is recovered during
+// backtracking by an equality re-scan (see optimize_into), so the kernels
+// carry no index lanes. The scalar kernel iterates the compacted feasible
+// entries of the right child; the AVX2 kernel runs dense over the full child
+// row instead - an infinite eb produces an infinite sum, which can never
+// lower the running min, so both kernels leave bitwise-identical energies
+// (pinned by the randomized equivalence tests in rm_test_global_opt).
+
+inline void combine_row_scalar(double ea, std::span<const int> feas_idx,
+                               std::span<const double> feas_val, double* ne) {
+  const std::size_t n = feas_idx.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double v = ea + feas_val[k];
+    const int idx = feas_idx[k];
+    if (v < ne[idx]) ne[idx] = v;
+  }
+}
+
+#ifdef QOSRM_SIMD_HAVE_AVX2
+
+__attribute__((target("avx2"))) void combine_row_avx2(double ea,
+                                                      const double* eb, int n,
+                                                      double* ne) {
+  const __m256d vea = _mm256_set1_pd(ea);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_add_pd(vea, _mm256_loadu_pd(eb + i));
+    // minpd returns its SECOND operand when the lanes compare equal, so
+    // passing the current value second preserves it on ties - the same
+    // outcome as the scalar strict-less update.
+    _mm256_storeu_pd(ne + i, _mm256_min_pd(v, _mm256_loadu_pd(ne + i)));
+  }
+  for (; i < n; ++i) {
+    const double v = ea + eb[i];
+    if (v < ne[i]) ne[i] = v;
+  }
+}
+
+#endif  // QOSRM_SIMD_HAVE_AVX2
+
 }  // namespace
+
+void GlobalOptWorkspace::clear_nodes() {
+  // clear() keeps capacity: after one call per problem shape, nothing in the
+  // reduction allocates.
+  lo_.clear();
+  size_.clear();
+  energy_off_.clear();
+  leaf_energy_.clear();
+  first_core_.clear();
+  last_core_.clear();
+  left_.clear();
+  right_.clear();
+  energy_.clear();
+  level_.clear();
+  next_.clear();
+}
+
+int GlobalOptWorkspace::push_node(int lo, int size, std::size_t energy_off,
+                                  const double* leaf_energy, int first_core,
+                                  int last_core, int left, int right) {
+  const int idx = static_cast<int>(num_nodes());
+  lo_.push_back(lo);
+  size_.push_back(size);
+  energy_off_.push_back(energy_off);
+  leaf_energy_.push_back(leaf_energy);
+  first_core_.push_back(first_core);
+  last_core_.push_back(last_core);
+  left_.push_back(left);
+  right_.push_back(right);
+  return idx;
+}
 
 void GlobalOptimizer::optimize_into(std::span<const EnergyCurveView> curves,
                                     int total_ways, GlobalOptWorkspace& ws,
                                     GlobalOptResult& out, std::uint64_t* ops) {
+  optimize_into(curves, total_ways, ws, out, ops, simd::active_level());
+}
+
+void GlobalOptimizer::optimize_into(std::span<const EnergyCurveView> curves,
+                                    int total_ways, GlobalOptWorkspace& ws,
+                                    GlobalOptResult& out, std::uint64_t* ops,
+                                    simd::Level level) {
   QOSRM_CHECK(!curves.empty());
-  using Node = GlobalOptWorkspace::Node;
+  const bool vectorized = level == simd::Level::Avx2;
+#ifndef QOSRM_SIMD_HAVE_AVX2
+  QOSRM_CHECK_MSG(!vectorized,
+                  "AVX2 dispatch requested but the kernel was not compiled");
+#endif
 
   out.feasible = false;
   out.total_energy = 0.0;
   out.ways.clear();
 
-  // clear() keeps capacity: after one call per problem shape, nothing below
-  // allocates.
-  ws.nodes_.clear();
-  ws.energy_.clear();
-  ws.left_ways_.clear();
-  ws.level_.clear();
-  ws.next_.clear();
+  ws.clear_nodes();
 
   // Leaves view the input curves directly - no copy.
   for (std::size_t i = 0; i < curves.size(); ++i) {
     QOSRM_CHECK(!curves[i].energy.empty());
-    Node leaf;
-    leaf.lo = curves[i].min_ways;
-    leaf.size = static_cast<int>(curves[i].energy.size());
-    leaf.leaf_energy = curves[i].energy.data();
-    leaf.first_core = static_cast<int>(i);
-    leaf.last_core = static_cast<int>(i);
-    ws.level_.push_back(static_cast<int>(ws.nodes_.size()));
-    ws.nodes_.push_back(leaf);
+    const int core = static_cast<int>(i);
+    ws.level_.push_back(ws.push_node(
+        curves[i].min_ways, static_cast<int>(curves[i].energy.size()), 0,
+        curves[i].energy.data(), core, core, -1, -1));
   }
 
   // Reduce adjacent pairs until one curve remains.
   std::uint64_t steps = 0;
   while (ws.level_.size() > 1) {
+    // The root combine produces a curve that is only ever read at one index
+    // (total_ways; see below), so it evaluates just that output cell - an
+    // O(a+b) scan instead of the O(a*b) row sweep. The cell is accumulated
+    // over the same pairs in the same ia-ascending strict-less order, so its
+    // value and argmin are bit-identical to the full sweep's. The charged op
+    // count stays the full feasible-pair product: ops are the MODEL of the
+    // RM's work (paper Section III-E) and must not depend on which cells an
+    // implementation can prove dead, exactly as they must not depend on the
+    // SIMD width.
+    const bool root_combine = ws.level_.size() == 2;
     ws.next_.clear();
     for (std::size_t i = 0; i + 1 < ws.level_.size(); i += 2) {
-      const int ai = ws.level_[i];
-      const int bi = ws.level_[i + 1];
-      // Children by value: the push_back below may relocate nodes_.
-      const Node a = ws.nodes_[static_cast<std::size_t>(ai)];
-      const Node b = ws.nodes_[static_cast<std::size_t>(bi)];
+      const auto ai = static_cast<std::size_t>(ws.level_[i]);
+      const auto bi = static_cast<std::size_t>(ws.level_[i + 1]);
+      // Child metadata by value: the push_node below may relocate the SoA
+      // metadata arrays.
+      const int a_lo = ws.lo_[ai];
+      const int a_size = ws.size_[ai];
+      const std::size_t a_energy_off = ws.energy_off_[ai];
+      const double* a_leaf = ws.leaf_energy_[ai];
+      const int b_lo = ws.lo_[bi];
+      const int b_size = ws.size_[bi];
+      const std::size_t b_energy_off = ws.energy_off_[bi];
+      const double* b_leaf = ws.leaf_energy_[bi];
 
-      Node n;
-      n.lo = a.lo + b.lo;
-      n.size = a.hi() + b.hi() - n.lo + 1;
-      n.energy_off = ws.energy_.size();
-      n.left_ways_off = ws.left_ways_.size();
-      n.first_core = a.first_core;
-      n.last_core = b.last_core;
-      n.left = ai;
-      n.right = bi;
-      ws.energy_.resize(n.energy_off + static_cast<std::size_t>(n.size), kInf);
-      ws.left_ways_.resize(n.left_ways_off + static_cast<std::size_t>(n.size), -1);
+      const int n_lo = a_lo + b_lo;
+      const int n_size = a_size + b_size - 1;
+      const std::size_t energy_off = ws.energy_.size();
+      ws.energy_.resize(energy_off + static_cast<std::size_t>(n_size), kInf);
 
       // Pointers taken after the resize (which may relocate on warmup).
       const double* ea_arr =
-          a.leaf_energy != nullptr ? a.leaf_energy : ws.energy_.data() + a.energy_off;
+          a_leaf != nullptr ? a_leaf : ws.energy_.data() + a_energy_off;
       const double* eb_arr =
-          b.leaf_energy != nullptr ? b.leaf_energy : ws.energy_.data() + b.energy_off;
-      double* ne = ws.energy_.data() + n.energy_off;
-      int* nlw = ws.left_ways_.data() + n.left_ways_off;
+          b_leaf != nullptr ? b_leaf : ws.energy_.data() + b_energy_off;
+      double* ne = ws.energy_.data() + energy_off;
 
       // Compact the right child's feasible entries once (ascending, so the
       // pair visit order - and thus the first-split tie-breaking - matches
-      // the plain double loop); the inner loop then runs branch-free.
+      // the plain double loop). The scalar kernel consumes the compacted
+      // arrays; the vector kernel runs dense and only needs the count.
       ws.feas_idx_.clear();
       ws.feas_val_.clear();
-      for (int ib = 0; ib < b.size; ++ib) {
+      const bool compact_b = !vectorized && !root_combine;
+      std::uint64_t n_feas_b = 0;
+      int b_first = b_size;  // bounds of the feasible span of the right row:
+      int b_last = -1;       // the dense kernel clips to it (infinite prefix/
+                             // suffix entries can never win a strict-less)
+      for (int ib = 0; ib < b_size; ++ib) {
         const double eb = eb_arr[ib];
         if (std::isinf(eb)) continue;
-        ws.feas_idx_.push_back(ib);
-        ws.feas_val_.push_back(eb);
+        ++n_feas_b;
+        b_first = b_first == b_size ? ib : b_first;
+        b_last = ib;
+        if (compact_b) {
+          ws.feas_idx_.push_back(ib);
+          ws.feas_val_.push_back(eb);
+        }
       }
-      const std::size_t n_feas_b = ws.feas_idx_.size();
 
       // One op = one feasible-pair DP step, counted uniformly whichever side
-      // an infeasible entry is on (accumulated in bulk per feasible row).
+      // an infeasible entry is on (accumulated in bulk per feasible row) and
+      // independent of how many lanes a kernel call covers.
       std::uint64_t feas_a = 0;
-      for (int ia = 0; ia < a.size; ++ia) {
-        const double ea = ea_arr[ia];
-        if (std::isinf(ea)) continue;
-        ++feas_a;
-        // idx = (a.lo + ia) + (b.lo + ib) - n.lo = ia + ib.
-        for (std::size_t k = 0; k < n_feas_b; ++k) {
-          const double v = ea + ws.feas_val_[k];
-          const int idx = ia + ws.feas_idx_[k];
-          if (v < ne[idx]) {
-            ne[idx] = v;
-            nlw[idx] = a.lo + ia;
+      if (root_combine) {
+        // Only the total_ways cell of the root curve is observable: evaluate
+        // it directly (and count the feasible left entries for the op
+        // charge). Out-of-range targets leave the row infinite, which the
+        // feasibility check below reports just like the full sweep would.
+        const int target = total_ways - n_lo;
+        double best = kInf;
+        for (int ia = 0; ia < a_size; ++ia) {
+          const double ea = ea_arr[ia];
+          if (std::isinf(ea)) continue;
+          ++feas_a;
+          const int ib = target - ia;
+          if (ib < 0 || ib >= b_size) continue;
+          const double v = ea + eb_arr[ib];
+          if (v < best) best = v;
+        }
+        if (target >= 0 && target < n_size) ne[target] = best;
+      } else if (n_feas_b > 0) {
+        for (int ia = 0; ia < a_size; ++ia) {
+          const double ea = ea_arr[ia];
+          if (std::isinf(ea)) continue;
+          ++feas_a;
+          // Output index: (a_lo + ia) + (b_lo + ib) - n_lo = ia + ib.
+          if (vectorized) {
+#ifdef QOSRM_SIMD_HAVE_AVX2
+            combine_row_avx2(ea, eb_arr + b_first, b_last - b_first + 1,
+                             ne + ia + b_first);
+#endif
+          } else {
+            combine_row_scalar(ea, ws.feas_idx_, ws.feas_val_, ne + ia);
           }
         }
       }
       steps += feas_a * n_feas_b;
 
-      ws.next_.push_back(static_cast<int>(ws.nodes_.size()));
-      ws.nodes_.push_back(n);
+      ws.next_.push_back(ws.push_node(n_lo, n_size, energy_off, nullptr,
+                                      ws.first_core_[ai], ws.last_core_[bi],
+                                      static_cast<int>(ai),
+                                      static_cast<int>(bi)));
     }
     if (ws.level_.size() % 2 == 1) ws.next_.push_back(ws.level_.back());
     std::swap(ws.level_, ws.next_);
   }
   if (ops != nullptr) *ops += steps;
 
-  const Node& root = ws.nodes_[static_cast<std::size_t>(ws.level_.front())];
-  if (total_ways < root.lo || total_ways > root.hi()) return;
+  const auto root = static_cast<std::size_t>(ws.level_.front());
+  const int root_lo = ws.lo_[root];
+  const int root_hi = root_lo + ws.size_[root] - 1;
+  if (total_ways < root_lo || total_ways > root_hi) return;
   const double e =
-      root.leaf_energy != nullptr
-          ? root.leaf_energy[total_ways - root.lo]
-          : ws.energy_[root.energy_off + static_cast<std::size_t>(total_ways - root.lo)];
+      ws.leaf_energy_[root] != nullptr
+          ? ws.leaf_energy_[root][total_ways - root_lo]
+          : ws.energy_[ws.energy_off_[root] +
+                       static_cast<std::size_t>(total_ways - root_lo)];
   if (std::isinf(e)) return;
 
   out.feasible = true;
@@ -129,21 +256,52 @@ void GlobalOptimizer::optimize_into(std::span<const EnergyCurveView> curves,
   out.ways.assign(curves.size(), 0);
 
   // Backtrack the argmin splits down the reduction (depth is log2(cores), so
-  // plain recursion over node indices needs no scratch).
-  const auto backtrack = [&ws](auto&& self, int idx, int total,
-                               std::vector<int>& ways) -> void {
-    const Node& node = ws.nodes_[static_cast<std::size_t>(idx)];
-    if (node.left < 0) {  // leaf
-      ways[static_cast<std::size_t>(node.first_core)] = total;
+  // plain recursion over node indices needs no scratch). The forward pass
+  // stores no argmin lanes; each split is recovered here by re-scanning the
+  // children in the same ascending-wa order for the first feasible pair
+  // whose sum reproduces the node's value bit-for-bit. The strict-less
+  // forward sweep keeps the FIRST entry attaining the final minimum, and the
+  // sums are the same IEEE double additions, so the recovered split is
+  // identical to a recorded one. Cost: log2(cores) row scans per
+  // invocation - versus an index blend in every kernel step.
+  const auto backtrack = [&ws](auto&& self, std::size_t idx, int total,
+                               double value, std::vector<int>& ways) -> void {
+    if (ws.left_[idx] < 0) {  // leaf
+      ways[static_cast<std::size_t>(ws.first_core_[idx])] = total;
       return;
     }
-    const int wl = ws.left_ways_[node.left_ways_off +
-                                 static_cast<std::size_t>(total - node.lo)];
+    const auto ai = static_cast<std::size_t>(ws.left_[idx]);
+    const auto bi = static_cast<std::size_t>(ws.right_[idx]);
+    const double* ea_arr = ws.leaf_energy_[ai] != nullptr
+                               ? ws.leaf_energy_[ai]
+                               : ws.energy_.data() + ws.energy_off_[ai];
+    const double* eb_arr = ws.leaf_energy_[bi] != nullptr
+                               ? ws.leaf_energy_[bi]
+                               : ws.energy_.data() + ws.energy_off_[bi];
+    const int a_size = ws.size_[ai];
+    const int b_size = ws.size_[bi];
+    const int rel = total - ws.lo_[idx];
+    int wl = -1;
+    double ea_val = 0.0;
+    double eb_val = 0.0;
+    for (int ia = 0; ia < a_size; ++ia) {
+      const double ea = ea_arr[ia];
+      if (std::isinf(ea)) continue;
+      const int ib = rel - ia;
+      if (ib < 0 || ib >= b_size) continue;
+      const double eb = eb_arr[ib];
+      if (ea + eb == value) {
+        wl = ws.lo_[ai] + ia;
+        ea_val = ea;
+        eb_val = eb;
+        break;
+      }
+    }
     QOSRM_CHECK_MSG(wl >= 0, "backtracking through an infeasible entry");
-    self(self, node.left, wl, ways);
-    self(self, node.right, total - wl, ways);
+    self(self, ai, wl, ea_val, ways);
+    self(self, bi, total - wl, eb_val, ways);
   };
-  backtrack(backtrack, ws.level_.front(), total_ways, out.ways);
+  backtrack(backtrack, root, total_ways, e, out.ways);
 }
 
 GlobalOptResult GlobalOptimizer::optimize(std::span<const EnergyCurve> curves,

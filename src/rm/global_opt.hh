@@ -11,15 +11,20 @@
 // interface between the local and global stages is exactly one energy curve
 // per core (the second advantage).
 //
-// The reduction runs over flat, reusable buffers (GlobalOptWorkspace) so the
-// per-interval-boundary invocation path performs no heap allocation once the
-// workspace has warmed up; see the README performance section.
+// The reduction runs over flat, reusable structure-of-arrays buffers
+// (GlobalOptWorkspace) so the per-interval-boundary invocation path performs
+// no heap allocation once the workspace has warmed up, and the O(n^2 * W)
+// feasible-pair inner loop dispatches to an AVX2 kernel where available
+// (common/simd.hh; the scalar fallback is pinned bit-identical by the
+// randomized equivalence tests). See the README performance section.
 #ifndef QOSRM_RM_GLOBAL_OPT_HH
 #define QOSRM_RM_GLOBAL_OPT_HH
 
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "common/simd.hh"
 
 namespace qosrm::rm {
 
@@ -52,11 +57,14 @@ struct GlobalOptResult {
   std::vector<int> ways;  ///< chosen allocation per core (empty if infeasible)
 };
 
-/// Reusable scratch of the pairwise reduction: flat node metadata plus flat
-/// energy/argmin pools, replacing the old per-invocation tree of heap-
-/// allocated nodes. Every container keeps its capacity across calls, so a
-/// workspace that has seen a problem shape once makes optimize_into()
-/// allocation-free. Not thread-safe; use one workspace per thread.
+/// Reusable scratch of the pairwise reduction in structure-of-arrays layout:
+/// per-node metadata lives in parallel flat vectors (index i addresses one
+/// reduction node across all of them) and the combined energy rows share one
+/// dense pool, so the inner loop streams over contiguous doubles - the
+/// layout the vectorized kernel consumes directly.
+/// Every container keeps its capacity across calls, so a workspace that has
+/// seen a problem shape once makes optimize_into() allocation-free. Not
+/// thread-safe; use one workspace per thread.
 class GlobalOptWorkspace {
  public:
   GlobalOptWorkspace() = default;
@@ -64,33 +72,48 @@ class GlobalOptWorkspace {
  private:
   friend class GlobalOptimizer;
 
-  /// One reduction node covering cores [first_core, last_core] and total
-  /// ways [lo, lo + size). Leaves view the caller's curve directly
-  /// (leaf_energy != nullptr); combined nodes own the slices
-  /// energy_[energy_off, +size) and left_ways_[left_ways_off, +size).
-  struct Node {
-    int lo = 0;
-    int size = 0;
-    std::size_t energy_off = 0;
-    std::size_t left_ways_off = 0;
-    const double* leaf_energy = nullptr;
-    int first_core = 0;
-    int last_core = 0;
-    int left = -1;  ///< child node indices; -1 marks a leaf
-    int right = -1;
+  // --- node metadata, SoA: entry i describes one reduction node ------------
+  // A node covers cores [first_core_[i], last_core_[i]] and total ways
+  // [lo_[i], lo_[i] + size_[i]). Leaves view the caller's curve directly
+  // (leaf_energy_[i] != nullptr); combined nodes own the pool slice
+  // energy_[energy_off_[i], +size). left_[i] < 0 marks a leaf.
+  //
+  // The forward pass stores VALUES only - no argmin lanes. Backtracking
+  // recovers each split by re-scanning the children for the first (ascending
+  // wa) feasible pair whose sum equals the node's value bit-for-bit, which
+  // is exactly the argmin a strict-less forward sweep would have recorded.
+  // That halves the kernel's stores and drops the int32 blend path entirely,
+  // at the cost of log2(cores) O(row) scans - executed once per invocation
+  // instead of once per cell.
+  std::vector<int> lo_;
+  std::vector<int> size_;
+  std::vector<std::size_t> energy_off_;
+  std::vector<const double*> leaf_energy_;
+  std::vector<int> first_core_;
+  std::vector<int> last_core_;
+  std::vector<int> left_;  ///< child node indices; -1 marks a leaf
+  std::vector<int> right_;
 
-    [[nodiscard]] int hi() const noexcept { return lo + size - 1; }
-  };
-
-  std::vector<Node> nodes_;
+  // --- dense pool the combine kernels write --------------------------------
   std::vector<double> energy_;
-  std::vector<int> left_ways_;
+
   std::vector<int> level_;  ///< node indices of the current reduction level
   std::vector<int> next_;   ///< node indices of the next reduction level
-  /// Per-combine compaction of the right child's feasible entries, so the
-  /// O(n^2) inner loop runs branch-free over finite energies only.
+
+  /// Per-combine compaction of the right child's feasible entries (parallel
+  /// index/value arrays): the scalar kernel iterates these so it only
+  /// touches finite energies; the vector kernel runs dense over the child
+  /// row instead (an infinite entry can never win a strict-less compare)
+  /// and only needs the count for the uniform op accounting.
   std::vector<int> feas_idx_;
   std::vector<double> feas_val_;
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return lo_.size(); }
+  void clear_nodes();
+  /// Appends one node's metadata across the parallel arrays; returns its index.
+  int push_node(int lo, int size, std::size_t energy_off,
+                const double* leaf_energy, int first_core, int last_core,
+                int left, int right);
 };
 
 class GlobalOptimizer {
@@ -100,17 +123,28 @@ class GlobalOptimizer {
   /// one-shot callers). `ops` (optional) accumulates DP steps for the RM
   /// instruction-overhead model; one op is one FEASIBLE-pair DP step, i.e. a
   /// (w_a, w_b) combination whose both entries are finite - infeasible
-  /// entries on either side are skipped without charge.
+  /// entries on either side are skipped without charge. The count is
+  /// independent of the SIMD dispatch level: a vectorized lane batch charges
+  /// exactly the feasible pairs it covers, so the modeled RM overhead (and
+  /// the golden CSVs) never depends on the vector width.
   [[nodiscard]] static GlobalOptResult optimize(std::span<const EnergyCurve> curves,
                                                 int total_ways,
                                                 std::uint64_t* ops = nullptr);
 
   /// The allocation-free core: runs the reduction inside `ws` and writes the
   /// outcome into `out`, reusing the storage of both. Bit-identical to
-  /// optimize() for equal inputs (same reduction order, same tie-breaking).
+  /// optimize() for equal inputs (same reduction order, same tie-breaking)
+  /// at every dispatch level. Uses simd::active_level().
   static void optimize_into(std::span<const EnergyCurveView> curves,
                             int total_ways, GlobalOptWorkspace& ws,
                             GlobalOptResult& out, std::uint64_t* ops = nullptr);
+
+  /// Explicit-dispatch variant for the equivalence tests and A/B benches.
+  /// Requesting Avx2 when the kernel is unavailable aborts.
+  static void optimize_into(std::span<const EnergyCurveView> curves,
+                            int total_ways, GlobalOptWorkspace& ws,
+                            GlobalOptResult& out, std::uint64_t* ops,
+                            simd::Level level);
 
   /// Exhaustive reference implementation (tests only; exponential).
   [[nodiscard]] static GlobalOptResult brute_force(std::span<const EnergyCurve> curves,

@@ -65,6 +65,8 @@ class LocalOptimizer {
   /// Allocation-free variant: writes into `out`, reusing its `choices`
   /// storage. The invocation hot path (ResourceManager) calls this with
   /// per-core cached results so steady-state boundaries allocate nothing.
+  /// Not thread-safe (reuses internal sweep scratch); use one optimizer per
+  /// thread.
   void optimize_into(const CounterSnapshot& snap, LocalOptResult& out,
                      std::uint64_t* ops = nullptr) const;
 
@@ -74,6 +76,11 @@ class LocalOptimizer {
   const PerfModel* perf_;
   const OnlineEnergyModel* energy_;
   LocalOptOptions opt_;
+  /// Perfect-model sweep scratch: f*(w) and T*(w) for the core size being
+  /// scanned (batched oracle-row path). Capacity is kept across calls, so
+  /// the warm invocation path stays heap-free.
+  mutable std::vector<int> f_star_;
+  mutable std::vector<double> t_star_;
 };
 
 }  // namespace qosrm::rm

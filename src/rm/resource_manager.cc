@@ -28,6 +28,12 @@ ResourceManager::ResourceManager(const RmConfig& config,
   ws_.curve_energy.resize(static_cast<std::size_t>(system.cores));
   ws_.views.reserve(static_cast<std::size_t>(system.cores));
   ws_.idle_energy.assign(1, 0.0);
+  // Auto: memoize from 8 cores up, where the per-boundary local work (and
+  // the number of boundaries revisiting the same evaluation cell) makes the
+  // table pay for its footprint. Below that, the slot array would cost more
+  // to materialize than the recomputation it saves.
+  memo_on_ = cfg_.memo == RmMemoMode::On ||
+             (cfg_.memo == RmMemoMode::Auto && system_.cores >= 8);
 }
 
 LocalOptOptions ResourceManager::local_options() const noexcept {
@@ -40,6 +46,22 @@ LocalOptOptions ResourceManager::local_options() const noexcept {
 
 void ResourceManager::reset() {
   for (CoreCache& entry : cached_) entry.valid = false;
+}
+
+std::int32_t* ResourceManager::memo_slot(const CounterSnapshot& snap) {
+  if (!memo_on_ || snap.memo_key < 0 || snap.oracle.valid()) return nullptr;
+  if (snap.memo_db != memo_db_) {
+    // First sight of this database: size the slot array to its dense key
+    // space and drop entries memoized against any previous one.
+    QOSRM_CHECK(snap.memo_key < snap.memo_space);
+    memo_slot_.assign(static_cast<std::size_t>(snap.memo_space), -1);
+    memo_entries_.clear();
+    memo_db_ = snap.memo_db;
+  }
+  if (snap.memo_key >= static_cast<std::int64_t>(memo_slot_.size())) {
+    return nullptr;  // defensively refuse an out-of-range key
+  }
+  return &memo_slot_[static_cast<std::size_t>(snap.memo_key)];
 }
 
 const RmDecision& ResourceManager::invoke(
@@ -79,8 +101,26 @@ const RmDecision& ResourceManager::invoke(
     }
     const bool fresh = core == invoking_core;
     if (!fresh && cache.valid) continue;
-    local_.optimize_into(snapshots[static_cast<std::size_t>(core)], cache.local,
-                         fresh ? &decision.ops : nullptr);
+    // Interval-outcome memo: a keyed snapshot's local optimization is a pure
+    // function of its evaluation cell, so a previously seen cell replays the
+    // stored result - charging exactly the ops a fresh run would have, which
+    // keeps the decision (and the modeled RM overhead) bit-identical with
+    // the memo on or off.
+    const CounterSnapshot& snap = snapshots[static_cast<std::size_t>(core)];
+    std::int32_t* slot = memo_slot(snap);
+    if (slot != nullptr && *slot >= 0) {
+      const MemoEntry& entry = memo_entries_[static_cast<std::size_t>(*slot)];
+      cache.local = entry.local;  // vector assign reuses the cache's storage
+      if (fresh) decision.ops += entry.ops;
+    } else {
+      std::uint64_t local_ops = 0;
+      local_.optimize_into(snap, cache.local, &local_ops);
+      if (fresh) decision.ops += local_ops;
+      if (slot != nullptr) {
+        *slot = static_cast<std::int32_t>(memo_entries_.size());
+        memo_entries_.push_back({cache.local, local_ops});
+      }
+    }
     cache.valid = true;
     std::vector<double>& energy = ws_.curve_energy[static_cast<std::size_t>(core)];
     energy.resize(cache.local.choices.size());

@@ -28,10 +28,18 @@ enum class RmPolicy { Idle = 0, Rm1 = 1, Rm2 = 2, Rm3 = 3 };
 
 [[nodiscard]] const char* rm_policy_name(RmPolicy policy) noexcept;
 
+/// Interval-outcome memoization policy (see ResourceManager). Auto enables
+/// the memo from 8 cores up, where repeated (app, phase, setting) boundaries
+/// dominate the invocation cost; the memo is bit-transparent at any width
+/// (cached outcomes and op charges are exactly what a fresh local
+/// optimization would produce), so the mode only affects wall time.
+enum class RmMemoMode { Auto = 0, On = 1, Off = 2 };
+
 struct RmConfig {
   RmPolicy policy = RmPolicy::Rm3;
   PerfModelKind model = PerfModelKind::Model3;
   EnergyModelOptions energy{};
+  RmMemoMode memo = RmMemoMode::Auto;
   /// Optional knob override for ablation studies (e.g. core resizing
   /// without DVFS); when set it replaces the policy-derived knob set for
   /// any non-idle policy.
@@ -84,7 +92,12 @@ class ResourceManager {
 
   /// Drops all cached energy curves (e.g. when the workload changes). The
   /// underlying buffers are kept, so the next boundaries stay allocation-free.
+  /// The interval-outcome memo survives: its entries are keyed by database
+  /// identity and remain valid across workload changes on the same database.
   void reset();
+
+  /// Whether the interval-outcome memo is active for this instance.
+  [[nodiscard]] bool memo_enabled() const noexcept { return memo_on_; }
 
   [[nodiscard]] const RmConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const arch::SystemConfig& system() const noexcept { return system_; }
@@ -103,12 +116,31 @@ class ResourceManager {
     LocalOptResult local;
   };
 
+  /// One memoized interval outcome: the local-optimization result of a
+  /// (app, phase, setting) evaluation cell plus the op count a fresh run
+  /// would have charged (so replays account identically).
+  struct MemoEntry {
+    LocalOptResult local;
+    std::uint64_t ops = 0;
+  };
+
+  /// Returns the memo slot for this snapshot, or nullptr when memoization
+  /// does not apply (memo off, unkeyed snapshot, or oracle-backed counters
+  /// whose outcome depends on more than the key). Lazily (re)sizes the slot
+  /// array when a new database is seen.
+  [[nodiscard]] std::int32_t* memo_slot(const CounterSnapshot& snap);
+
   RmConfig cfg_;
   arch::SystemConfig system_;
   PerfModel perf_;
   OnlineEnergyModel energy_;
   LocalOptimizer local_;
   std::vector<CoreCache> cached_;  ///< per-core curves
+  // --- interval-outcome memo (flat array over the db's dense key space) ----
+  bool memo_on_ = false;
+  const workload::SimDb* memo_db_ = nullptr;
+  std::vector<std::int32_t> memo_slot_;  ///< key -> entry index, -1 empty
+  std::vector<MemoEntry> memo_entries_;  ///< growing entry pool
   /// All-ones mask backing the mask-free invoke() overload. std::uint8_t
   /// (not bool) so a std::span can view the storage.
   std::vector<std::uint8_t> all_active_;

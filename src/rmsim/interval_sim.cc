@@ -132,11 +132,11 @@ RunResult IntervalSimulator::run(const workload::WorkloadMix& mix,
       st.setting = st.pending;
     }
     st.phase = phase_at(st, st.seq_pos);
-    const arch::IntervalTiming timing = db.timing(st.app, st.phase, st.setting);
-    const power::IntervalEnergy energy = db.energy(st.app, st.phase, st.setting);
     st.start_s = now_s;
-    st.end_s = now_s + timing.total_seconds + st.next_overhead.time_s;
-    st.energy_j = energy.total_j() + st.next_overhead.energy_j;
+    st.end_s = now_s + db.total_seconds(st.app, st.phase, st.setting) +
+               st.next_overhead.time_s;
+    st.energy_j = db.total_joules(st.app, st.phase, st.setting) +
+                  st.next_overhead.energy_j;
     st.base_time_s = db.baseline_time(st.app, st.phase);
     st.next_overhead = {};
   };

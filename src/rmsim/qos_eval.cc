@@ -1,6 +1,8 @@
 #include "rmsim/qos_eval.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "arch/dvfs.hh"
 #include "common/check.hh"
@@ -60,11 +62,22 @@ std::vector<QosEvalResult> QosEvaluator::evaluate_all(
           app_weight;
 
       // Ground-truth times of this phase at every setting (and baseline).
+      // Settings are enumerated (c, f, w)-major above, so each (c, f) block
+      // is one contiguous SoA row read.
       std::vector<double> t_act(settings.size());
-      for (std::size_t s = 0; s < settings.size(); ++s) {
-        t_act[s] = db.timing(app, phase, settings[s]).total_seconds;
+      std::size_t s = 0;
+      for (const arch::CoreSize c : arch::kAllCoreSizes) {
+        for (int f = 0; f < arch::VfTable::kNumPoints; ++f) {
+          const std::span<const double> row =
+              db.total_seconds_row(app, phase, c, f);
+          for (int w = sys.llc.min_ways; w <= sys.llc.max_ways; ++w, ++s) {
+            const int wc = std::clamp(w, 1, static_cast<int>(row.size()));
+            t_act[s] = row[static_cast<std::size_t>(wc - 1)];
+          }
+        }
       }
-      const double t_act_base = db.timing(app, phase, base).total_seconds;
+      QOSRM_CHECK(s == settings.size());
+      const double t_act_base = db.total_seconds(app, phase, base);
 
       for (std::size_t cur = 0; cur < settings.size(); ++cur) {
         if (settings[cur].f_idx % opt_.current_f_stride != 0) continue;

@@ -31,14 +31,18 @@ void make_snapshot_into(const workload::SimDb& db, int app, int phase,
   }
 
   // RAPL-like dynamic power sample from the measured interval.
-  const power::IntervalEnergy e = db.energy(app, phase, current);
-  out.power_sample =
-      power::sample_interval(db.power(), current.c,
-                             arch::VfTable::point(current.f_idx), e.core_j(),
-                             timing.total_seconds);
+  out.power_sample = power::sample_interval(
+      db.power(), current.c, arch::VfTable::point(current.f_idx),
+      db.core_joules(app, phase, current), timing.total_seconds);
 
   out.oracle = oracle_phase >= 0 ? rm::OracleRef{&db, app, oracle_phase}
                                  : rm::OracleRef{};
+
+  // Memo identity: every refresh restamps the key, so a stale outcome can
+  // never be served for counters the snapshot no longer holds.
+  out.memo_key = db.interval_key(app, phase, current);
+  out.memo_space = db.interval_key_space();
+  out.memo_db = &db;
 }
 
 rm::CounterSnapshot make_snapshot(const workload::SimDb& db, int app, int phase,

@@ -37,6 +37,12 @@ EvalTable::EvalTable(const SpecSuite& suite, const arch::SystemConfig& system,
                                 static_cast<std::size_t>(g.max_ways);
       g.timing.resize(cells);
       g.energy.resize(cells);
+      g.total_s.resize(cells);
+      g.mem_s.resize(cells);
+      g.core_j.resize(cells);
+      g.total_j.resize(cells);
+      g.key_off = key_space_;
+      key_space_ += static_cast<std::int64_t>(cells);
 
       const arch::IntervalCharacteristics chars = st.characteristics();
       std::size_t idx = 0;
@@ -47,9 +53,16 @@ EvalTable::EvalTable(const SpecSuite& suite, const arch::SystemConfig& system,
                 chars, st.memory_truth(c, w, system.mem_latency_s), c,
                 arch::VfTable::frequency_hz(f));
             g.timing[idx] = t;
-            g.energy[idx] = power.interval_energy(
+            const power::IntervalEnergy e = power.interval_energy(
                 c, arch::VfTable::point(f), t, st.interval_instructions,
                 st.dram_accesses(w));
+            g.energy[idx] = e;
+            // SoA companions: copies of the struct fields, so every scalar
+            // accessor is bit-identical to the struct lookup.
+            g.total_s[idx] = t.total_seconds;
+            g.mem_s[idx] = t.mem_seconds;
+            g.core_j[idx] = e.core_j();
+            g.total_j[idx] = e.total_j();
           }
         }
       }
@@ -99,10 +112,61 @@ std::size_t EvalTable::flat_index(const PhaseGrid& g, const Setting& s) {
          static_cast<std::size_t>(w - 1);
 }
 
+std::size_t EvalTable::row_offset(const PhaseGrid& g, arch::CoreSize c,
+                                  int f_idx) {
+  QOSRM_CHECK(f_idx >= 0 && f_idx < arch::VfTable::kNumPoints);
+  const auto c_idx = static_cast<std::size_t>(arch::core_size_index(c));
+  return (c_idx * static_cast<std::size_t>(arch::VfTable::kNumPoints) +
+          static_cast<std::size_t>(f_idx)) *
+         static_cast<std::size_t>(g.max_ways);
+}
+
 const arch::IntervalTiming& EvalTable::timing(int app, int phase,
                                               const Setting& s) const {
   const PhaseGrid& g = grid(app, phase);
   return g.timing[flat_index(g, s)];
+}
+
+double EvalTable::total_seconds(int app, int phase, const Setting& s) const {
+  const PhaseGrid& g = grid(app, phase);
+  return g.total_s[flat_index(g, s)];
+}
+
+double EvalTable::mem_seconds(int app, int phase, const Setting& s) const {
+  const PhaseGrid& g = grid(app, phase);
+  return g.mem_s[flat_index(g, s)];
+}
+
+double EvalTable::core_joules(int app, int phase, const Setting& s) const {
+  const PhaseGrid& g = grid(app, phase);
+  return g.core_j[flat_index(g, s)];
+}
+
+double EvalTable::total_joules(int app, int phase, const Setting& s) const {
+  const PhaseGrid& g = grid(app, phase);
+  return g.total_j[flat_index(g, s)];
+}
+
+std::span<const double> EvalTable::total_seconds_row(int app, int phase,
+                                                     arch::CoreSize c,
+                                                     int f_idx) const {
+  const PhaseGrid& g = grid(app, phase);
+  return {g.total_s.data() + row_offset(g, c, f_idx),
+          static_cast<std::size_t>(g.max_ways)};
+}
+
+std::span<const double> EvalTable::mem_seconds_row(int app, int phase,
+                                                   arch::CoreSize c,
+                                                   int f_idx) const {
+  const PhaseGrid& g = grid(app, phase);
+  return {g.mem_s.data() + row_offset(g, c, f_idx),
+          static_cast<std::size_t>(g.max_ways)};
+}
+
+std::int64_t EvalTable::interval_key(int app, int phase,
+                                     const Setting& s) const {
+  const PhaseGrid& g = grid(app, phase);
+  return g.key_off + static_cast<std::int64_t>(flat_index(g, s));
 }
 
 const power::IntervalEnergy& EvalTable::energy(int app, int phase,

@@ -17,6 +17,8 @@
 #define QOSRM_WORKLOAD_EVAL_TABLE_HH
 
 #include <array>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "arch/core_config.hh"
@@ -60,6 +62,50 @@ class EvalTable {
   [[nodiscard]] const power::IntervalEnergy& energy(int app, int phase,
                                                     const Setting& s) const;
 
+  // --- batched / scalar SoA accessors --------------------------------------
+  // The dense grids additionally keep the hot aggregate of each cell
+  // (total/memory seconds, core/total joules) in flat structure-of-arrays
+  // companions filled from exactly the structs above, so single-field
+  // consumers (the interval simulators' start-of-interval accounting, the
+  // QoS evaluator's t_act sweep, the perfect model's oracle scans) read one
+  // contiguous double instead of copying a multi-field struct per query.
+  // Values are bit-identical to the struct fields by construction.
+
+  /// timing(...).total_seconds without the struct copy.
+  [[nodiscard]] double total_seconds(int app, int phase, const Setting& s) const;
+  /// timing(...).mem_seconds without the struct copy.
+  [[nodiscard]] double mem_seconds(int app, int phase, const Setting& s) const;
+  /// energy(...).core_j() without the struct copy.
+  [[nodiscard]] double core_joules(int app, int phase, const Setting& s) const;
+  /// energy(...).total_j() without the struct copy.
+  [[nodiscard]] double total_joules(int app, int phase, const Setting& s) const;
+
+  /// Contiguous w-row of interval wall-clock times at fixed (c, f_idx):
+  /// element w-1 equals timing(app, phase, {c, f_idx, w}).total_seconds for
+  /// w in [1, row.size()]. The batched form of a per-setting sweep over w.
+  [[nodiscard]] std::span<const double> total_seconds_row(int app, int phase,
+                                                          arch::CoreSize c,
+                                                          int f_idx) const;
+  /// Contiguous w-row of interval memory stall times at fixed (c, f_idx).
+  [[nodiscard]] std::span<const double> mem_seconds_row(int app, int phase,
+                                                        arch::CoreSize c,
+                                                        int f_idx) const;
+
+  // --- dense interval keys -------------------------------------------------
+  // Every (app, phase, setting) cell of this table has a unique dense key in
+  // [0, interval_key_space()), suitable for flat-array memoization of
+  // per-cell decisions (rm::ResourceManager's interval-outcome memo).
+  // Settings whose w clamps to the same grid cell share the key - and, by
+  // construction, every stored value.
+
+  /// Dense key of the (app, phase, setting) grid cell.
+  [[nodiscard]] std::int64_t interval_key(int app, int phase,
+                                          const Setting& s) const;
+  /// One past the largest key this table can produce.
+  [[nodiscard]] std::int64_t interval_key_space() const noexcept {
+    return key_space_;
+  }
+
   /// Interval wall-clock time at the baseline setting (the QoS reference).
   [[nodiscard]] double baseline_time(int app, int phase) const;
 
@@ -76,8 +122,14 @@ class EvalTable {
   struct PhaseGrid {
     int max_ways = 0;
     double baseline_time_s = 0.0;
+    std::int64_t key_off = 0;  ///< cumulative cell offset (interval keys)
     std::vector<arch::IntervalTiming> timing;
     std::vector<power::IntervalEnergy> energy;
+    // SoA companions of the structs above (same flat indexing).
+    std::vector<double> total_s;
+    std::vector<double> mem_s;
+    std::vector<double> core_j;
+    std::vector<double> total_j;
   };
 
   struct AppAggregates {
@@ -87,9 +139,13 @@ class EvalTable {
 
   [[nodiscard]] const PhaseGrid& grid(int app, int phase) const;
   [[nodiscard]] static std::size_t flat_index(const PhaseGrid& g, const Setting& s);
+  /// Flat offset of the contiguous w-row at (c, f_idx).
+  [[nodiscard]] static std::size_t row_offset(const PhaseGrid& g,
+                                              arch::CoreSize c, int f_idx);
 
   std::vector<std::vector<PhaseGrid>> grids_;  // [app][phase]
   std::vector<AppAggregates> aggregates_;      // [app]
+  std::int64_t key_space_ = 0;                 // total cells across all grids
 };
 
 }  // namespace qosrm::workload

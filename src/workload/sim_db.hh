@@ -70,6 +70,52 @@ class SimDb {
     return table_.energy(app, phase, s);
   }
 
+  /// timing(...).total_seconds without the struct copy (SoA lookup).
+  [[nodiscard]] double total_seconds(int app, int phase, const Setting& s) const {
+    return table_.total_seconds(app, phase, s);
+  }
+
+  /// timing(...).mem_seconds without the struct copy (SoA lookup).
+  [[nodiscard]] double mem_seconds(int app, int phase, const Setting& s) const {
+    return table_.mem_seconds(app, phase, s);
+  }
+
+  /// energy(...).core_j() without the struct copy (SoA lookup).
+  [[nodiscard]] double core_joules(int app, int phase, const Setting& s) const {
+    return table_.core_joules(app, phase, s);
+  }
+
+  /// energy(...).total_j() without the struct copy (SoA lookup).
+  [[nodiscard]] double total_joules(int app, int phase, const Setting& s) const {
+    return table_.total_joules(app, phase, s);
+  }
+
+  /// Contiguous w-row of interval wall-clock times at fixed (c, f_idx);
+  /// element w-1 is timing(app, phase, {c, f_idx, w}).total_seconds.
+  [[nodiscard]] std::span<const double> total_seconds_row(int app, int phase,
+                                                          arch::CoreSize c,
+                                                          int f_idx) const {
+    return table_.total_seconds_row(app, phase, c, f_idx);
+  }
+
+  /// Contiguous w-row of interval memory stall times at fixed (c, f_idx).
+  [[nodiscard]] std::span<const double> mem_seconds_row(int app, int phase,
+                                                        arch::CoreSize c,
+                                                        int f_idx) const {
+    return table_.mem_seconds_row(app, phase, c, f_idx);
+  }
+
+  /// Dense memo key of the (app, phase, setting) evaluation cell.
+  [[nodiscard]] std::int64_t interval_key(int app, int phase,
+                                          const Setting& s) const {
+    return table_.interval_key(app, phase, s);
+  }
+
+  /// One past the largest interval_key() this database can produce.
+  [[nodiscard]] std::int64_t interval_key_space() const noexcept {
+    return table_.interval_key_space();
+  }
+
   /// Interval wall-clock time at the baseline setting (the QoS reference).
   [[nodiscard]] double baseline_time(int app, int phase) const {
     return table_.baseline_time(app, phase);

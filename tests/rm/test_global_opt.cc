@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <string>
 
 #include "common/rng.hh"
 
@@ -370,6 +371,145 @@ TEST(GlobalOpt, OpsCountSymmetricUnderOperandSwap) {
   EXPECT_EQ(ops_ab, ops_ba);
   EXPECT_EQ(ops_ab, 8u);  // 2 feasible entries x 4 feasible entries
 }
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch equivalence: the AVX2 kernel must reproduce the scalar
+// fallback BIT FOR BIT - feasibility, total energy, chosen ways and the op
+// count - across core counts, odd way counts, and degenerate feasibility
+// shapes. Runs through the explicit-level optimize_into overload; on hosts
+// without AVX2 the vector half is skipped (the scalar-vs-tree and
+// scalar-vs-brute-force tests above still pin the fallback).
+
+bool avx2_available() {
+  return simd::avx2_compiled() && simd::avx2_supported();
+}
+
+void expect_levels_bitwise_equal(const std::vector<EnergyCurve>& curves,
+                                 int budget, const char* what) {
+  const std::vector<EnergyCurveView> views = views_of(curves);
+
+  GlobalOptWorkspace scalar_ws;
+  GlobalOptResult scalar_out;
+  std::uint64_t scalar_ops = 0;
+  GlobalOptimizer::optimize_into(views, budget, scalar_ws, scalar_out,
+                                 &scalar_ops, simd::Level::Scalar);
+
+  GlobalOptWorkspace avx2_ws;
+  GlobalOptResult avx2_out;
+  std::uint64_t avx2_ops = 0;
+  GlobalOptimizer::optimize_into(views, budget, avx2_ws, avx2_out, &avx2_ops,
+                                 simd::Level::Avx2);
+
+  ASSERT_EQ(scalar_out.feasible, avx2_out.feasible) << what;
+  EXPECT_EQ(scalar_out.total_energy, avx2_out.total_energy) << what;
+  EXPECT_EQ(scalar_out.ways, avx2_out.ways) << what;
+  EXPECT_EQ(scalar_ops, avx2_ops) << what;
+}
+
+class GlobalOptSimdEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(GlobalOptSimdEquivalence, RandomCurvesMatchBitwiseAcrossLevels) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 kernel unavailable";
+  const int cores = GetParam();
+  Rng rng(static_cast<std::uint64_t>(cores) * 104729 + 7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::vector<EnergyCurve> curves = random_curves(rng, cores);
+    int sum_lo = 0;
+    int sum_hi = 0;
+    for (const EnergyCurve& c : curves) {
+      sum_lo += c.min_ways;
+      sum_hi += c.max_ways();
+    }
+    const int budget =
+        sum_lo - 1 + static_cast<int>(rng.uniform_u64(
+                         static_cast<std::uint64_t>(sum_hi - sum_lo + 3)));
+    expect_levels_bitwise_equal(
+        curves, budget,
+        ("cores=" + std::to_string(cores) + " trial=" + std::to_string(trial))
+            .c_str());
+  }
+}
+
+TEST_P(GlobalOptSimdEquivalence, OddWayCountsMatchBitwiseAcrossLevels) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 kernel unavailable";
+  const int cores = GetParam();
+  Rng rng(static_cast<std::uint64_t>(cores) * 31337 + 11);
+  // Odd curve lengths leave a 1..3-element scalar tail after every 4-lane
+  // chunk - the seam the dense kernel must stitch exactly.
+  for (const int len : {3, 5, 7, 9, 13, 15}) {
+    std::vector<EnergyCurve> curves;
+    for (int c = 0; c < cores; ++c) {
+      EnergyCurve cu;
+      cu.min_ways = 1 + static_cast<int>(rng.uniform_u64(3));
+      for (int i = 0; i < len; ++i) {
+        cu.energy.push_back(rng.bernoulli(0.2) ? kInf : rng.uniform(1.0, 50.0));
+      }
+      curves.push_back(std::move(cu));
+    }
+    int sum_lo = 0;
+    int sum_hi = 0;
+    for (const EnergyCurve& c : curves) {
+      sum_lo += c.min_ways;
+      sum_hi += c.max_ways();
+    }
+    for (int budget = sum_lo - 1; budget <= sum_hi + 1; ++budget) {
+      expect_levels_bitwise_equal(
+          curves, budget,
+          ("cores=" + std::to_string(cores) + " len=" + std::to_string(len) +
+           " budget=" + std::to_string(budget))
+              .c_str());
+    }
+  }
+}
+
+TEST_P(GlobalOptSimdEquivalence, DegenerateFeasibilityTailsMatchAcrossLevels) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 kernel unavailable";
+  const int cores = GetParam();
+
+  // All-infeasible: every curve entry is infinite.
+  {
+    std::vector<EnergyCurve> curves(
+        static_cast<std::size_t>(cores),
+        curve(2, std::vector<double>(9, kInf)));
+    expect_levels_bitwise_equal(curves, 5 * cores, "all-infeasible");
+  }
+
+  // One core all-infeasible, the rest feasible: the whole problem is
+  // infeasible but the op accounting still covers the feasible combines.
+  {
+    std::vector<EnergyCurve> curves(
+        static_cast<std::size_t>(cores),
+        curve(2, std::vector<double>{4.0, 3.0, 2.0, 1.0, 2.0}));
+    curves.back() = curve(2, std::vector<double>(5, kInf));
+    expect_levels_bitwise_equal(curves, 4 * cores, "one-core-infeasible");
+  }
+
+  // Single feasible entry per curve, at the END of the row (the tail lane):
+  // exactly one allocation is reachable.
+  {
+    std::vector<EnergyCurve> curves;
+    for (int c = 0; c < cores; ++c) {
+      std::vector<double> e(7, kInf);
+      e.back() = 1.0 + c;
+      curves.push_back(curve(2, std::move(e)));
+    }
+    expect_levels_bitwise_equal(curves, 8 * cores, "single-feasible-tail");
+  }
+
+  // Single feasible entry at the FRONT (lane 0 of the first chunk).
+  {
+    std::vector<EnergyCurve> curves;
+    for (int c = 0; c < cores; ++c) {
+      std::vector<double> e(7, kInf);
+      e.front() = 1.0 + c;
+      curves.push_back(curve(3, std::move(e)));
+    }
+    expect_levels_bitwise_equal(curves, 3 * cores, "single-feasible-front");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, GlobalOptSimdEquivalence,
+                         ::testing::Values(2, 4, 8, 16));
 
 TEST(GlobalOpt, PrefersFeasibleEvenSplitWhenSymmetric) {
   // Identical strictly convex curves: the even split is optimal.

@@ -168,5 +168,70 @@ TEST_F(GoldenAggregates, ReportBytesAreStableAcrossShardCounts) {
   EXPECT_EQ(figure_report_json(via_parts), figure_report_json(direct));
 }
 
+// ---------------------------------------------------------------------------
+// Scaled paper grids: the same 24 paper mixes replicated scenario-preserving
+// onto 8 and 16 cores (sweep_main --cores=4 --replicate=2|4). These pin the
+// optimizer hot path at the core counts where the vectorized DP and the
+// interval-outcome memo actually engage (memo auto-enables at >= 8 cores),
+// and the committed bytes are verified identical under the AVX2 and scalar
+// builds - any SIMD-width-dependent result or op count fails this gate.
+//
+// Regenerate with (and its --replicate=4 twin for 16 cores):
+//   ./build/src/sweep_main --cores=4 --replicate=2 --per-scenario=6 \
+//       --models=model3,perfect --alphas=1,1.05,1.1 \
+//       --db-cache=.qosdb-cache --rows-csv=/tmp/paper8_rows.csv \
+//       --agg-csv=tests/data/golden_paper_grid8_agg.csv \
+//       --report-json=tests/data/golden_paper_grid8_report.json
+
+class GoldenScaledAggregates : public ::testing::TestWithParam<int> {};
+
+TEST_P(GoldenScaledAggregates, ReplicatedGridAggregatesMatchCommittedGolden) {
+  const int replicate = GetParam();
+  const int cores = 4 * replicate;
+  const workload::SimDb& db = testing::shared_db(cores);
+
+  SweepGrid grid = paper_grid(testing::shared_db(4));
+  grid.mixes = workload::replicate_workloads(grid.mixes, replicate);
+
+  SweepRunner runner(db, {});
+  const SweepResult result = runner.run(grid);
+  ASSERT_EQ(result.rows.size(), 24u * 4u * 2u * 3u);
+
+  const std::string actual_path = ::testing::TempDir() +
+                                  "/golden_check_paper" +
+                                  std::to_string(cores) + "_agg.csv";
+  write_aggregates_csv(result, actual_path);
+  const std::string actual = slurp(actual_path);
+  std::remove(actual_path.c_str());
+
+  const std::string golden_path = std::string(QOSRM_TEST_DATA_DIR) +
+                                  "/golden_paper_grid" +
+                                  std::to_string(cores) + "_agg.csv";
+  const std::string golden = slurp(golden_path);
+  ASSERT_FALSE(golden.empty()) << golden_path;
+  EXPECT_EQ(actual, golden)
+      << cores << "-core paper-grid aggregates drifted from " << golden_path
+      << "\nIf the change is intentional, regenerate the golden files (see "
+         "the header of this test) and justify the numerical diff in the "
+         "same commit.";
+
+  const FigureReport report = build_figure_report(
+      result.rows, grid.shape(),
+      sweep_fingerprint(grid, SimOptions{},
+                        workload::simdb_fingerprint(db.suite(), db.system(),
+                                                    db.phase_options())),
+      scenario_weights(db.suite()));
+  const std::string report_path = std::string(QOSRM_TEST_DATA_DIR) +
+                                  "/golden_paper_grid" +
+                                  std::to_string(cores) + "_report.json";
+  const std::string golden_report = slurp(report_path);
+  ASSERT_FALSE(golden_report.empty()) << report_path;
+  EXPECT_EQ(figure_report_json(report), golden_report)
+      << cores << "-core paper-grid figure report drifted from " << report_path;
+}
+
+INSTANTIATE_TEST_SUITE_P(ReplicationFactors, GoldenScaledAggregates,
+                         ::testing::Values(2, 4));
+
 }  // namespace
 }  // namespace qosrm::rmsim

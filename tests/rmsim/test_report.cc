@@ -225,7 +225,10 @@ TEST(FigureReport, JsonWriteIsAtomicAndLeavesNoTempFiles) {
   const SyntheticGrid g;
   const FigureReport report =
       build_figure_report(g.rows, g.shape, 7u, g.weights);
-  const std::string dir = ::testing::TempDir();
+  // A private subdirectory: scanning the shared TempDir would race with
+  // other test binaries' in-flight temp files under parallel ctest.
+  const std::string dir = ::testing::TempDir() + "/report_atomic_check";
+  std::filesystem::create_directory(dir);
   const std::string path = dir + "/report_atomic_check.json";
 
   std::string error;
@@ -235,7 +238,7 @@ TEST(FigureReport, JsonWriteIsAtomicAndLeavesNoTempFiles) {
     EXPECT_EQ(entry.path().string().find(".tmp."), std::string::npos)
         << "temp file left behind: " << entry.path();
   }
-  std::remove(path.c_str());
+  std::filesystem::remove_all(dir);
 
   // A failing write reports an error and leaves no target file behind.
   EXPECT_FALSE(write_report_json(

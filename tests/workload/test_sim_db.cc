@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <span>
+#include <vector>
+
 #include "support/shared_db.hh"
 
 namespace qosrm::workload {
@@ -148,6 +152,73 @@ TEST(SimDb, TableMatchesDirectEvaluationOverFullGrid) {
   }
   EXPECT_EQ(timing_mismatches, 0);
   EXPECT_EQ(energy_mismatches, 0);
+}
+
+// The SoA companion columns (scalar accessors and contiguous w-rows) must be
+// bit-identical to the corresponding fields of the AoS outcome structs over
+// the full grid - they are filled from exactly those fields at build time and
+// the batched LocalOptimizer sweep depends on the equivalence.
+TEST(SimDb, SoaAccessorsMatchStructLookupsOverFullGrid) {
+  const SimDb& d = db();
+  const arch::SystemConfig& sys = d.system();
+  int mismatches = 0;
+  for (int app = 0; app < d.suite().size(); ++app) {
+    for (int ph = 0; ph < d.num_phases(app); ++ph) {
+      for (const arch::CoreSize c : arch::kAllCoreSizes) {
+        for (int f = 0; f < arch::VfTable::kNumPoints; ++f) {
+          const std::span<const double> t_row =
+              d.total_seconds_row(app, ph, c, f);
+          const std::span<const double> m_row =
+              d.mem_seconds_row(app, ph, c, f);
+          ASSERT_EQ(static_cast<int>(t_row.size()), sys.llc.max_ways);
+          for (int w = 1; w <= sys.llc.max_ways; ++w) {
+            const Setting s{c, f, w};
+            const arch::IntervalTiming t = d.timing(app, ph, s);
+            const power::IntervalEnergy e = d.energy(app, ph, s);
+            if (d.total_seconds(app, ph, s) != t.total_seconds ||
+                d.mem_seconds(app, ph, s) != t.mem_seconds ||
+                d.core_joules(app, ph, s) != e.core_j() ||
+                d.total_joules(app, ph, s) != e.total_j() ||
+                t_row[static_cast<std::size_t>(w - 1)] != t.total_seconds ||
+                m_row[static_cast<std::size_t>(w - 1)] != t.mem_seconds) {
+              ++mismatches;
+            }
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(mismatches, 0);
+}
+
+// Interval keys are the memo's identity: distinct (app, phase, c, f, clamped
+// w) cells must get distinct dense keys inside [0, interval_key_space()), and
+// way-clamped settings must share the key of the cell they resolve to.
+TEST(SimDb, IntervalKeysAreDenseAndUnique) {
+  const SimDb& d = db();
+  const arch::SystemConfig& sys = d.system();
+  std::vector<std::uint8_t> seen(
+      static_cast<std::size_t>(d.interval_key_space()), 0);
+  for (int app = 0; app < d.suite().size(); ++app) {
+    for (int ph = 0; ph < d.num_phases(app); ++ph) {
+      for (const arch::CoreSize c : arch::kAllCoreSizes) {
+        for (int f = 0; f < arch::VfTable::kNumPoints; ++f) {
+          for (int w = 1; w <= sys.llc.max_ways; ++w) {
+            const std::int64_t key = d.interval_key(app, ph, {c, f, w});
+            ASSERT_GE(key, 0);
+            ASSERT_LT(key, d.interval_key_space());
+            ASSERT_EQ(seen[static_cast<std::size_t>(key)], 0)
+                << "duplicate key for app " << app << " phase " << ph;
+            seen[static_cast<std::size_t>(key)] = 1;
+          }
+        }
+      }
+      // A clamped way count resolves to the same cell, hence the same key.
+      EXPECT_EQ(d.interval_key(app, ph,
+                               {arch::CoreSize::M, 0, sys.llc.max_ways + 5}),
+                d.interval_key(app, ph, {arch::CoreSize::M, 0, sys.llc.max_ways}));
+    }
+  }
 }
 
 TEST(SimDb, CachedAggregatesMatchPerPhaseRecomputation) {
