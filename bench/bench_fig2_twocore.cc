@@ -16,7 +16,7 @@
 using namespace qosrm;
 
 int main(int argc, char** argv) {
-  CliArgs args(argc, argv);
+  CliArgs args(argc, argv, {"real-models"});
   const bool perfect = !args.get_bool("real-models", false);
 
   arch::SystemConfig system;

@@ -54,7 +54,7 @@ std::vector<int> parse_core_list(const std::string& spec) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  CliArgs args(argc, argv);
+  CliArgs args(argc, argv, {"no-overheads"});
   const std::vector<int> core_counts =
       parse_core_list(args.get("cores", "4,8"));
   const int per_scenario = static_cast<int>(args.get_int("per-scenario", 6));

@@ -136,7 +136,10 @@ void BM_RmInvoke(benchmark::State& state) {
 BENCHMARK(BM_RmInvoke)
     ->ArgsProduct({{static_cast<long>(rm::RmPolicy::Rm1),
                     static_cast<long>(rm::RmPolicy::Rm2),
-                    static_cast<long>(rm::RmPolicy::Rm3)},
+                    static_cast<long>(rm::RmPolicy::Rm3),
+                    static_cast<long>(rm::RmPolicy::Ucp),
+                    static_cast<long>(rm::RmPolicy::Fcp),
+                    static_cast<long>(rm::RmPolicy::ClassPart)},
                    {2, 4, 8, 16}})
     ->ArgNames({"policy", "cores"});
 

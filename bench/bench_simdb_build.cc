@@ -28,7 +28,7 @@ double secs_since(Clock::time_point t0) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  CliArgs args(argc, argv);
+  CliArgs args(argc, argv, {"keep"});
   const int cores = static_cast<int>(args.get_int("cores", 2));
   const int loads = static_cast<int>(args.get_int("loads", 5));
   const std::string path = args.get("path", "bench_simdb.qosdb");

@@ -1,6 +1,11 @@
 #include "common/cli.hh"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+
+#include "common/check.hh"
+#include "common/str.hh"
 
 namespace qosrm {
 
@@ -24,7 +29,9 @@ std::optional<ShardArg> parse_shard_arg(const std::string& spec) {
   return ShardArg{*index, *count};
 }
 
-CliArgs::CliArgs(int argc, char** argv) {
+CliArgs::CliArgs(int argc, char** argv,
+                 std::initializer_list<const char*> boolean_flags) {
+  const std::set<std::string> boolean(boolean_flags.begin(), boolean_flags.end());
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -35,7 +42,8 @@ CliArgs::CliArgs(int argc, char** argv) {
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
       values_[arg.substr(0, eq)] = arg.substr(eq + 1);
-    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+    } else if (boolean.count(arg) == 0 && i + 1 < argc &&
+               std::string(argv[i + 1]).rfind("--", 0) != 0) {
       values_[arg] = argv[++i];
     } else {
       values_[arg] = "true";
@@ -59,13 +67,37 @@ std::string CliArgs::get(const std::string& name, const std::string& fallback) c
 
 std::int64_t CliArgs::get_int(const std::string& name, std::int64_t fallback) const {
   const auto it = values_.find(name);
-  return it != values_.end() ? std::strtoll(it->second.c_str(), nullptr, 10)
-                             : fallback;
+  if (it == values_.end()) return fallback;
+  const std::string& value = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size() || errno == ERANGE) {
+    const std::string msg =
+        format("bad --%s value '%s' (want a decimal integer)", name.c_str(),
+               value.c_str());
+    QOSRM_CHECK_MSG(false, msg.c_str());
+  }
+  return parsed;
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
   const auto it = values_.find(name);
-  return it != values_.end() ? std::strtod(it->second.c_str(), nullptr) : fallback;
+  if (it == values_.end()) return fallback;
+  const std::string& value = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  // ERANGE on underflow still yields the nearest representable value, so only
+  // a true overflow (+-HUGE_VAL) is rejected alongside garbage and emptiness.
+  const bool overflow =
+      errno == ERANGE && (parsed == HUGE_VAL || parsed == -HUGE_VAL);
+  if (value.empty() || end != value.c_str() + value.size() || overflow) {
+    const std::string msg = format("bad --%s value '%s' (want a number)",
+                                   name.c_str(), value.c_str());
+    QOSRM_CHECK_MSG(false, msg.c_str());
+  }
+  return parsed;
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -28,11 +29,20 @@ struct ShardArg {
 
 class CliArgs {
  public:
-  CliArgs(int argc, char** argv);
+  /// `boolean_flags` declares flags that never take a value from the next
+  /// argument: `--resume parts/` then keeps `parts/` as a positional instead
+  /// of silently consuming it as the value of `--resume` (the `=` form still
+  /// assigns, so `--resume=false` works). Undeclared flags keep the historic
+  /// greedy behavior for `--name value`.
+  CliArgs(int argc, char** argv,
+          std::initializer_list<const char*> boolean_flags = {});
 
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] std::string get(const std::string& name,
                                 const std::string& fallback) const;
+  /// Numeric accessors parse strictly: a present value that is empty, has
+  /// trailing garbage or overflows aborts with a diagnostic naming the flag
+  /// (--workers=abc must fail loudly, never silently run with 0 workers).
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& name, double fallback) const;

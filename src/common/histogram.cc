@@ -40,7 +40,13 @@ void Histogram::reset() noexcept {
 
 double Histogram::quantile(double q) const noexcept {
   if (total_ <= 0.0) return lo_;
-  const double target = std::clamp(q, 0.0, 1.0) * total_;
+  const double qc = std::clamp(q, 0.0, 1.0);
+  // Pin the upper boundary explicitly: with exact sums the scan below would
+  // return the upper edge of the last NONZERO bin, which for a histogram
+  // with empty tail bins is below hi - and with accumulated floating-point
+  // error the scan could fall through entirely.
+  if (qc >= 1.0) return hi_;
+  const double target = qc * total_;
   double cum = 0.0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const double c = counts_[i];

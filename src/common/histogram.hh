@@ -39,9 +39,13 @@ class Histogram {
   [[nodiscard]] double max_count() const noexcept;
 
   /// Value below which a fraction q (clamped to [0, 1]) of the recorded mass
-  /// lies, linearly interpolated within the containing bin. Returns the range
-  /// minimum for an empty histogram. Mass clamped into the edge bins is
-  /// attributed to those bins, so tail quantiles saturate at the range edges.
+  /// lies, linearly interpolated within the containing bin. Quantiles are
+  /// taken over the KEPT mass only: samples rejected by add() (see dropped())
+  /// carry no weight. Boundary semantics, pinned by tests: an empty histogram
+  /// returns the range minimum; q=0 returns the lower edge of the first
+  /// nonzero bin; q=1 returns the range maximum `hi` (even when the trailing
+  /// bins are empty). Mass clamped into the edge bins is attributed to those
+  /// bins, so tail quantiles saturate at the range edges.
   [[nodiscard]] double quantile(double q) const noexcept;
 
   /// Bin counts scaled so the largest equals 1 (all-zero histogram stays zero).

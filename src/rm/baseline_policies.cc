@@ -1,0 +1,132 @@
+#include "rm/baseline_policies.hh"
+
+#include <limits>
+
+#include "common/check.hh"
+
+namespace qosrm::rm {
+
+namespace {
+
+/// Shared argument validation; returns the way budget left after pinning
+/// every core (active or not) at min_ways, which is also where `ways` is
+/// initialized.
+int start_at_minimum(std::size_t cores, int min_ways, int max_ways,
+                     int total_ways, std::span<int> ways) {
+  QOSRM_CHECK(ways.size() == cores);
+  QOSRM_CHECK(min_ways >= 1 && max_ways >= min_ways);
+  QOSRM_CHECK(total_ways >= min_ways * static_cast<int>(cores));
+  for (std::size_t j = 0; j < cores; ++j) ways[j] = min_ways;
+  return total_ways - min_ways * static_cast<int>(cores);
+}
+
+}  // namespace
+
+void ucp_partition(std::span<const double> miss,
+                   std::span<const std::uint8_t> active, int min_ways,
+                   int max_ways, int total_ways, std::span<int> ways,
+                   std::uint64_t* ops) {
+  const std::size_t cores = active.size();
+  const int n_alloc = max_ways - min_ways + 1;
+  QOSRM_CHECK(miss.size() == cores * static_cast<std::size_t>(n_alloc));
+  int balance = start_at_minimum(cores, min_ways, max_ways, total_ways, ways);
+
+  std::uint64_t probes = 0;
+  while (balance > 0) {
+    // Lookahead step: over every active core and block size k, find the
+    // maximum marginal utility (misses saved per way). Ties break toward the
+    // lowest core index, then the smallest block, so the partition is a pure
+    // function of the curves.
+    std::size_t best_core = cores;
+    int best_k = 0;
+    double best_mu = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < cores; ++j) {
+      if (active[j] == 0) continue;
+      const int have = ways[j] - min_ways;
+      const int headroom = max_ways - ways[j];
+      const double* curve = &miss[j * static_cast<std::size_t>(n_alloc)];
+      const int k_max = headroom < balance ? headroom : balance;
+      for (int k = 1; k <= k_max; ++k) {
+        ++probes;
+        const double mu = (curve[have] - curve[have + k]) / static_cast<double>(k);
+        if (mu > best_mu) {
+          best_mu = mu;
+          best_core = j;
+          best_k = k;
+        }
+      }
+    }
+    if (best_core == cores) break;  // every active core saturated at max_ways
+    ways[best_core] += best_k;
+    balance -= best_k;
+  }
+  if (ops != nullptr) *ops += probes;
+}
+
+void fcp_partition(std::span<const double> time_s, std::span<const double> t_ref,
+                   std::span<const std::uint8_t> active, int min_ways,
+                   int max_ways, int total_ways, std::span<int> ways,
+                   std::uint64_t* ops) {
+  const std::size_t cores = active.size();
+  const int n_alloc = max_ways - min_ways + 1;
+  QOSRM_CHECK(time_s.size() == cores * static_cast<std::size_t>(n_alloc));
+  QOSRM_CHECK(t_ref.size() == cores);
+  int balance = start_at_minimum(cores, min_ways, max_ways, total_ways, ways);
+
+  std::uint64_t probes = 0;
+  while (balance > 0) {
+    // Give one way to the most slowed-down core that still has headroom; the
+    // winner's slowdown drops, so repeated rounds equalize the slowdowns.
+    std::size_t best_core = cores;
+    double best_s = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < cores; ++j) {
+      if (active[j] == 0 || ways[j] >= max_ways) continue;
+      ++probes;
+      const double denom = t_ref[j] > 0.0 ? t_ref[j] : 1.0;
+      const double s =
+          time_s[j * static_cast<std::size_t>(n_alloc) +
+                 static_cast<std::size_t>(ways[j] - min_ways)] /
+          denom;
+      if (s > best_s) {
+        best_s = s;
+        best_core = j;
+      }
+    }
+    if (best_core == cores) break;  // every active core saturated at max_ways
+    ++ways[best_core];
+    --balance;
+  }
+  if (ops != nullptr) *ops += probes;
+}
+
+void classpart_partition(std::span<const workload::PartClass> cls,
+                         std::span<const std::uint8_t> active, int min_ways,
+                         int max_ways, int total_ways, std::span<int> ways,
+                         std::uint64_t* ops) {
+  const std::size_t cores = active.size();
+  QOSRM_CHECK(cls.size() == cores);
+  int balance = start_at_minimum(cores, min_ways, max_ways, total_ways, ways);
+  std::uint64_t charged = cores;  // one op per class lookup
+
+  // Two passes: the sensitive tier shares the budget round-robin; only once
+  // every sensitive core sits at max_ways does the remainder spill over to
+  // the light/streaming tier (they gain nothing from extra ways, but unused
+  // capacity is free to hand out).
+  for (const bool sensitive_tier : {true, false}) {
+    bool any_headroom = true;
+    while (balance > 0 && any_headroom) {
+      any_headroom = false;
+      for (std::size_t j = 0; j < cores && balance > 0; ++j) {
+        if (active[j] == 0 || ways[j] >= max_ways) continue;
+        if ((cls[j] == workload::PartClass::Sensitive) != sensitive_tier) continue;
+        ++ways[j];
+        --balance;
+        ++charged;
+        any_headroom = true;
+      }
+    }
+  }
+  if (ops != nullptr) *ops += charged;
+}
+
+}  // namespace qosrm::rm

@@ -1,0 +1,93 @@
+// Classic partitioning-only baseline policies on the RM policy axis.
+//
+// These are the comparison points the cache-partitioning literature measures
+// against; the paper's RM variants (resource_manager.hh) coordinate more
+// knobs, so credible Fig. 6/7 rows need these classics next to them:
+//
+//   UCP       - utility-based cache partitioning (Qureshi & Patt, MICRO'06):
+//               greedy lookahead that repeatedly hands ways to the core with
+//               the highest marginal miss reduction per way, read off the
+//               per-app ATD miss curves the RM already collects.
+//   FCP       - fair cache partitioning: greedy slowdown equalization. Each
+//               round the core with the highest predicted slowdown relative
+//               to its alpha-relaxed baseline time receives one way.
+//   ClassPart - LFOC-style class-based partitioning (pmctrack's light /
+//               streaming / sensitive taxonomy via workload/classify): light
+//               and streaming apps are pinned near the minimum allocation,
+//               cache-sensitive apps share the remaining budget.
+//
+// All three choose ONLY the partition {w_j}; frequency and core size stay at
+// the baseline setting. The functions are pure, deterministic (ties break
+// toward the lowest core index) and allocation-free; per-invocation inputs
+// live in a BaselineWorkspace owned by the ResourceManager so the zero-alloc
+// invariant of the invoke path (gated by bench_rm_invoke) holds for them too.
+#ifndef QOSRM_RM_BASELINE_POLICIES_HH
+#define QOSRM_RM_BASELINE_POLICIES_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "workload/classify.hh"
+
+namespace qosrm::rm {
+
+/// Cached per-core inputs and the resulting allocation of the baseline
+/// policies. Buffers keep their capacity across interval boundaries.
+struct BaselineWorkspace {
+  /// cores x n_alloc ATD miss predictions; row j entry i is core j's
+  /// predicted misses at w = min_ways + i.
+  std::vector<double> miss;
+  /// cores x n_alloc predicted interval times at the baseline (c, f) (FCP).
+  std::vector<double> time_s;
+  /// Per-core alpha-relaxed baseline time, the FCP slowdown denominator.
+  std::vector<double> t_ref;
+  /// Per-core partitioning class (ClassPart).
+  std::vector<workload::PartClass> cls;
+  /// Resulting per-core way allocation.
+  std::vector<int> ways;
+};
+
+/// Qureshi-style lookahead partitioning. `miss` holds `cores` rows of
+/// `max_ways - min_ways + 1` entries as in BaselineWorkspace::miss; rows of
+/// inactive cores (active[j] == 0) are ignored and those cores are pinned at
+/// `min_ways`. Every core starts at `min_ways`; each round the pending budget
+/// goes to the (core, block size) with the maximum marginal utility
+/// (miss(w) - miss(w + k)) / k, lowest core index on ties. Writes the
+/// partition into `ways` (never exceeding `total_ways` in total; leftover
+/// budget stays unallocated once every active core is at `max_ways`). `ops`,
+/// when non-null, accumulates one operation per marginal-utility probe - the
+/// unit of the RM instruction-overhead model.
+void ucp_partition(std::span<const double> miss,
+                   std::span<const std::uint8_t> active, int min_ways,
+                   int max_ways, int total_ways, std::span<int> ways,
+                   std::uint64_t* ops = nullptr);
+
+/// Fair partitioning by greedy slowdown equalization. `time_s` holds `cores`
+/// rows of predicted times by allocation (layout as `miss` above) and
+/// `t_ref[j]` the alpha-relaxed baseline time; slowdown at w is
+/// time_s[j][w - min_ways] / t_ref[j]. Each round the active core with the
+/// highest current slowdown (and headroom below `max_ways`) receives one way,
+/// lowest core index on ties, which drives the final slowdowns toward
+/// equality: on return s_j(w_j) <= s_k(w_k - 1) for every pair of active
+/// cores with w_j < max_ways and w_k > min_ways (a core saturated at
+/// max_ways may stay more slowed down - no transfer can help it). One op per
+/// slowdown comparison.
+void fcp_partition(std::span<const double> time_s, std::span<const double> t_ref,
+                   std::span<const std::uint8_t> active, int min_ways,
+                   int max_ways, int total_ways, std::span<int> ways,
+                   std::uint64_t* ops = nullptr);
+
+/// Class-based partitioning: every core starts at `min_ways`; the remaining
+/// budget is dealt one way at a time, round-robin by ascending core index,
+/// first over cache-sensitive cores below `max_ways`, then (only once every
+/// sensitive core is saturated) over the remaining active cores. One op per
+/// way handed out plus one per class lookup.
+void classpart_partition(std::span<const workload::PartClass> cls,
+                         std::span<const std::uint8_t> active, int min_ways,
+                         int max_ways, int total_ways, std::span<int> ways,
+                         std::uint64_t* ops = nullptr);
+
+}  // namespace qosrm::rm
+
+#endif  // QOSRM_RM_BASELINE_POLICIES_HH

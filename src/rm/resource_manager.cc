@@ -14,6 +14,12 @@ const char* rm_policy_name(RmPolicy policy) noexcept {
       return "RM2";
     case RmPolicy::Rm3:
       return "RM3";
+    case RmPolicy::Ucp:
+      return "UCP";
+    case RmPolicy::Fcp:
+      return "FCP";
+    case RmPolicy::ClassPart:
+      return "ClassPart";
   }
   return "?";
 }
@@ -34,6 +40,22 @@ ResourceManager::ResourceManager(const RmConfig& config,
   // to materialize than the recomputation it saves.
   memo_on_ = cfg_.memo == RmMemoMode::On ||
              (cfg_.memo == RmMemoMode::Auto && system_.cores >= 8);
+  if (is_baseline_policy(cfg_.policy)) {
+    // Size the baseline-policy buffers up front so invoke_baseline's
+    // resize() calls are no-ops and the steady-state path stays heap-free.
+    const std::size_t cores = static_cast<std::size_t>(system_.cores);
+    const std::size_t n_alloc =
+        static_cast<std::size_t>(system_.llc.num_allocations());
+    ws_.baseline.miss.resize(cores * n_alloc);
+    ws_.baseline.ways.resize(cores);
+    if (cfg_.policy == RmPolicy::Fcp) {
+      ws_.baseline.time_s.resize(cores * n_alloc);
+      ws_.baseline.t_ref.resize(cores);
+    }
+    if (cfg_.policy == RmPolicy::ClassPart) {
+      ws_.baseline.cls.resize(cores);
+    }
+  }
 }
 
 LocalOptOptions ResourceManager::local_options() const noexcept {
@@ -85,6 +107,9 @@ const RmDecision& ResourceManager::invoke(
   decision.settings.assign(static_cast<std::size_t>(system_.cores), base);
 
   if (cfg_.policy == RmPolicy::Idle) return decision;
+  if (is_baseline_policy(cfg_.policy)) {
+    return invoke_baseline(invoking_core, snapshots, active);
+  }
 
   // Local optimization: fresh curve for the invoking core; active cores
   // never seen before also get one from their latest counters (cold start),
@@ -161,6 +186,89 @@ const RmDecision& ResourceManager::invoke(
     const WayChoice& choice = local.at(global.ways[static_cast<std::size_t>(core)]);
     QOSRM_CHECK_MSG(choice.feasible, "global optimizer chose an infeasible way");
     decision.settings[static_cast<std::size_t>(core)] = choice.setting;
+  }
+  return decision;
+}
+
+const RmDecision& ResourceManager::invoke_baseline(
+    int invoking_core, std::span<const CounterSnapshot> snapshots,
+    std::span<const std::uint8_t> active) {
+  RmDecision& decision = ws_.decision;  // invoke() reset ops/feasible/settings
+  BaselineWorkspace& bw = ws_.baseline;
+  const arch::LlcConfig& llc = system_.llc;
+  const int n_alloc = llc.num_allocations();
+  const workload::Setting base = workload::baseline_setting(system_);
+
+  // Input refresh, mirroring the RM path: the invoking core's inputs are
+  // recomputed from its fresh counters (and only its recomputation charges
+  // ops), active cores without a valid cache cold-start, cached cores keep
+  // their rows in the workspace, inactive cores drop their cache.
+  for (int core = 0; core < system_.cores; ++core) {
+    CoreCache& cache = cached_[static_cast<std::size_t>(core)];
+    if (active[static_cast<std::size_t>(core)] == 0) {
+      cache.valid = false;
+      continue;
+    }
+    const bool fresh = core == invoking_core;
+    if (!fresh && cache.valid) continue;
+    const CounterSnapshot& snap = snapshots[static_cast<std::size_t>(core)];
+    std::uint64_t refresh_ops = 0;
+    double* miss_row =
+        &bw.miss[static_cast<std::size_t>(core) * static_cast<std::size_t>(n_alloc)];
+    for (int i = 0; i < n_alloc; ++i) {
+      miss_row[i] = snap.atd_misses_at(llc.min_ways + i);
+    }
+    if (cfg_.policy == RmPolicy::Fcp) {
+      // Slowdown reference: the alpha-relaxed baseline prediction, exactly
+      // the QoS target the local optimizer holds the RM variants to.
+      bw.t_ref[static_cast<std::size_t>(core)] =
+          perf_.predict_time(snap, base) * system_.qos_alpha;
+      ++refresh_ops;
+      double* time_row = &bw.time_s[static_cast<std::size_t>(core) *
+                                    static_cast<std::size_t>(n_alloc)];
+      for (int i = 0; i < n_alloc; ++i) {
+        time_row[i] = perf_.predict_time(
+            snap, {base.c, base.f_idx, llc.min_ways + i});
+        ++refresh_ops;
+      }
+    } else if (cfg_.policy == RmPolicy::ClassPart) {
+      // Classify from the online ATD curve at the same -50%/base/+50% probe
+      // points as the offline Table II classifier.
+      const workload::ClassificationCriteria crit{};
+      const int wb = crit.baseline_ways;
+      const double ki =
+          snap.instructions > 0.0 ? 1000.0 / snap.instructions : 0.0;
+      bw.cls[static_cast<std::size_t>(core)] = workload::classify_part_class(
+          snap.atd_misses_at(wb) * ki,
+          snap.atd_misses_at(wb > 1 ? wb / 2 : 1) * ki,
+          snap.atd_misses_at(wb + wb / 2) * ki, crit);
+      refresh_ops += 3;
+    }
+    if (fresh) decision.ops += refresh_ops;
+    cache.valid = true;
+  }
+
+  switch (cfg_.policy) {
+    case RmPolicy::Ucp:
+      ucp_partition(bw.miss, active, llc.min_ways, llc.max_ways,
+                    system_.total_ways(), bw.ways, &decision.ops);
+      break;
+    case RmPolicy::Fcp:
+      fcp_partition(bw.time_s, bw.t_ref, active, llc.min_ways, llc.max_ways,
+                    system_.total_ways(), bw.ways, &decision.ops);
+      break;
+    case RmPolicy::ClassPart:
+      classpart_partition(bw.cls, active, llc.min_ways, llc.max_ways,
+                          system_.total_ways(), bw.ways, &decision.ops);
+      break;
+    default:
+      QOSRM_CHECK_MSG(false, "invoke_baseline on a non-baseline policy");
+  }
+
+  for (int core = 0; core < system_.cores; ++core) {
+    if (active[static_cast<std::size_t>(core)] == 0) continue;  // baseline
+    decision.settings[static_cast<std::size_t>(core)] = {
+        base.c, base.f_idx, bw.ways[static_cast<std::size_t>(core)]};
   }
   return decision;
 }

@@ -1,10 +1,21 @@
-// The resource-manager policies evaluated in the paper.
+// The resource-manager policies evaluated in the paper, plus the classic
+// partitioning-only baselines the literature measures against.
 //
-//   Idle - keeps the baseline setting (the energy reference).
-//   RM1  - LLC partitioning only (fixed VF and core size).
-//   RM2  - LLC partitioning coordinated with per-core DVFS (Nejat et al.,
-//          IPDPS 2019 - the paper's prior-art baseline).
-//   RM3  - the proposed scheme: LLC partitioning + DVFS + core resizing.
+//   Idle      - keeps the baseline setting (the energy reference).
+//   RM1       - LLC partitioning only (fixed VF and core size).
+//   RM2       - LLC partitioning coordinated with per-core DVFS (Nejat et
+//               al., IPDPS 2019 - the paper's prior-art baseline).
+//   RM3       - the proposed scheme: LLC partitioning + DVFS + core resizing.
+//   UCP       - utility-based partitioning (Qureshi & Patt, MICRO'06
+//               lookahead over the ATD miss curves); baseline VF and size.
+//   FCP       - fair partitioning (greedy slowdown equalization against the
+//               alpha-relaxed baseline time); baseline VF and size.
+//   ClassPart - LFOC-style class-based partitioning (light / streaming /
+//               sensitive via workload/classify); baseline VF and size.
+//
+// The baselines choose only {w_j} (see rm/baseline_policies.hh); they run at
+// the same interval boundaries and reuse the same counter snapshots, cache
+// validity and op accounting as the RM variants.
 //
 // Invocation (paper Fig. 3): at a core's interval boundary the RM runs the
 // LOCAL optimization for that core from its fresh counters, combines the
@@ -18,15 +29,31 @@
 #include <span>
 #include <vector>
 
+#include "rm/baseline_policies.hh"
 #include "rm/global_opt.hh"
 #include "rm/local_opt.hh"
 #include "rm/overheads.hh"
 
 namespace qosrm::rm {
 
-enum class RmPolicy { Idle = 0, Rm1 = 1, Rm2 = 2, Rm3 = 3 };
+enum class RmPolicy {
+  Idle = 0,
+  Rm1 = 1,
+  Rm2 = 2,
+  Rm3 = 3,
+  Ucp = 4,
+  Fcp = 5,
+  ClassPart = 6,
+};
 
 [[nodiscard]] const char* rm_policy_name(RmPolicy policy) noexcept;
+
+/// True for the partitioning-only classics (UCP / FCP / ClassPart), which
+/// dispatch to rm/baseline_policies instead of the local/global optimizers.
+[[nodiscard]] constexpr bool is_baseline_policy(RmPolicy policy) noexcept {
+  return policy == RmPolicy::Ucp || policy == RmPolicy::Fcp ||
+         policy == RmPolicy::ClassPart;
+}
 
 /// Interval-outcome memoization policy (see ResourceManager). Auto enables
 /// the memo from 8 cores up, where repeated (app, phase, setting) boundaries
@@ -64,6 +91,7 @@ struct RmWorkspace {
   std::vector<double> idle_energy;
   GlobalOptWorkspace global;
   GlobalOptResult global_result;
+  BaselineWorkspace baseline;  ///< UCP / FCP / ClassPart inputs + result
   RmDecision decision;
 };
 
@@ -108,6 +136,14 @@ class ResourceManager {
 
  private:
   [[nodiscard]] LocalOptOptions local_options() const noexcept;
+
+  /// Invocation tail for the partitioning-only baselines: refreshes the
+  /// invoking core's cached inputs (miss curve, predicted times or class),
+  /// runs the policy's partitioner and maps the chosen ways onto baseline
+  /// (c, f) settings. Mirrors the RM path's caching and op accounting.
+  [[nodiscard]] const RmDecision& invoke_baseline(
+      int invoking_core, std::span<const CounterSnapshot> snapshots,
+      std::span<const std::uint8_t> active);
 
   /// Per-core curve cache. `valid` replaces the previous std::optional so
   /// reset() can invalidate without releasing the LocalOptResult storage.

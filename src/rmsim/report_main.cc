@@ -49,7 +49,7 @@ void print_usage() {
 
 int main(int argc, char** argv) {
   namespace rmsim = qosrm::rmsim;
-  const qosrm::CliArgs args(argc, argv);
+  const qosrm::CliArgs args(argc, argv, {"help", "print"});
   if (args.has("help")) {
     print_usage();
     return 0;

@@ -61,7 +61,8 @@ void print_usage() {
       "  --num-arrivals=N   arrivals per grid point (default 5000)\n"
       "  --load=LIST        comma list of offered utilizations > 0\n"
       "                     (default 0.8)\n"
-      "  --policies=LIST    comma list of idle|rm1|rm2|rm3 (default all)\n"
+      "  --policies=LIST    comma list of idle|rm1|rm2|rm3|ucp|fcp|classpart\n"
+      "                     (default idle,rm1,rm2,rm3)\n"
       "  --model=NAME       performance model: model1|model2|model3|perfect\n"
       "                     (exactly one; default model3)\n"
       "  --alphas=LIST      comma list of QoS alphas; 0 = system default\n"
@@ -164,7 +165,7 @@ bool write_report(const std::vector<rmsim::ServiceRow>& rows,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const qosrm::CliArgs args(argc, argv);
+  const qosrm::CliArgs args(argc, argv, {"help", "resume", "keep-parts"});
   if (args.has("help")) {
     print_usage();
     return 0;

@@ -206,8 +206,15 @@ std::vector<rm::RmPolicy> parse_policies(const std::string& spec) {
       out.push_back(rm::RmPolicy::Rm2);
     } else if (name == "rm3") {
       out.push_back(rm::RmPolicy::Rm3);
+    } else if (name == "ucp") {
+      out.push_back(rm::RmPolicy::Ucp);
+    } else if (name == "fcp") {
+      out.push_back(rm::RmPolicy::Fcp);
+    } else if (name == "classpart") {
+      out.push_back(rm::RmPolicy::ClassPart);
     } else {
-      QOSRM_CHECK_MSG(false, "unknown policy (want idle|rm1|rm2|rm3)");
+      QOSRM_CHECK_MSG(
+          false, "unknown policy (want idle|rm1|rm2|rm3|ucp|fcp|classpart)");
     }
   }
   return out;

@@ -124,7 +124,8 @@ void write_rows_csv(const SweepResult& result, const std::string& path);
 /// write_rows_csv.
 void write_aggregates_csv(const SweepResult& result, const std::string& path);
 
-/// Parses comma-separated policy names ("idle,rm1,rm2,rm3"); aborts on an
+/// Parses comma-separated policy names ("idle,rm1,rm2,rm3,ucp,fcp,classpart");
+/// aborts on an
 /// unknown name, an empty list or an empty CSV entry ("rm1," / ",rm1") -
 /// either would silently sweep a zero-row or shortened grid. Used by the
 /// sweep CLI and handy for tests.

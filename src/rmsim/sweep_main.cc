@@ -59,7 +59,8 @@ void print_usage() {
       "                     versions of the 4-core paper mixes)\n"
       "  --per-scenario=N   workload mixes per scenario (default 1; paper: 6)\n"
       "  --seed=N           workload-generation seed (default 2020)\n"
-      "  --policies=LIST    comma list of idle|rm1|rm2|rm3 (default all)\n"
+      "  --policies=LIST    comma list of idle|rm1|rm2|rm3|ucp|fcp|classpart\n"
+      "                     (default idle,rm1,rm2,rm3)\n"
       "  --models=LIST      comma list of model1|model2|model3|perfect\n"
       "                     (default model3)\n"
       "  --alphas=LIST      comma list of QoS alphas; 0 = system default\n"
@@ -166,7 +167,7 @@ bool write_sweep_report(const rmsim::SweepResult& result,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const qosrm::CliArgs args(argc, argv);
+  const qosrm::CliArgs args(argc, argv, {"help", "resume", "keep-parts"});
   if (args.has("help")) {
     print_usage();
     return 0;

@@ -45,6 +45,32 @@ std::vector<AppClassification> classify_suite(const SimDb& db,
   return out;
 }
 
+const char* part_class_name(PartClass cls) noexcept {
+  switch (cls) {
+    case PartClass::Light:
+      return "light";
+    case PartClass::Streaming:
+      return "streaming";
+    case PartClass::Sensitive:
+      return "sensitive";
+  }
+  return "?";
+}
+
+PartClass classify_part_class(double mpki_base, double mpki_lo, double mpki_hi,
+                              const ClassificationCriteria& crit) {
+  if (mpki_base < crit.mpki_min) return PartClass::Light;
+  const double swing = std::max(std::abs(mpki_lo - mpki_base),
+                                std::abs(mpki_hi - mpki_base));
+  return swing > crit.mpki_variation * mpki_base ? PartClass::Sensitive
+                                                 : PartClass::Streaming;
+}
+
+PartClass part_class_of(const AppClassification& cls,
+                        const ClassificationCriteria& crit) {
+  return classify_part_class(cls.mpki_base, cls.mpki_lo, cls.mpki_hi, crit);
+}
+
 std::array<int, kNumCategories> category_histogram(
     const std::vector<AppClassification>& cls) {
   std::array<int, kNumCategories> hist{};

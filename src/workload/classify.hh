@@ -55,6 +55,32 @@ struct AppClassification {
 [[nodiscard]] std::array<int, kNumCategories> category_histogram(
     const std::vector<AppClassification>& cls);
 
+/// Partitioning class of an application for the class-based baseline policy
+/// (LFOC / pmctrack-style light / streaming / sensitive taxonomy).
+///
+///   Light     - barely uses the LLC (baseline MPKI below mpki_min); happy
+///               with the minimum allocation.
+///   Streaming - high miss rate but a flat MPKI curve (fails the CS swing
+///               rule): more ways don't help, so it gets the minimum
+///               allocation to stop it polluting the cache.
+///   Sensitive - cache sensitive per the Table II swing rule; these apps
+///               share the remaining way budget.
+enum class PartClass { Light = 0, Streaming = 1, Sensitive = 2 };
+
+[[nodiscard]] const char* part_class_name(PartClass cls) noexcept;
+
+/// Classifies one MPKI curve sample (baseline / -50% / +50% allocations, the
+/// same probe points as classify_app) into a partitioning class. Pure in its
+/// arguments, so the baseline policy can classify from online ATD counters
+/// without a database handle.
+[[nodiscard]] PartClass classify_part_class(double mpki_base, double mpki_lo,
+                                            double mpki_hi,
+                                            const ClassificationCriteria& crit = {});
+
+/// The partitioning class of an already classified application.
+[[nodiscard]] PartClass part_class_of(const AppClassification& cls,
+                                      const ClassificationCriteria& crit = {});
+
 }  // namespace qosrm::workload
 
 #endif  // QOSRM_WORKLOAD_CLASSIFY_HH

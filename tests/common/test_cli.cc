@@ -13,6 +13,13 @@ CliArgs parse(std::vector<const char*> argv) {
                  const_cast<char**>(argv.data()));
 }
 
+CliArgs parse_with_booleans(std::vector<const char*> argv,
+                            std::initializer_list<const char*> booleans) {
+  argv.insert(argv.begin(), "prog");
+  return CliArgs(static_cast<int>(argv.size()),
+                 const_cast<char**>(argv.data()), booleans);
+}
+
 TEST(Cli, EqualsForm) {
   const CliArgs args = parse({"--cores=8", "--seed=42"});
   EXPECT_EQ(args.get_int("cores", 0), 8);
@@ -77,6 +84,77 @@ TEST(Cli, FlagFollowedByFlagIsNotConsumedAsValue) {
   const CliArgs args = parse({"--a", "--b=2"});
   EXPECT_TRUE(args.get_bool("a", false));
   EXPECT_EQ(args.get_int("b", 0), 2);
+}
+
+// ---- strict numeric parsing: a malformed value must abort with a message
+// ---- naming the flag, never silently parse as 0 (regression: --workers=abc
+// ---- used to run with 0 workers, --load=1.5x dropped the suffix) ----------
+
+TEST(CliDeathTest, MalformedIntAborts) {
+  EXPECT_DEATH((void)parse({"--workers=abc"}).get_int("workers", 1),
+               "bad --workers value 'abc'");
+  EXPECT_DEATH((void)parse({"--workers=12abc"}).get_int("workers", 1),
+               "bad --workers value '12abc'");
+  EXPECT_DEATH((void)parse({"--workers="}).get_int("workers", 1),
+               "bad --workers value ''");
+  EXPECT_DEATH((void)parse({"--workers=1.5"}).get_int("workers", 1),
+               "bad --workers value '1.5'");
+  EXPECT_DEATH((void)parse({"--workers=99999999999999999999"})
+                   .get_int("workers", 1),
+               "bad --workers value");
+  // A bare --workers (value "true") is a usage error for a numeric flag.
+  EXPECT_DEATH((void)parse({"--workers"}).get_int("workers", 1),
+               "bad --workers value 'true'");
+}
+
+TEST(CliDeathTest, MalformedDoubleAborts) {
+  EXPECT_DEATH((void)parse({"--load=1.5x"}).get_double("load", 0.0),
+               "bad --load value '1.5x'");
+  EXPECT_DEATH((void)parse({"--load=abc"}).get_double("load", 0.0),
+               "bad --load value 'abc'");
+  EXPECT_DEATH((void)parse({"--load="}).get_double("load", 0.0),
+               "bad --load value ''");
+  EXPECT_DEATH((void)parse({"--load=1e999"}).get_double("load", 0.0),
+               "bad --load value '1e999'");
+}
+
+TEST(Cli, StrictNumericAcceptsValidValues) {
+  EXPECT_EQ(parse({"--n=-3"}).get_int("n", 0), -3);
+  EXPECT_EQ(parse({"--n=+7"}).get_int("n", 0), 7);
+  EXPECT_DOUBLE_EQ(parse({"--x=-2.5e-3"}).get_double("x", 0.0), -2.5e-3);
+  EXPECT_DOUBLE_EQ(parse({"--x=.5"}).get_double("x", 0.0), 0.5);
+  // Tiny underflowing magnitudes are not errors: strtod returns the nearest
+  // representable value.
+  EXPECT_NEAR(parse({"--x=1e-320"}).get_double("x", 0.0), 0.0, 1e-300);
+}
+
+// ---- declared boolean flags: a value-less flag must not swallow the next
+// ---- positional (regression: `--resume parts/` consumed `parts/`) --------
+
+TEST(Cli, DeclaredBooleanDoesNotSwallowPositional) {
+  const CliArgs args =
+      parse_with_booleans({"--resume", "parts/"}, {"resume"});
+  EXPECT_TRUE(args.get_bool("resume", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "parts/");
+}
+
+TEST(Cli, DeclaredBooleanFollowedByFlag) {
+  const CliArgs args =
+      parse_with_booleans({"--resume", "--workers=4"}, {"resume"});
+  EXPECT_TRUE(args.get_bool("resume", false));
+  EXPECT_EQ(args.get_int("workers", 0), 4);
+}
+
+TEST(Cli, DeclaredBooleanEqualsFormStillAssigns) {
+  const CliArgs args = parse_with_booleans({"--resume=false"}, {"resume"});
+  EXPECT_FALSE(args.get_bool("resume", true));
+}
+
+TEST(Cli, UndeclaredFlagKeepsGreedyValueConsumption) {
+  const CliArgs args = parse_with_booleans({"--app", "mcf"}, {"resume"});
+  EXPECT_EQ(args.get("app", ""), "mcf");
+  EXPECT_TRUE(args.positional().empty());
 }
 
 TEST(ShardArgParse, AcceptsValidSpecs) {

@@ -111,13 +111,51 @@ TEST(Histogram, QuantileInterpolatesWithinBins) {
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.25);  // all of bin 0 = half the mass
   EXPECT_DOUBLE_EQ(h.quantile(0.25), 0.125);  // half of bin 0
   EXPECT_DOUBLE_EQ(h.quantile(0.75), 0.625);  // half of bin 2
-  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.75);
   EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));  // clamped
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));   // clamped
 }
 
 TEST(Histogram, QuantileOfEmptyHistogramIsRangeMinimum) {
   Histogram h(2.0, 5.0, 3);
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+}
+
+// ---- pinned boundary semantics (kept mass; q=0 -> first nonzero bin's lower
+// ---- edge; q=1 -> hi), regression tests for the quantile() boundary fix ----
+
+TEST(Histogram, QuantileZeroIsFirstNonzeroBinLowerEdge) {
+  Histogram h(0.0, 1.0, 4);  // bin width 0.25
+  h.add(0.6);                // bins 0 and 1 stay empty
+  h.add(0.9);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);  // lower edge of bin 2, not lo
+}
+
+TEST(Histogram, QuantileOneIsRangeMaximumDespiteEmptyTailBins) {
+  // Pre-fix the scan returned the upper edge of the last NONZERO bin (0.25
+  // here), under-reporting the worst case whenever the tail bins are empty.
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);
+  h.add(0.2);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+}
+
+TEST(Histogram, QuantilesAreOverKeptMassOnly) {
+  // Dropped (non-finite) samples carry no weight: the quantiles of {0.1 x4,
+  // 0.6 x4} must not move when NaNs are interleaved.
+  Histogram kept(0.0, 1.0, 4);
+  Histogram noisy(0.0, 1.0, 4);
+  for (int i = 0; i < 4; ++i) {
+    kept.add(0.1);
+    kept.add(0.6);
+    noisy.add(0.1);
+    noisy.add(std::numeric_limits<double>::quiet_NaN());
+    noisy.add(0.6);
+    noisy.add(std::numeric_limits<double>::infinity());
+  }
+  EXPECT_EQ(noisy.dropped(), 8u);
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(noisy.quantile(q), kept.quantile(q)) << q;
+  }
 }
 
 TEST(Histogram, ResetClearsCountsAndDropped) {

@@ -169,6 +169,73 @@ TEST_F(GoldenAggregates, ReportBytesAreStableAcrossShardCounts) {
 }
 
 // ---------------------------------------------------------------------------
+// Classic-baseline golden gate: the same 24 paper mixes swept under the
+// partitioning-only baselines (UCP / FCP / ClassPart) next to the Idle
+// reference, Model3 only - the fast-suite subset of the baseline axis (the
+// nightly paper-grid job re-runs this grid through the sweep_main binary and
+// diffs the same committed files). Pins the Fig. 6/7 comparison rows the
+// baselines contribute.
+//
+// Regenerate with:
+//   ./build/src/sweep_main --cores=4 --per-scenario=6 \
+//       --policies=idle,ucp,fcp,classpart --models=model3 \
+//       --alphas=1,1.05,1.1 --db-cache=.qosdb-cache \
+//       --rows-csv=/tmp/baseline_rows.csv \
+//       --agg-csv=tests/data/golden_paper_baselines_agg.csv \
+//       --report-json=tests/data/golden_paper_baselines_report.json
+
+SweepGrid baseline_grid(const workload::SimDb& db) {
+  SweepGrid grid = paper_grid(db);
+  grid.policies = {rm::RmPolicy::Idle, rm::RmPolicy::Ucp, rm::RmPolicy::Fcp,
+                   rm::RmPolicy::ClassPart};
+  grid.models = {rm::PerfModelKind::Model3};
+  return grid;
+}
+
+TEST(GoldenBaselineAggregates, BaselineGridMatchesCommittedGolden) {
+  const workload::SimDb& db = testing::shared_db(4);
+  const SweepGrid grid = baseline_grid(db);
+  SweepRunner runner(db, {});
+  const SweepResult result = runner.run(grid);
+  ASSERT_EQ(result.rows.size(), 24u * 4u * 1u * 3u);
+
+  const std::string actual_path =
+      ::testing::TempDir() + "/golden_check_baselines_agg.csv";
+  write_aggregates_csv(result, actual_path);
+  const std::string actual = slurp(actual_path);
+  std::remove(actual_path.c_str());
+
+  const std::string golden_path =
+      std::string(QOSRM_TEST_DATA_DIR) + "/golden_paper_baselines_agg.csv";
+  const std::string golden = slurp(golden_path);
+  ASSERT_FALSE(golden.empty()) << golden_path;
+  EXPECT_EQ(actual, golden)
+      << "baseline-policy aggregates drifted from " << golden_path
+      << "\nIf the change is intentional, regenerate the golden files (see "
+         "the header of this test) and justify the numerical diff in the "
+         "same commit.";
+
+  const FigureReport report = build_figure_report(
+      result.rows, grid.shape(),
+      sweep_fingerprint(grid, SimOptions{},
+                        workload::simdb_fingerprint(db.suite(), db.system(),
+                                                    db.phase_options())),
+      scenario_weights(db.suite()));
+  // Fig. 6/7 gain one row per (baseline policy, alpha); Fig. 9 needs the
+  // Perfect oracle, which this grid deliberately omits.
+  ASSERT_EQ(report.fig6.size(), 4u * 1u * 3u);
+  ASSERT_EQ(report.fig7.size(), 4u * 1u * 3u);
+  ASSERT_TRUE(report.fig9.empty());
+
+  const std::string report_path =
+      std::string(QOSRM_TEST_DATA_DIR) + "/golden_paper_baselines_report.json";
+  const std::string golden_report = slurp(report_path);
+  ASSERT_FALSE(golden_report.empty()) << report_path;
+  EXPECT_EQ(figure_report_json(report), golden_report)
+      << "baseline-policy figure report drifted from " << report_path;
+}
+
+// ---------------------------------------------------------------------------
 // Scaled paper grids: the same 24 paper mixes replicated scenario-preserving
 // onto 8 and 16 cores (sweep_main --cores=4 --replicate=2|4). These pin the
 // optimizer hot path at the core counts where the vectorized DP and the

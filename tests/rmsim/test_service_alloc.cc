@@ -60,7 +60,9 @@ void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
 namespace qosrm::rmsim {
 namespace {
 
-TEST(ServiceAlloc, SteadyStateLoopIsAllocationFree) {
+class ServiceAllocPolicy : public ::testing::TestWithParam<rm::RmPolicy> {};
+
+TEST_P(ServiceAllocPolicy, SteadyStateLoopIsAllocationFree) {
   const workload::SimDb& db = qosrm::testing::shared_db(2);
 
   ServiceConfig config;
@@ -69,7 +71,7 @@ TEST(ServiceAlloc, SteadyStateLoopIsAllocationFree) {
   config.demand_min = 10;
   config.demand_max = 40;
   ServicePoint point;
-  point.policy = rm::RmPolicy::Rm3;
+  point.policy = GetParam();
   ServiceEngine engine(db, config, point);
 
   // Warm pass: every buffer grows to its high-water capacity, every RM
@@ -86,6 +88,18 @@ TEST(ServiceAlloc, SteadyStateLoopIsAllocationFree) {
       << (after - before) << " heap allocations leaked into the steady-state "
       << "service loop (required: zero per event after warmup)";
 }
+
+// The zero-alloc invariant covers the full policy axis: the paper's RM3 and
+// each classic partitioning-only baseline (their workspace buffers must be
+// pre-warmed just like the optimizer's).
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ServiceAllocPolicy,
+                         ::testing::Values(rm::RmPolicy::Rm3,
+                                           rm::RmPolicy::Ucp,
+                                           rm::RmPolicy::Fcp,
+                                           rm::RmPolicy::ClassPart),
+                         [](const auto& info) {
+                           return std::string(rm::rm_policy_name(info.param));
+                         });
 
 TEST(ServiceAlloc, ArrivalRegenerationIsAllocationFree) {
   workload::ArrivalGenOptions options;

@@ -171,11 +171,52 @@ TEST(Sweep, IdleRowsHaveExactlyZeroSavings) {
   EXPECT_EQ(result.aggregates[0].mean_savings, 0.0);
 }
 
+TEST(Sweep, BaselinePoliciesProduceRowsDeterministically) {
+  // The classic baselines ride the same policy axis as the RM variants:
+  // rows appear in grid order and the sweep stays byte-identical across
+  // thread counts (the classpart classifier and both greedy partitioners
+  // must be pure functions of the snapshots).
+  SweepGrid grid;
+  grid.mixes = two_core_mixes(2);
+  grid.policies = {rm::RmPolicy::Idle, rm::RmPolicy::Ucp, rm::RmPolicy::Fcp,
+                   rm::RmPolicy::ClassPart};
+  grid.models = {rm::PerfModelKind::Model3};
+  grid.qos_alphas = {0.0};
+
+  const SweepResult serial = run_sweep(grid, 1);
+  const SweepResult parallel = run_sweep(grid, 4);
+  ASSERT_EQ(serial.rows.size(), 8u);
+  for (std::size_t pi = 0; pi < 4; ++pi) {
+    for (std::size_t mi = 0; mi < 2; ++mi) {
+      const SweepRow& row = serial.rows[2 * pi + mi];
+      EXPECT_EQ(row.policy, grid.policies[pi]);
+      // Partitioning-only baselines run real interval simulations: every row
+      // must carry RM work and a full run.
+      if (row.policy != rm::RmPolicy::Idle) {
+        EXPECT_GT(row.result.run.rm_invocations, 0u);
+        EXPECT_GT(row.result.run.rm_ops, 0u);
+      }
+    }
+  }
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    EXPECT_EQ(serial.rows[i].result.savings, parallel.rows[i].result.savings);
+    expect_runs_identical(serial.rows[i].result.run, parallel.rows[i].result.run);
+  }
+}
+
 TEST(SweepParse, PoliciesModelsAlphas) {
-  const std::vector<rm::RmPolicy> policies = parse_policies("idle,rm1,rm2,rm3");
-  ASSERT_EQ(policies.size(), 4u);
+  const std::vector<rm::RmPolicy> policies =
+      parse_policies("idle,rm1,rm2,rm3,ucp,fcp,classpart");
+  ASSERT_EQ(policies.size(), 7u);
   EXPECT_EQ(policies[0], rm::RmPolicy::Idle);
   EXPECT_EQ(policies[3], rm::RmPolicy::Rm3);
+  EXPECT_EQ(policies[4], rm::RmPolicy::Ucp);
+  EXPECT_EQ(policies[5], rm::RmPolicy::Fcp);
+  EXPECT_EQ(policies[6], rm::RmPolicy::ClassPart);
+  EXPECT_STREQ(rm::rm_policy_name(rm::RmPolicy::Ucp), "UCP");
+  EXPECT_STREQ(rm::rm_policy_name(rm::RmPolicy::Fcp), "FCP");
+  EXPECT_STREQ(rm::rm_policy_name(rm::RmPolicy::ClassPart), "ClassPart");
 
   const std::vector<rm::PerfModelKind> models =
       parse_models("model1,m2,model3,perfect");
@@ -214,6 +255,7 @@ TEST(SweepParseDeathTest, AbortingParsersRejectEmptyListsAndEntries) {
   EXPECT_DEATH((void)parse_policies(""), "empty --policies entry");
   EXPECT_DEATH((void)parse_policies("rm1,"), "empty --policies entry");
   EXPECT_DEATH((void)parse_policies(",rm1"), "empty --policies entry");
+  EXPECT_DEATH((void)parse_policies("lru"), "unknown policy");
   EXPECT_DEATH((void)parse_models(""), "empty --models entry");
   EXPECT_DEATH((void)parse_models("model3,,model1"), "empty --models entry");
   EXPECT_DEATH((void)parse_alphas("1,"), "empty --alphas entry");
