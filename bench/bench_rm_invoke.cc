@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/system_config.hh"
 #include "common/simd.hh"
 #include "power/power_model.hh"
 #include "rm/resource_manager.hh"
@@ -69,20 +70,25 @@ namespace {
 
 using namespace qosrm;
 
-/// One shared database per core count (the build is seconds-expensive).
-const workload::SimDb& bench_db(int cores) {
-  static std::map<int, std::unique_ptr<workload::SimDb>> dbs;
-  auto it = dbs.find(cores);
+/// One shared database per (core count, bandwidth-share count) - the build
+/// is seconds-expensive, and a partitioned-bandwidth table is a genuinely
+/// different (wider) evaluation grid with its own cache file.
+const workload::SimDb& bench_db(int cores, int bw_shares = 1) {
+  static std::map<std::pair<int, int>, std::unique_ptr<workload::SimDb>> dbs;
+  const std::pair<int, int> key{cores, bw_shares};
+  auto it = dbs.find(key);
   if (it == dbs.end()) {
     arch::SystemConfig system;
     system.cores = cores;
+    system.bw = arch::bw_config_for_shares(bw_shares);
     const char* cache_dir = std::getenv("QOSRM_DB_CACHE_DIR");
     const std::string cache_path =
-        cache_dir != nullptr ? workload::db_cache_path(cache_dir, cores)
-                             : std::string();
-    it = dbs.emplace(cores, std::make_unique<workload::SimDb>(workload::warm_simdb(
-                                workload::spec_suite(), system,
-                                power::PowerModel{}, {}, cache_path)))
+        cache_dir != nullptr
+            ? workload::db_cache_path(cache_dir, cores, bw_shares)
+            : std::string();
+    it = dbs.emplace(key, std::make_unique<workload::SimDb>(workload::warm_simdb(
+                              workload::spec_suite(), system,
+                              power::PowerModel{}, {}, cache_path)))
              .first;
   }
   return *it->second;
@@ -110,13 +116,18 @@ void report_allocs(benchmark::State& state, std::uint64_t before) {
       static_cast<double>(allocs), benchmark::Counter::kAvgIterations);
 }
 
-/// ResourceManager::invoke at a given (policy, core count). The manager is
-/// warmed up with one invocation per core before measurement, so the steady
-/// state (every per-core curve cached, workspaces at capacity) is measured.
+/// ResourceManager::invoke at a given (policy, core count, bandwidth-share
+/// count). The manager is warmed up with one invocation per core before
+/// measurement, so the steady state (every per-core curve cached, workspaces
+/// at capacity) is measured. bw_shares=1 is the classic ways-only problem;
+/// bw_shares>1 runs the 2-D (ways x shares) DP, which is required to stay
+/// allocation-free too and within a small constant factor of the 1-D cost
+/// (the share axis is deliberately narrow - see arch::bw_config_for_shares).
 void BM_RmInvoke(benchmark::State& state) {
   const auto policy = static_cast<rm::RmPolicy>(state.range(0));
   const int cores = static_cast<int>(state.range(1));
-  const workload::SimDb& db = bench_db(cores);
+  const int bw_shares = static_cast<int>(state.range(2));
+  const workload::SimDb& db = bench_db(cores, bw_shares);
   rm::RmConfig cfg;
   cfg.policy = policy;
   cfg.model = rm::PerfModelKind::Model3;
@@ -140,8 +151,15 @@ BENCHMARK(BM_RmInvoke)
                     static_cast<long>(rm::RmPolicy::Ucp),
                     static_cast<long>(rm::RmPolicy::Fcp),
                     static_cast<long>(rm::RmPolicy::ClassPart)},
-                   {2, 4, 8, 16}})
-    ->ArgNames({"policy", "cores"});
+                   {2, 4, 8, 16},
+                   {1}})
+    // The 2-D configurations: 4 cores x 4 bandwidth shares per core.
+    ->ArgsProduct({{static_cast<long>(rm::RmPolicy::Rm1),
+                    static_cast<long>(rm::RmPolicy::Rm2),
+                    static_cast<long>(rm::RmPolicy::Rm3)},
+                   {4},
+                   {4}})
+    ->ArgNames({"policy", "cores", "bw_shares"});
 
 /// Counter-snapshot construction returning a fresh snapshot per call (the
 /// pre-workspace simulator pattern; kept for before/after comparison).

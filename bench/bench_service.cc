@@ -22,6 +22,7 @@
 #include <new>
 #include <string>
 
+#include "arch/system_config.hh"
 #include "common/simd.hh"
 #include "power/power_model.hh"
 #include "rmsim/service.hh"
@@ -68,20 +69,25 @@ namespace {
 
 using namespace qosrm;
 
-/// One shared database per core count (the build is seconds-expensive).
-const workload::SimDb& bench_db(int cores) {
-  static std::map<int, std::unique_ptr<workload::SimDb>> dbs;
-  auto it = dbs.find(cores);
+/// One shared database per (core count, bandwidth-share count) - the build
+/// is seconds-expensive, and a partitioned-bandwidth table is a genuinely
+/// different (wider) evaluation grid with its own cache file.
+const workload::SimDb& bench_db(int cores, int bw_shares = 1) {
+  static std::map<std::pair<int, int>, std::unique_ptr<workload::SimDb>> dbs;
+  const std::pair<int, int> key{cores, bw_shares};
+  auto it = dbs.find(key);
   if (it == dbs.end()) {
     arch::SystemConfig system;
     system.cores = cores;
+    system.bw = arch::bw_config_for_shares(bw_shares);
     const char* cache_dir = std::getenv("QOSRM_DB_CACHE_DIR");
     const std::string cache_path =
-        cache_dir != nullptr ? workload::db_cache_path(cache_dir, cores)
-                             : std::string();
-    it = dbs.emplace(cores, std::make_unique<workload::SimDb>(workload::warm_simdb(
-                                workload::spec_suite(), system,
-                                power::PowerModel{}, {}, cache_path)))
+        cache_dir != nullptr
+            ? workload::db_cache_path(cache_dir, cores, bw_shares)
+            : std::string();
+    it = dbs.emplace(key, std::make_unique<workload::SimDb>(workload::warm_simdb(
+                              workload::spec_suite(), system,
+                              power::PowerModel{}, {}, cache_path)))
              .first;
   }
   return *it->second;
@@ -94,14 +100,17 @@ void report_allocs(benchmark::State& state, std::uint64_t before) {
       static_cast<double>(allocs), benchmark::Counter::kAvgIterations);
 }
 
-/// ServiceEngine::step() at a given (policy, core count). One full trace
-/// pass warms every buffer to capacity before measurement; the measured
-/// loop wraps around via reset(), which is itself allocation-free after the
-/// warm pass, so a long measurement stays in the steady state throughout.
+/// ServiceEngine::step() at a given (policy, core count, bandwidth-share
+/// count). One full trace pass warms every buffer to capacity before
+/// measurement; the measured loop wraps around via reset(), which is itself
+/// allocation-free after the warm pass, so a long measurement stays in the
+/// steady state throughout. bw_shares>1 drives the 2-D (ways x shares) RM
+/// path, which must stay allocation-free too.
 void BM_ServiceStep(benchmark::State& state) {
   const auto policy = static_cast<rm::RmPolicy>(state.range(0));
   const int cores = static_cast<int>(state.range(1));
-  const workload::SimDb& db = bench_db(cores);
+  const int bw_shares = static_cast<int>(state.range(2));
+  const workload::SimDb& db = bench_db(cores, bw_shares);
 
   rmsim::ServiceConfig config;
   config.arrivals = 512;
@@ -120,8 +129,11 @@ void BM_ServiceStep(benchmark::State& state) {
 BENCHMARK(BM_ServiceStep)
     ->ArgsProduct({{static_cast<long>(rm::RmPolicy::Idle),
                     static_cast<long>(rm::RmPolicy::Rm3)},
-                   {4, 8, 16}})
-    ->ArgNames({"policy", "cores"});
+                   {4, 8, 16},
+                   {1}})
+    // The 2-D configuration: 4 cores x 4 bandwidth shares per core.
+    ->ArgsProduct({{static_cast<long>(rm::RmPolicy::Rm3)}, {4}, {4}})
+    ->ArgNames({"policy", "cores", "bw_shares"});
 
 /// Arrival-trace synthesis into reused storage (the per-grid-point setup
 /// cost; allocation-free once the trace vector is at capacity).

@@ -35,7 +35,9 @@ namespace {
   std::abort();
 }
 
-Level resolve_level() {
+}  // namespace
+
+Level resolve_level(const char* env) {
   const bool avx2_ok = avx2_compiled() && avx2_supported();
 
   // Build policy first.
@@ -55,7 +57,6 @@ Level resolve_level() {
 #endif
 
   // Runtime override second (a rebuild-free handle for CI and A/B timing).
-  const char* env = std::getenv("QOSRM_SIMD");
   if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0) {
     return level;
   }
@@ -67,13 +68,18 @@ Level resolve_level() {
     }
     return Level::Avx2;
   }
-  dispatch_fatal("QOSRM_SIMD must be one of auto|avx2|scalar");
+  // A typo'd override must never silently fall back to a different kernel:
+  // name the offending value and the accepted set, and die.
+  char detail[256];
+  std::snprintf(detail, sizeof detail,
+                "unrecognized QOSRM_SIMD value \"%s\" (accepted: "
+                "auto|avx2|scalar)",
+                env);
+  dispatch_fatal(detail);
 }
 
-}  // namespace
-
 Level active_level() noexcept {
-  static const Level level = resolve_level();
+  static const Level level = resolve_level(std::getenv("QOSRM_SIMD"));
   return level;
 }
 

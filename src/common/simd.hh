@@ -37,6 +37,14 @@ enum class Level { Scalar = 0, Avx2 = 1 };
 /// Aborts with a diagnostic when a forced "avx2" cannot be satisfied.
 [[nodiscard]] Level active_level() noexcept;
 
+/// Resolution core behind active_level(), parameterized on the override
+/// string (what getenv("QOSRM_SIMD") returned; nullptr/"" mean unset).
+/// Aborts naming the offending value when the override is not one of
+/// auto|avx2|scalar, or when "avx2" is forced but unavailable. Exposed
+/// separately because active_level() caches: the death tests exercise the
+/// rejection paths through this entry point.
+[[nodiscard]] Level resolve_level(const char* env);
+
 /// Lower-case name for logs and bench JSON ("scalar" / "avx2").
 [[nodiscard]] const char* level_name(Level level) noexcept;
 

@@ -70,6 +70,8 @@ void GlobalOptWorkspace::clear_nodes() {
   // reduction allocates.
   lo_.clear();
   size_.clear();
+  b_lo_.clear();
+  b_size_.clear();
   energy_off_.clear();
   leaf_energy_.clear();
   first_core_.clear();
@@ -81,12 +83,15 @@ void GlobalOptWorkspace::clear_nodes() {
   next_.clear();
 }
 
-int GlobalOptWorkspace::push_node(int lo, int size, std::size_t energy_off,
+int GlobalOptWorkspace::push_node(int lo, int size, int b_lo, int b_size,
+                                  std::size_t energy_off,
                                   const double* leaf_energy, int first_core,
                                   int last_core, int left, int right) {
   const int idx = static_cast<int>(num_nodes());
   lo_.push_back(lo);
   size_.push_back(size);
+  b_lo_.push_back(b_lo);
+  b_size_.push_back(b_size);
   energy_off_.push_back(energy_off);
   leaf_energy_.push_back(leaf_energy);
   first_core_.push_back(first_core);
@@ -96,14 +101,45 @@ int GlobalOptWorkspace::push_node(int lo, int size, std::size_t energy_off,
   return idx;
 }
 
+namespace {
+
+/// Share budget implied by ways-only calls: every core at its lowest share.
+/// For single-row (degenerate) surfaces this is the only feasible budget, so
+/// the 1-D entry points keep their exact pre-CBP semantics.
+[[nodiscard]] int default_total_shares(std::span<const EnergyCurveView> curves) {
+  int total = 0;
+  for (const EnergyCurveView& c : curves) total += c.min_shares;
+  return total;
+}
+
+}  // namespace
+
 void GlobalOptimizer::optimize_into(std::span<const EnergyCurveView> curves,
-                                    int total_ways, GlobalOptWorkspace& ws,
+                                    int total_ways, int total_shares,
+                                    GlobalOptWorkspace& ws,
                                     GlobalOptResult& out, std::uint64_t* ops) {
-  optimize_into(curves, total_ways, ws, out, ops, simd::active_level());
+  optimize_into(curves, total_ways, total_shares, ws, out, ops,
+                simd::active_level());
 }
 
 void GlobalOptimizer::optimize_into(std::span<const EnergyCurveView> curves,
                                     int total_ways, GlobalOptWorkspace& ws,
+                                    GlobalOptResult& out, std::uint64_t* ops) {
+  optimize_into(curves, total_ways, default_total_shares(curves), ws, out, ops,
+                simd::active_level());
+}
+
+void GlobalOptimizer::optimize_into(std::span<const EnergyCurveView> curves,
+                                    int total_ways, GlobalOptWorkspace& ws,
+                                    GlobalOptResult& out, std::uint64_t* ops,
+                                    simd::Level level) {
+  optimize_into(curves, total_ways, default_total_shares(curves), ws, out, ops,
+                level);
+}
+
+void GlobalOptimizer::optimize_into(std::span<const EnergyCurveView> curves,
+                                    int total_ways, int total_shares,
+                                    GlobalOptWorkspace& ws,
                                     GlobalOptResult& out, std::uint64_t* ops,
                                     simd::Level level) {
   QOSRM_CHECK(!curves.empty());
@@ -116,16 +152,21 @@ void GlobalOptimizer::optimize_into(std::span<const EnergyCurveView> curves,
   out.feasible = false;
   out.total_energy = 0.0;
   out.ways.clear();
+  out.shares.clear();
 
   ws.clear_nodes();
 
-  // Leaves view the input curves directly - no copy.
+  // Leaves view the input surfaces directly - no copy.
   for (std::size_t i = 0; i < curves.size(); ++i) {
     QOSRM_CHECK(!curves[i].energy.empty());
+    QOSRM_CHECK(curves[i].num_shares >= 1);
+    QOSRM_CHECK(static_cast<int>(curves[i].energy.size()) %
+                    curves[i].num_shares ==
+                0);
     const int core = static_cast<int>(i);
     ws.level_.push_back(ws.push_node(
-        curves[i].min_ways, static_cast<int>(curves[i].energy.size()), 0,
-        curves[i].energy.data(), core, core, -1, -1));
+        curves[i].min_ways, curves[i].num_ways(), curves[i].min_shares,
+        curves[i].num_shares, 0, curves[i].energy.data(), core, core, -1, -1));
   }
 
   // Reduce adjacent pairs until one curve remains.
@@ -149,17 +190,25 @@ void GlobalOptimizer::optimize_into(std::span<const EnergyCurveView> curves,
       // metadata arrays.
       const int a_lo = ws.lo_[ai];
       const int a_size = ws.size_[ai];
+      const int a_b_lo = ws.b_lo_[ai];
+      const int a_b_size = ws.b_size_[ai];
       const std::size_t a_energy_off = ws.energy_off_[ai];
       const double* a_leaf = ws.leaf_energy_[ai];
       const int b_lo = ws.lo_[bi];
       const int b_size = ws.size_[bi];
+      const int b_b_lo = ws.b_lo_[bi];
+      const int b_b_size = ws.b_size_[bi];
       const std::size_t b_energy_off = ws.energy_off_[bi];
       const double* b_leaf = ws.leaf_energy_[bi];
 
       const int n_lo = a_lo + b_lo;
       const int n_size = a_size + b_size - 1;
+      const int n_b_lo = a_b_lo + b_b_lo;
+      const int n_b_size = a_b_size + b_b_size - 1;
       const std::size_t energy_off = ws.energy_.size();
-      ws.energy_.resize(energy_off + static_cast<std::size_t>(n_size), kInf);
+      ws.energy_.resize(energy_off + static_cast<std::size_t>(n_size) *
+                                         static_cast<std::size_t>(n_b_size),
+                        kInf);
 
       // Pointers taken after the resize (which may relocate on warmup).
       const double* ea_arr =
@@ -168,71 +217,120 @@ void GlobalOptimizer::optimize_into(std::span<const EnergyCurveView> curves,
           b_leaf != nullptr ? b_leaf : ws.energy_.data() + b_energy_off;
       double* ne = ws.energy_.data() + energy_off;
 
-      // Compact the right child's feasible entries once (ascending, so the
-      // pair visit order - and thus the first-split tie-breaking - matches
-      // the plain double loop). The scalar kernel consumes the compacted
-      // arrays; the vector kernel runs dense and only needs the count.
+      // Compact the right child's feasible cells once, in storage order
+      // (b-row-major, ascending w - so the pair visit order, and thus the
+      // first-split tie-breaking, matches the plain quadruple loop). A
+      // cell's stored index is its CONTRIBUTION to the output flat index,
+      // ibb * n_size + ib: because n_size = a_size + b_size - 1, the w parts
+      // of any (left, right) pair can never carry into the b-row term, so
+      // out_flat = left_contribution + right_contribution. The scalar kernel
+      // consumes the compacted arrays; the vector kernel runs dense over
+      // each child b-row (clipped to its feasible span) and only needs the
+      // total count. With a single b-row everything reduces exactly to the
+      // 1-D compaction.
       ws.feas_idx_.clear();
       ws.feas_val_.clear();
+      ws.feas_row_first_.clear();
+      ws.feas_row_last_.clear();
       const bool compact_b = !vectorized && !root_combine;
       std::uint64_t n_feas_b = 0;
-      int b_first = b_size;  // bounds of the feasible span of the right row:
-      int b_last = -1;       // the dense kernel clips to it (infinite prefix/
-                             // suffix entries can never win a strict-less)
-      for (int ib = 0; ib < b_size; ++ib) {
-        const double eb = eb_arr[ib];
-        if (std::isinf(eb)) continue;
-        ++n_feas_b;
-        b_first = b_first == b_size ? ib : b_first;
-        b_last = ib;
-        if (compact_b) {
-          ws.feas_idx_.push_back(ib);
-          ws.feas_val_.push_back(eb);
+      for (int ibb = 0; ibb < b_b_size; ++ibb) {
+        const double* eb_row = eb_arr + static_cast<std::size_t>(ibb) *
+                                            static_cast<std::size_t>(b_size);
+        int row_first = b_size;  // feasible span of this b-row: the dense
+        int row_last = -1;       // kernel clips to it (infinite prefix/suffix
+                                 // entries can never win a strict-less)
+        for (int ib = 0; ib < b_size; ++ib) {
+          const double eb = eb_row[ib];
+          if (std::isinf(eb)) continue;
+          ++n_feas_b;
+          row_first = row_first == b_size ? ib : row_first;
+          row_last = ib;
+          if (compact_b) {
+            ws.feas_idx_.push_back(ibb * n_size + ib);
+            ws.feas_val_.push_back(eb);
+          }
         }
+        ws.feas_row_first_.push_back(row_first == b_size ? -1 : row_first);
+        ws.feas_row_last_.push_back(row_last);
       }
 
       // One op = one feasible-pair DP step, counted uniformly whichever side
-      // an infeasible entry is on (accumulated in bulk per feasible row) and
+      // an infeasible entry is on (accumulated in bulk per feasible cell) and
       // independent of how many lanes a kernel call covers.
       std::uint64_t feas_a = 0;
       if (root_combine) {
-        // Only the total_ways cell of the root curve is observable: evaluate
-        // it directly (and count the feasible left entries for the op
-        // charge). Out-of-range targets leave the row infinite, which the
-        // feasibility check below reports just like the full sweep would.
-        const int target = total_ways - n_lo;
+        // Only the (total_ways, total_shares) cell of the root surface is
+        // observable: evaluate it directly (and count the feasible left
+        // cells for the op charge). Out-of-range targets leave the surface
+        // infinite, which the feasibility check below reports just like the
+        // full sweep would.
+        const int target_w = total_ways - n_lo;
+        const int target_b = total_shares - n_b_lo;
         double best = kInf;
-        for (int ia = 0; ia < a_size; ++ia) {
-          const double ea = ea_arr[ia];
-          if (std::isinf(ea)) continue;
-          ++feas_a;
-          const int ib = target - ia;
-          if (ib < 0 || ib >= b_size) continue;
-          const double v = ea + eb_arr[ib];
-          if (v < best) best = v;
+        for (int iba = 0; iba < a_b_size; ++iba) {
+          const double* ea_row = ea_arr + static_cast<std::size_t>(iba) *
+                                              static_cast<std::size_t>(a_size);
+          for (int ia = 0; ia < a_size; ++ia) {
+            const double ea = ea_row[ia];
+            if (std::isinf(ea)) continue;
+            ++feas_a;
+            const int ibb = target_b - iba;
+            if (ibb < 0 || ibb >= b_b_size) continue;
+            const int ib = target_w - ia;
+            if (ib < 0 || ib >= b_size) continue;
+            const double v =
+                ea + eb_arr[static_cast<std::size_t>(ibb) *
+                                static_cast<std::size_t>(b_size) +
+                            static_cast<std::size_t>(ib)];
+            if (v < best) best = v;
+          }
         }
-        if (target >= 0 && target < n_size) ne[target] = best;
+        if (target_w >= 0 && target_w < n_size && target_b >= 0 &&
+            target_b < n_b_size) {
+          ne[static_cast<std::size_t>(target_b) *
+                 static_cast<std::size_t>(n_size) +
+             static_cast<std::size_t>(target_w)] = best;
+        }
       } else if (n_feas_b > 0) {
-        for (int ia = 0; ia < a_size; ++ia) {
-          const double ea = ea_arr[ia];
-          if (std::isinf(ea)) continue;
-          ++feas_a;
-          // Output index: (a_lo + ia) + (b_lo + ib) - n_lo = ia + ib.
-          if (vectorized) {
+        for (int iba = 0; iba < a_b_size; ++iba) {
+          const double* ea_row = ea_arr + static_cast<std::size_t>(iba) *
+                                              static_cast<std::size_t>(a_size);
+          for (int ia = 0; ia < a_size; ++ia) {
+            const double ea = ea_row[ia];
+            if (std::isinf(ea)) continue;
+            ++feas_a;
+            // Output flat index: left contribution iba * n_size + ia plus
+            // the right cell's stored contribution (no w carry, see above).
+            const int ca = iba * n_size + ia;
+            if (vectorized) {
 #ifdef QOSRM_SIMD_HAVE_AVX2
-            combine_row_avx2(ea, eb_arr + b_first, b_last - b_first + 1,
-                             ne + ia + b_first);
+              for (int ibb = 0; ibb < b_b_size; ++ibb) {
+                const int row_first =
+                    ws.feas_row_first_[static_cast<std::size_t>(ibb)];
+                if (row_first < 0) continue;  // all-infeasible b-row
+                const int row_last =
+                    ws.feas_row_last_[static_cast<std::size_t>(ibb)];
+                combine_row_avx2(
+                    ea,
+                    eb_arr + static_cast<std::size_t>(ibb) *
+                                 static_cast<std::size_t>(b_size) +
+                        row_first,
+                    row_last - row_first + 1,
+                    ne + ca + ibb * n_size + row_first);
+              }
 #endif
-          } else {
-            combine_row_scalar(ea, ws.feas_idx_, ws.feas_val_, ne + ia);
+            } else {
+              combine_row_scalar(ea, ws.feas_idx_, ws.feas_val_, ne + ca);
+            }
           }
         }
       }
       steps += feas_a * n_feas_b;
 
-      ws.next_.push_back(ws.push_node(n_lo, n_size, energy_off, nullptr,
-                                      ws.first_core_[ai], ws.last_core_[bi],
-                                      static_cast<int>(ai),
+      ws.next_.push_back(ws.push_node(n_lo, n_size, n_b_lo, n_b_size,
+                                      energy_off, nullptr, ws.first_core_[ai],
+                                      ws.last_core_[bi], static_cast<int>(ai),
                                       static_cast<int>(bi)));
     }
     if (ws.level_.size() % 2 == 1) ws.next_.push_back(ws.level_.back());
@@ -243,31 +341,41 @@ void GlobalOptimizer::optimize_into(std::span<const EnergyCurveView> curves,
   const auto root = static_cast<std::size_t>(ws.level_.front());
   const int root_lo = ws.lo_[root];
   const int root_hi = root_lo + ws.size_[root] - 1;
+  const int root_b_lo = ws.b_lo_[root];
+  const int root_b_hi = root_b_lo + ws.b_size_[root] - 1;
   if (total_ways < root_lo || total_ways > root_hi) return;
-  const double e =
-      ws.leaf_energy_[root] != nullptr
-          ? ws.leaf_energy_[root][total_ways - root_lo]
-          : ws.energy_[ws.energy_off_[root] +
-                       static_cast<std::size_t>(total_ways - root_lo)];
+  if (total_shares < root_b_lo || total_shares > root_b_hi) return;
+  const std::size_t root_cell =
+      static_cast<std::size_t>(total_shares - root_b_lo) *
+          static_cast<std::size_t>(ws.size_[root]) +
+      static_cast<std::size_t>(total_ways - root_lo);
+  const double e = ws.leaf_energy_[root] != nullptr
+                       ? ws.leaf_energy_[root][root_cell]
+                       : ws.energy_[ws.energy_off_[root] + root_cell];
   if (std::isinf(e)) return;
 
   out.feasible = true;
   out.total_energy = e;
   out.ways.assign(curves.size(), 0);
+  out.shares.assign(curves.size(), 0);
 
   // Backtrack the argmin splits down the reduction (depth is log2(cores), so
   // plain recursion over node indices needs no scratch). The forward pass
   // stores no argmin lanes; each split is recovered here by re-scanning the
-  // children in the same ascending-wa order for the first feasible pair
-  // whose sum reproduces the node's value bit-for-bit. The strict-less
-  // forward sweep keeps the FIRST entry attaining the final minimum, and the
-  // sums are the same IEEE double additions, so the recovered split is
-  // identical to a recorded one. Cost: log2(cores) row scans per
-  // invocation - versus an index blend in every kernel step.
-  const auto backtrack = [&ws](auto&& self, std::size_t idx, int total,
-                               double value, std::vector<int>& ways) -> void {
+  // left child's cells in the same storage order (b-row-major, ascending w -
+  // the order the forward kernels visit pairs for any fixed output cell) for
+  // the first feasible pair whose sum reproduces the node's value
+  // bit-for-bit. The strict-less forward sweep keeps the FIRST pair
+  // attaining the final minimum, and the sums are the same IEEE double
+  // additions, so the recovered split is identical to a recorded one. Cost:
+  // log2(cores) surface scans per invocation - versus an index blend in
+  // every kernel step.
+  const auto backtrack = [&ws, &out](auto&& self, std::size_t idx, int total_w,
+                                     int total_b, double value) -> void {
     if (ws.left_[idx] < 0) {  // leaf
-      ways[static_cast<std::size_t>(ws.first_core_[idx])] = total;
+      const auto core = static_cast<std::size_t>(ws.first_core_[idx]);
+      out.ways[core] = total_w;
+      out.shares[core] = total_b;
       return;
     }
     const auto ai = static_cast<std::size_t>(ws.left_[idx]);
@@ -280,77 +388,122 @@ void GlobalOptimizer::optimize_into(std::span<const EnergyCurveView> curves,
                                : ws.energy_.data() + ws.energy_off_[bi];
     const int a_size = ws.size_[ai];
     const int b_size = ws.size_[bi];
-    const int rel = total - ws.lo_[idx];
+    const int a_b_size = ws.b_size_[ai];
+    const int b_b_size = ws.b_size_[bi];
+    const int rel_w = total_w - ws.lo_[idx];
+    const int rel_b = total_b - ws.b_lo_[idx];
     int wl = -1;
+    int bl = 0;
     double ea_val = 0.0;
     double eb_val = 0.0;
-    for (int ia = 0; ia < a_size; ++ia) {
-      const double ea = ea_arr[ia];
-      if (std::isinf(ea)) continue;
-      const int ib = rel - ia;
-      if (ib < 0 || ib >= b_size) continue;
-      const double eb = eb_arr[ib];
-      if (ea + eb == value) {
-        wl = ws.lo_[ai] + ia;
-        ea_val = ea;
-        eb_val = eb;
-        break;
+    for (int iba = 0; iba < a_b_size && wl < 0; ++iba) {
+      const int ibb = rel_b - iba;
+      if (ibb < 0 || ibb >= b_b_size) continue;
+      const double* ea_row = ea_arr + static_cast<std::size_t>(iba) *
+                                          static_cast<std::size_t>(a_size);
+      const double* eb_row = eb_arr + static_cast<std::size_t>(ibb) *
+                                          static_cast<std::size_t>(b_size);
+      for (int ia = 0; ia < a_size; ++ia) {
+        const double ea = ea_row[ia];
+        if (std::isinf(ea)) continue;
+        const int ib = rel_w - ia;
+        if (ib < 0 || ib >= b_size) continue;
+        const double eb = eb_row[ib];
+        if (ea + eb == value) {
+          wl = ws.lo_[ai] + ia;
+          bl = ws.b_lo_[ai] + iba;
+          ea_val = ea;
+          eb_val = eb;
+          break;
+        }
       }
     }
     QOSRM_CHECK_MSG(wl >= 0, "backtracking through an infeasible entry");
-    self(self, ai, wl, ea_val, ways);
-    self(self, bi, total - wl, eb_val, ways);
+    self(self, ai, wl, bl, ea_val);
+    self(self, bi, total_w - wl, total_b - bl, eb_val);
   };
-  backtrack(backtrack, root, total_ways, e, out.ways);
+  backtrack(backtrack, root, total_ways, total_shares, e);
+}
+
+GlobalOptResult GlobalOptimizer::optimize(std::span<const EnergyCurve> curves,
+                                          int total_ways, int total_shares,
+                                          std::uint64_t* ops) {
+  std::vector<EnergyCurveView> views;
+  views.reserve(curves.size());
+  for (const EnergyCurve& c : curves) {
+    views.push_back({c.min_ways, std::span<const double>(c.energy),
+                     c.min_shares, c.num_shares});
+  }
+  GlobalOptWorkspace ws;
+  GlobalOptResult out;
+  optimize_into(views, total_ways, total_shares, ws, out, ops);
+  return out;
 }
 
 GlobalOptResult GlobalOptimizer::optimize(std::span<const EnergyCurve> curves,
                                           int total_ways, std::uint64_t* ops) {
-  std::vector<EnergyCurveView> views;
-  views.reserve(curves.size());
-  for (const EnergyCurve& c : curves) {
-    views.push_back({c.min_ways, std::span<const double>(c.energy)});
-  }
-  GlobalOptWorkspace ws;
-  GlobalOptResult out;
-  optimize_into(views, total_ways, ws, out, ops);
-  return out;
+  int total_shares = 0;
+  for (const EnergyCurve& c : curves) total_shares += c.min_shares;
+  return optimize(curves, total_ways, total_shares, ops);
 }
 
 GlobalOptResult GlobalOptimizer::brute_force(std::span<const EnergyCurve> curves,
-                                             int total_ways) {
+                                             int total_ways,
+                                             int total_shares) {
   QOSRM_CHECK(!curves.empty());
   GlobalOptResult best;
   best.total_energy = kInf;
 
   std::vector<int> ways(curves.size(), 0);
-  // Depth-first enumeration of all allocations summing to total_ways.
-  const auto recurse = [&](auto&& self, std::size_t core, int remaining,
-                           double energy) -> void {
+  std::vector<int> shares(curves.size(), 0);
+  // Depth-first enumeration of all allocations summing to the two budgets.
+  const auto recurse = [&](auto&& self, std::size_t core, int remaining_w,
+                           int remaining_b, double energy) -> void {
     const EnergyCurve& curve = curves[core];
+    const int n_w = curve.num_ways();
+    const auto cell = [&](int w, int b) {
+      return curve.energy[static_cast<std::size_t>(b - curve.min_shares) *
+                              static_cast<std::size_t>(n_w) +
+                          static_cast<std::size_t>(w - curve.min_ways)];
+    };
     if (core + 1 == curves.size()) {
-      if (remaining < curve.min_ways || remaining > curve.max_ways()) return;
-      const double e =
-          curve.energy[static_cast<std::size_t>(remaining - curve.min_ways)];
+      if (remaining_w < curve.min_ways || remaining_w > curve.max_ways()) return;
+      if (remaining_b < curve.min_shares || remaining_b > curve.max_shares()) {
+        return;
+      }
+      const double e = cell(remaining_w, remaining_b);
       if (std::isinf(e)) return;
       if (energy + e < best.total_energy) {
-        ways[core] = remaining;
+        ways[core] = remaining_w;
+        shares[core] = remaining_b;
         best.feasible = true;
         best.total_energy = energy + e;
         best.ways = ways;
+        best.shares = shares;
       }
       return;
     }
-    for (int w = curve.min_ways; w <= curve.max_ways(); ++w) {
-      const double e = curve.energy[static_cast<std::size_t>(w - curve.min_ways)];
-      if (std::isinf(e)) continue;
-      if (remaining - w < 0) break;
-      ways[core] = w;
-      self(self, core + 1, remaining - w, energy + e);
+    for (int b = curve.min_shares; b <= curve.max_shares(); ++b) {
+      if (remaining_b - b < 0) break;
+      for (int w = curve.min_ways; w <= curve.max_ways(); ++w) {
+        const double e = cell(w, b);
+        if (std::isinf(e)) continue;
+        if (remaining_w - w < 0) break;
+        ways[core] = w;
+        shares[core] = b;
+        self(self, core + 1, remaining_w - w, remaining_b - b, energy + e);
+      }
     }
   };
-  recurse(recurse, 0, total_ways, 0.0);
+  recurse(recurse, 0, total_ways, total_shares, 0.0);
   return best;
+}
+
+GlobalOptResult GlobalOptimizer::brute_force(std::span<const EnergyCurve> curves,
+                                             int total_ways) {
+  int total_shares = 0;
+  for (const EnergyCurve& c : curves) total_shares += c.min_shares;
+  return brute_force(curves, total_ways, total_shares);
 }
 
 }  // namespace qosrm::rm

@@ -8,9 +8,12 @@
 
 namespace qosrm::rm {
 
-const WayChoice& LocalOptResult::at(int w) const {
+const WayChoice& LocalOptResult::at(int w, int b) const {
   QOSRM_CHECK(w >= min_ways && w <= max_ways());
-  return choices[static_cast<std::size_t>(w - min_ways)];
+  QOSRM_CHECK(b >= min_shares && b <= max_shares());
+  return choices[static_cast<std::size_t>(b - min_shares) *
+                     static_cast<std::size_t>(num_ways()) +
+                 static_cast<std::size_t>(w - min_ways)];
 }
 
 std::vector<double> LocalOptResult::energy_curve() const {
@@ -34,7 +37,11 @@ void LocalOptimizer::optimize_into(const CounterSnapshot& snap,
                                    std::uint64_t* ops) const {
   const arch::SystemConfig& sys = perf_->system();
   out.min_ways = sys.llc.min_ways;
-  out.choices.assign(static_cast<std::size_t>(sys.llc.num_allocations()),
+  out.min_shares = sys.bw.min_shares;
+  out.num_shares = sys.bw.num_allocations();
+  const int n_w = sys.llc.num_allocations();
+  out.choices.assign(static_cast<std::size_t>(n_w) *
+                         static_cast<std::size_t>(out.num_shares),
                      WayChoice{});
 
   std::uint64_t local_ops = 0;
@@ -86,18 +93,26 @@ void LocalOptimizer::optimize_into(const CounterSnapshot& snap,
     }
   }
 
-  // The sweep runs size-outer / allocation-inner so the per-(c, w) memory
-  // term walks each ATD curve contiguously and the perfect model reads whole
-  // oracle rows of the evaluation table. out.choices accumulates the per-w
-  // best directly; for a fixed w the candidates still arrive in ascending
-  // size order with the same strict-less tie-breaking, so the outcome (and
-  // the op count) is bit-identical to the former allocation-outer sweep.
+  // The sweep runs size-outer / share / allocation-inner so the per-(c, w)
+  // memory term walks each ATD curve contiguously and the perfect model
+  // reads whole oracle rows of the evaluation table. out.choices accumulates
+  // the per-(w, b) best directly; for a fixed cell the candidates still
+  // arrive in ascending size order with the same strict-less tie-breaking,
+  // so the outcome (and the op count) is bit-identical to the former
+  // allocation-outer sweep in the degenerate single-share config, where the
+  // share loop collapses to one iteration.
   const int w_lo = sys.llc.min_ways;
   const int w_hi = sys.llc.max_ways;
-  const auto consider = [&](int w, const workload::Setting& s, double t_star) {
+  const int b_lo = sys.bw.min_shares;
+  const int b_hi = sys.bw.max_shares;
+  const auto consider = [&](int w, int b, const workload::Setting& s,
+                            double t_star) {
     const double e = energy_->estimate(snap, s, t_star);
     ++local_ops;
-    WayChoice& best = out.choices[static_cast<std::size_t>(w - w_lo)];
+    WayChoice& best =
+        out.choices[static_cast<std::size_t>(b - b_lo) *
+                        static_cast<std::size_t>(n_w) +
+                    static_cast<std::size_t>(w - w_lo)];
     if (e < best.energy_j) {
       best.feasible = true;
       best.setting = s;
@@ -109,87 +124,92 @@ void LocalOptimizer::optimize_into(const CounterSnapshot& snap,
   for (std::size_t si = 0; si < n_sizes; ++si) {
     const arch::CoreSize c = sizes[si];
     if (hoisted) {
-      for (int w = w_lo; w <= w_hi; ++w) {
-        // T_mem is frequency-invariant in the analytical models (Eq. 2).
-        const double mem_cw = perf_->predict_mem_time(snap, {c, 0, w});
-        // Find f*(c, w): the lowest operating point satisfying QoS.
-        // Predicted time is monotone in f, so scan from the bottom.
-        int f_star = -1;
-        double t_star = 0.0;
-        if (opt_.allow_dvfs) {
-          for (int f_idx = 0; f_idx < arch::VfTable::kNumPoints; ++f_idx) {
+      for (int b = b_lo; b <= b_hi; ++b) {
+        for (int w = w_lo; w <= w_hi; ++w) {
+          // T_mem is frequency-invariant in the analytical models (Eq. 2);
+          // the granted share scales it (CBP term) but never couples to f.
+          const double mem_cw = perf_->predict_mem_time(snap, {c, 0, w, b});
+          // Find f*(c, w, b): the lowest operating point satisfying QoS.
+          // Predicted time is monotone in f, so scan from the bottom.
+          int f_star = -1;
+          double t_star = 0.0;
+          if (opt_.allow_dvfs) {
+            for (int f_idx = 0; f_idx < arch::VfTable::kNumPoints; ++f_idx) {
+              const double t =
+                  core_num[si] * freq_ratio[static_cast<std::size_t>(f_idx)] +
+                  mem_cw;
+              ++local_ops;
+              if (t <= t_base) {
+                f_star = f_idx;
+                t_star = t;
+                break;
+              }
+            }
+          } else {
+            constexpr int kBase = arch::VfTable::kBaselineIndex;
             const double t =
-                core_num[si] * freq_ratio[static_cast<std::size_t>(f_idx)] +
+                core_num[si] * freq_ratio[static_cast<std::size_t>(kBase)] +
                 mem_cw;
             ++local_ops;
             if (t <= t_base) {
-              f_star = f_idx;
+              f_star = kBase;
               t_star = t;
-              break;
             }
+          }
+          if (f_star < 0) continue;  // no feasible frequency at this cell
+          consider(w, b, {c, f_star, w, b}, t_star);
+        }
+      }
+    } else {
+      // Perfect model: a prediction is an oracle lookup, so resolve
+      // f*(c, w, b) for ALL allocations of one share in one bottom-up pass
+      // over the VF table, each step one contiguous total-seconds row of the
+      // evaluation grid. A row read at min(w, row length) is exactly the
+      // clamped cell predict_time would return, and allocation w is probed
+      // at operating point f iff no lower point satisfied QoS - the same
+      // lookup set, in a cache-friendly order, charging the same op count.
+      QOSRM_CHECK_MSG(snap.oracle.valid(), "perfect model needs an oracle ref");
+      const workload::SimDb& odb = *snap.oracle.db;
+      const auto n_alloc = static_cast<std::size_t>(n_w);
+      for (int b = b_lo; b <= b_hi; ++b) {
+        f_star_.assign(n_alloc, -1);
+        t_star_.assign(n_alloc, 0.0);
+        const auto probe_row = [&](std::span<const double> row, int f_idx) {
+          std::size_t resolved = 0;
+          for (int w = w_lo; w <= w_hi; ++w) {
+            const auto k = static_cast<std::size_t>(w - w_lo);
+            if (f_star_[k] >= 0) {
+              ++resolved;
+              continue;
+            }
+            const int wc = std::min(w, static_cast<int>(row.size()));
+            const double t = row[static_cast<std::size_t>(wc - 1)];
+            ++local_ops;
+            if (t <= t_base) {
+              f_star_[k] = f_idx;
+              t_star_[k] = t;
+              ++resolved;
+            }
+          }
+          return resolved == n_alloc;
+        };
+        if (opt_.allow_dvfs) {
+          for (int f_idx = 0; f_idx < arch::VfTable::kNumPoints; ++f_idx) {
+            const std::span<const double> row = odb.total_seconds_row(
+                snap.oracle.app, snap.oracle.phase, c, f_idx, b);
+            if (probe_row(row, f_idx)) break;
           }
         } else {
           constexpr int kBase = arch::VfTable::kBaselineIndex;
-          const double t =
-              core_num[si] * freq_ratio[static_cast<std::size_t>(kBase)] +
-              mem_cw;
-          ++local_ops;
-          if (t <= t_base) {
-            f_star = kBase;
-            t_star = t;
-          }
+          probe_row(odb.total_seconds_row(snap.oracle.app, snap.oracle.phase,
+                                          c, kBase, b),
+                    kBase);
         }
-        if (f_star < 0) continue;  // no feasible frequency at this (c, w)
-        consider(w, {c, f_star, w}, t_star);
-      }
-    } else {
-      // Perfect model: a prediction is an oracle lookup, so resolve f*(c, w)
-      // for ALL allocations in one bottom-up pass over the VF table, each
-      // step one contiguous total-seconds row of the evaluation grid. A row
-      // read at min(w, row length) is exactly the clamped cell predict_time
-      // would return, and allocation w is probed at operating point f iff no
-      // lower point satisfied QoS - the same lookup set, in a cache-friendly
-      // order, charging the same op count.
-      QOSRM_CHECK_MSG(snap.oracle.valid(), "perfect model needs an oracle ref");
-      const workload::SimDb& odb = *snap.oracle.db;
-      const std::size_t n_alloc = out.choices.size();
-      f_star_.assign(n_alloc, -1);
-      t_star_.assign(n_alloc, 0.0);
-      const auto probe_row = [&](std::span<const double> row, int f_idx) {
-        std::size_t resolved = 0;
         for (int w = w_lo; w <= w_hi; ++w) {
           const auto k = static_cast<std::size_t>(w - w_lo);
-          if (f_star_[k] >= 0) {
-            ++resolved;
-            continue;
-          }
-          const int wc = std::min(w, static_cast<int>(row.size()));
-          const double t = row[static_cast<std::size_t>(wc - 1)];
-          ++local_ops;
-          if (t <= t_base) {
-            f_star_[k] = f_idx;
-            t_star_[k] = t;
-            ++resolved;
-          }
+          if (f_star_[k] < 0) continue;
+          consider(w, b, {c, f_star_[k], w, b}, t_star_[k]);
         }
-        return resolved == n_alloc;
-      };
-      if (opt_.allow_dvfs) {
-        for (int f_idx = 0; f_idx < arch::VfTable::kNumPoints; ++f_idx) {
-          const std::span<const double> row = odb.total_seconds_row(
-              snap.oracle.app, snap.oracle.phase, c, f_idx);
-          if (probe_row(row, f_idx)) break;
-        }
-      } else {
-        constexpr int kBase = arch::VfTable::kBaselineIndex;
-        probe_row(odb.total_seconds_row(snap.oracle.app, snap.oracle.phase, c,
-                                        kBase),
-                  kBase);
-      }
-      for (int w = w_lo; w <= w_hi; ++w) {
-        const auto k = static_cast<std::size_t>(w - w_lo);
-        if (f_star_[k] < 0) continue;
-        consider(w, {c, f_star_[k], w}, t_star_[k]);
       }
     }
   }

@@ -8,8 +8,11 @@
 //   RM3:  (c*, f*)(w) = per size, minimum feasible frequency; among sizes,
 //         the one with the lowest estimated energy.
 //
-// The result is the energy curve E*(w) handed to the global optimizer, plus
-// the argmin settings to enforce once {w*_j} is chosen.
+// The result is the energy surface E*(w, b) over the shared-resource grid
+// (LLC ways x memory-bandwidth shares) handed to the global optimizer, plus
+// the argmin settings to enforce once {(w*_j, b*_j)} is chosen. With the
+// degenerate single-share bandwidth config the surface has one b-row and is
+// exactly the pre-CBP energy curve E*(w).
 #ifndef QOSRM_RM_LOCAL_OPT_HH
 #define QOSRM_RM_LOCAL_OPT_HH
 
@@ -39,14 +42,27 @@ struct WayChoice {
 
 struct LocalOptResult {
   int min_ways = 2;
-  std::vector<WayChoice> choices;  ///< indexed by w - min_ways
+  int min_shares = 1;  ///< lowest bandwidth share of the b axis
+  int num_shares = 1;  ///< extent of the b axis
+  /// The E*(w, b) surface, b-major with contiguous w-rows:
+  /// choices[(b - min_shares) * num_ways() + (w - min_ways)]. One b-row (the
+  /// pre-CBP curve layout) in the degenerate single-share config.
+  std::vector<WayChoice> choices;
 
-  [[nodiscard]] int max_ways() const noexcept {
-    return min_ways + static_cast<int>(choices.size()) - 1;
+  [[nodiscard]] int num_ways() const noexcept {
+    return num_shares > 0 ? static_cast<int>(choices.size()) / num_shares : 0;
   }
-  [[nodiscard]] const WayChoice& at(int w) const;
+  [[nodiscard]] int max_ways() const noexcept { return min_ways + num_ways() - 1; }
+  [[nodiscard]] int max_shares() const noexcept {
+    return min_shares + num_shares - 1;
+  }
+  [[nodiscard]] const WayChoice& at(int w, int b) const;
+  /// Ways-only accessor: the choice at the lowest share (the only share in
+  /// the degenerate config).
+  [[nodiscard]] const WayChoice& at(int w) const { return at(w, min_shares); }
 
-  /// E*(w) for the global optimizer (kInfeasibleEnergy where QoS fails).
+  /// E*(w, b) for the global optimizer, in the surface's flat layout
+  /// (kInfeasibleEnergy where QoS fails).
   [[nodiscard]] std::vector<double> energy_curve() const;
 };
 

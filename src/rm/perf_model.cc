@@ -23,7 +23,12 @@ const char* perf_model_name(PerfModelKind kind) noexcept {
 
 double PerfModel::predict_mem_time(const CounterSnapshot& snap,
                                    const workload::Setting& target) const {
-  const double l_mem = system_.mem_latency_s;
+  // CBP bandwidth term: the counter-based models see the granted
+  // memory-bandwidth share as a scaled effective DRAM latency, exactly as
+  // the ground truth does (arch::bw_latency_scale). At the baseline share
+  // the scale is exactly 1.0, so ways-only predictions are bit-identical.
+  const double l_mem =
+      system_.mem_latency_s * arch::bw_latency_scale(system_.bw, target.b);
   switch (kind_) {
     case PerfModelKind::Model1:
       // All misses serialize - no MLP notion at all.

@@ -158,21 +158,26 @@ const RmDecision& ResourceManager::invoke(
   ws_.views.clear();
   for (int core = 0; core < system_.cores; ++core) {
     if (active[static_cast<std::size_t>(core)] == 0) {
-      // A length-1 zero-energy curve: the global optimizer has exactly one
-      // choice for this core (llc.min_ways), so idle cores hold the minimum
-      // allocation and the remaining ways go to the active ones.
-      ws_.views.push_back(
-          {system_.llc.min_ways, std::span<const double>(ws_.idle_energy)});
+      // A single-cell zero-energy surface: the global optimizer has exactly
+      // one choice for this core (llc.min_ways, bw.min_shares), so idle
+      // cores hold the minimum allocation of both resources and the
+      // remaining budget goes to the active ones.
+      ws_.views.push_back({system_.llc.min_ways,
+                           std::span<const double>(ws_.idle_energy),
+                           system_.bw.min_shares, 1});
       continue;
     }
+    const LocalOptResult& local = cached_[static_cast<std::size_t>(core)].local;
     ws_.views.push_back(
-        {cached_[static_cast<std::size_t>(core)].local.min_ways,
-         std::span<const double>(ws_.curve_energy[static_cast<std::size_t>(core)])});
+        {local.min_ways,
+         std::span<const double>(ws_.curve_energy[static_cast<std::size_t>(core)]),
+         local.min_shares, local.num_shares});
   }
 
   GlobalOptResult& global = ws_.global_result;
-  GlobalOptimizer::optimize_into(ws_.views, system_.total_ways(), ws_.global,
-                                 global, &decision.ops);
+  GlobalOptimizer::optimize_into(ws_.views, system_.total_ways(),
+                                 system_.total_shares(), ws_.global, global,
+                                 &decision.ops);
   if (!global.feasible) {
     // Should not happen (the baseline allocation is always feasible), but
     // fall back to the baseline setting defensively.
@@ -183,7 +188,9 @@ const RmDecision& ResourceManager::invoke(
   for (int core = 0; core < system_.cores; ++core) {
     if (active[static_cast<std::size_t>(core)] == 0) continue;  // baseline
     const LocalOptResult& local = cached_[static_cast<std::size_t>(core)].local;
-    const WayChoice& choice = local.at(global.ways[static_cast<std::size_t>(core)]);
+    const WayChoice& choice =
+        local.at(global.ways[static_cast<std::size_t>(core)],
+                 global.shares[static_cast<std::size_t>(core)]);
     QOSRM_CHECK_MSG(choice.feasible, "global optimizer chose an infeasible way");
     decision.settings[static_cast<std::size_t>(core)] = choice.setting;
   }
@@ -228,7 +235,7 @@ const RmDecision& ResourceManager::invoke_baseline(
                                     static_cast<std::size_t>(n_alloc)];
       for (int i = 0; i < n_alloc; ++i) {
         time_row[i] = perf_.predict_time(
-            snap, {base.c, base.f_idx, llc.min_ways + i});
+            snap, {base.c, base.f_idx, llc.min_ways + i, base.b});
         ++refresh_ops;
       }
     } else if (cfg_.policy == RmPolicy::ClassPart) {
@@ -267,8 +274,10 @@ const RmDecision& ResourceManager::invoke_baseline(
 
   for (int core = 0; core < system_.cores; ++core) {
     if (active[static_cast<std::size_t>(core)] == 0) continue;  // baseline
+    // Ways-only baseline policies keep every core at its baseline bandwidth
+    // share - they have no notion of the CBP knob.
     decision.settings[static_cast<std::size_t>(core)] = {
-        base.c, base.f_idx, bw.ways[static_cast<std::size_t>(core)]};
+        base.c, base.f_idx, bw.ways[static_cast<std::size_t>(core)], base.b};
   }
   return decision;
 }

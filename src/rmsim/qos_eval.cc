@@ -40,12 +40,16 @@ std::vector<QosEvalResult> QosEvaluator::evaluate_all(
   perf.reserve(models.size());
   for (const rm::PerfModelKind m : models) perf.emplace_back(m, sys);
 
-  // Enumerate all settings once.
+  // Enumerate all settings once. The model-accuracy sweep covers the
+  // (c, f, w) space at the baseline bandwidth share (the only share in the
+  // degenerate config): the bandwidth knob enters the models through the
+  // same scaled-latency term as the ground truth, so its accuracy is pinned
+  // by the baseline row.
   std::vector<workload::Setting> settings;
   for (const arch::CoreSize c : arch::kAllCoreSizes) {
     for (int f = 0; f < arch::VfTable::kNumPoints; ++f) {
       for (int w = sys.llc.min_ways; w <= sys.llc.max_ways; ++w) {
-        settings.push_back({c, f, w});
+        settings.push_back({c, f, w, base.b});
       }
     }
   }
@@ -69,7 +73,7 @@ std::vector<QosEvalResult> QosEvaluator::evaluate_all(
       for (const arch::CoreSize c : arch::kAllCoreSizes) {
         for (int f = 0; f < arch::VfTable::kNumPoints; ++f) {
           const std::span<const double> row =
-              db.total_seconds_row(app, phase, c, f);
+              db.total_seconds_row(app, phase, c, f, base.b);
           for (int w = sys.llc.min_ways; w <= sys.llc.max_ways; ++w, ++s) {
             const int wc = std::clamp(w, 1, static_cast<int>(row.size()));
             t_act[s] = row[static_cast<std::size_t>(wc - 1)];

@@ -56,6 +56,9 @@ void print_usage() {
   std::puts(
       "service_main: open-loop colocation service over the RM simulator\n"
       "  --cores=N          size of the served core pool (default 16)\n"
+      "  --bw-shares=N      memory-bandwidth shares per core (default 1 =\n"
+      "                     unpartitioned bandwidth; N >= 2 adds the CBP\n"
+      "                     share axis to the optimizer's knob space)\n"
       "  --arrivals=LIST    comma list of poisson|bursty|diurnal arrival\n"
       "                     patterns (default poisson)\n"
       "  --num-arrivals=N   arrivals per grid point (default 5000)\n"
@@ -107,6 +110,7 @@ std::string self_exe_path(const char* argv0) {
 /// and validated once, before any expensive work.
 struct ServiceSetup {
   int cores = 16;
+  int bw_shares = 1;  ///< baseline memory-bandwidth shares per core
   int threads = 0;
   std::string arrivals_spec;
   std::string load_spec;
@@ -124,6 +128,7 @@ struct ServiceSetup {
 std::uint64_t setup_fingerprint(const ServiceSetup& setup) {
   qosrm::arch::SystemConfig system;
   system.cores = setup.cores;
+  system.bw = qosrm::arch::bw_config_for_shares(setup.bw_shares);
   const std::uint64_t db_fp = workload::simdb_fingerprint(
       workload::spec_suite(), system, workload::PhaseStatsOptions{});
   return rmsim::service_fingerprint(setup.grid, setup.config, db_fp);
@@ -174,11 +179,11 @@ int main(int argc, char** argv) {
   // Reject unknown flags: a typo'd flag name would otherwise silently run
   // a default service sweep labeled as if the request had been honored.
   static const std::set<std::string> kKnownFlags = {
-      "cores",       "arrivals",   "num-arrivals", "load",      "policies",
-      "model",       "alphas",     "seed",         "demand-min", "demand-max",
-      "queue-cap",   "threads",    "rows-csv",     "report-json", "db-cache",
-      "shard",       "part-output", "workers",     "parts-dir", "resume",
-      "keep-parts"};
+      "cores",       "bw-shares",  "arrivals",     "num-arrivals", "load",
+      "policies",    "model",      "alphas",       "seed",      "demand-min",
+      "demand-max",  "queue-cap",  "threads",      "rows-csv",  "report-json",
+      "db-cache",    "shard",      "part-output",  "workers",   "parts-dir",
+      "resume",      "keep-parts"};
   for (const std::string& flag : args.flag_names()) {
     if (!kKnownFlags.count(flag)) {
       std::fprintf(stderr, "unknown flag --%s (see --help)\n", flag.c_str());
@@ -242,7 +247,12 @@ int main(int argc, char** argv) {
 
   ServiceSetup setup;
   setup.cores = static_cast<int>(args.get_int("cores", 16));
+  setup.bw_shares = static_cast<int>(args.get_int("bw-shares", 1));
   setup.threads = static_cast<int>(args.get_int("threads", 0));
+  if (setup.bw_shares < 1) {
+    std::fprintf(stderr, "--bw-shares must be >= 1\n");
+    return 1;
+  }
   const long long num_arrivals = args.get_int("num-arrivals", 5000);
   const int demand_min = static_cast<int>(args.get_int("demand-min", 40));
   const int demand_max = static_cast<int>(args.get_int("demand-max", 160));
@@ -349,7 +359,8 @@ int main(int argc, char** argv) {
     // QOSRM_DB_CACHE_DIR use; resolve it the same way.
     std::error_code ec;
     if (std::filesystem::is_directory(setup.db_cache, ec)) {
-      setup.db_cache = workload::db_cache_path(setup.db_cache, setup.cores);
+      setup.db_cache = workload::db_cache_path(setup.db_cache, setup.cores,
+                                               setup.bw_shares);
     }
     std::ifstream rprobe(setup.db_cache, std::ios::binary);
     db_cache_hit = rprobe.good();
@@ -370,6 +381,7 @@ int main(int argc, char** argv) {
   const workload::SpecSuite& suite = workload::spec_suite();
   qosrm::arch::SystemConfig system;
   system.cores = setup.cores;
+  system.bw = qosrm::arch::bw_config_for_shares(setup.bw_shares);
   const qosrm::power::PowerModel power;
 
   workload::SimDbOptions db_options;
@@ -464,6 +476,7 @@ int main(int argc, char** argv) {
       worker.argv = {
           exe,
           qosrm::format("--cores=%d", setup.cores),
+          qosrm::format("--bw-shares=%d", setup.bw_shares),
           qosrm::format("--num-arrivals=%zu", setup.config.arrivals),
           qosrm::format("--seed=%llu",
                         static_cast<unsigned long long>(setup.config.seed)),

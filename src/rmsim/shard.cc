@@ -84,7 +84,7 @@ void write_row(BinaryWriter& w, const SweepRow& row) {
   };
   const auto read_policy = [&r]() {
     const std::uint32_t v = r.read_u32();
-    if (v > 3) r.fail();
+    if (v > static_cast<std::uint32_t>(rm::RmPolicy::ClassPart)) r.fail();
     return static_cast<rm::RmPolicy>(v);
   };
   const auto read_model = [&r]() {
@@ -158,7 +158,7 @@ void write_service_row(BinaryWriter& w, const ServiceRow& row) {
   row.pattern = static_cast<workload::ArrivalPattern>(pattern);
   row.load = r.read_f64();
   const std::uint32_t policy = r.read_u32();
-  if (policy > 3) r.fail();
+  if (policy > static_cast<std::uint32_t>(rm::RmPolicy::ClassPart)) r.fail();
   row.policy = static_cast<rm::RmPolicy>(policy);
   const std::uint32_t model = r.read_u32();
   if (model > 3) r.fail();

@@ -57,6 +57,9 @@ void print_usage() {
       "                     preserving replication (default 1; e.g.\n"
       "                     --cores=4 --replicate=2 sweeps 8-core scaled\n"
       "                     versions of the 4-core paper mixes)\n"
+      "  --bw-shares=N      memory-bandwidth shares per core (default 1 =\n"
+      "                     unpartitioned bandwidth; N >= 2 adds the CBP\n"
+      "                     share axis to the optimizer's knob space)\n"
       "  --per-scenario=N   workload mixes per scenario (default 1; paper: 6)\n"
       "  --seed=N           workload-generation seed (default 2020)\n"
       "  --policies=LIST    comma list of idle|rm1|rm2|rm3|ucp|fcp|classpart\n"
@@ -104,6 +107,7 @@ std::string self_exe_path(const char* argv0) {
 struct SweepSetup {
   int cores = 4;
   int replicate = 1;  ///< scenario-preserving mix scaling factor
+  int bw_shares = 1;  ///< baseline memory-bandwidth shares per core
   int threads = 0;
   int per_scenario = 1;
   std::uint64_t seed = 2020;
@@ -126,6 +130,7 @@ std::uint64_t setup_fingerprint(const SweepSetup& setup,
                                 const rmsim::SweepOptions& options) {
   qosrm::arch::SystemConfig system;
   system.cores = setup.total_cores();
+  system.bw = qosrm::arch::bw_config_for_shares(setup.bw_shares);
   const std::uint64_t db_fp = workload::simdb_fingerprint(
       workload::spec_suite(), system, workload::PhaseStatsOptions{});
   return rmsim::sweep_fingerprint(setup.grid, options.sim, db_fp);
@@ -176,10 +181,10 @@ int main(int argc, char** argv) {
   // Reject unknown flags: a typo'd flag name would otherwise silently run
   // a default sweep labeled as if the request had been honored.
   static const std::set<std::string> kKnownFlags = {
-      "cores",      "replicate",    "per-scenario", "seed",    "policies",
-      "models",     "alphas",       "threads",      "rows-csv", "agg-csv",
-      "report-json", "overheads",   "db-cache",     "shard",
-      "part-output", "workers",     "parts-dir",    "resume",  "keep-parts"};
+      "cores",      "replicate",    "bw-shares",    "per-scenario", "seed",
+      "policies",   "models",       "alphas",       "threads",     "rows-csv",
+      "agg-csv",    "report-json",  "overheads",    "db-cache",    "shard",
+      "part-output", "workers",     "parts-dir",    "resume",      "keep-parts"};
   for (const std::string& flag : args.flag_names()) {
     if (!kKnownFlags.count(flag)) {
       std::fprintf(stderr, "unknown flag --%s (see --help)\n", flag.c_str());
@@ -245,6 +250,7 @@ int main(int argc, char** argv) {
   SweepSetup setup;
   setup.cores = static_cast<int>(args.get_int("cores", 4));
   setup.replicate = static_cast<int>(args.get_int("replicate", 1));
+  setup.bw_shares = static_cast<int>(args.get_int("bw-shares", 1));
   setup.threads = static_cast<int>(args.get_int("threads", 0));
   setup.per_scenario = static_cast<int>(args.get_int("per-scenario", 1));
   if (setup.cores < 1 || setup.replicate < 1 || setup.per_scenario < 1 ||
@@ -252,6 +258,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--cores/--replicate/--per-scenario must be >= 1 and "
                  "--threads >= 0\n");
+    return 1;
+  }
+  if (setup.bw_shares < 1) {
+    std::fprintf(stderr, "--bw-shares must be >= 1\n");
     return 1;
   }
   setup.seed = static_cast<std::uint64_t>(args.get_int("seed", 2020));
@@ -338,8 +348,8 @@ int main(int argc, char** argv) {
     // QOSRM_DB_CACHE_DIR use; resolve it the same way.
     std::error_code ec;
     if (std::filesystem::is_directory(setup.db_cache, ec)) {
-      setup.db_cache =
-          workload::db_cache_path(setup.db_cache, setup.total_cores());
+      setup.db_cache = workload::db_cache_path(
+          setup.db_cache, setup.total_cores(), setup.bw_shares);
     }
     std::ifstream rprobe(setup.db_cache, std::ios::binary);
     db_cache_hit = rprobe.good();
@@ -360,6 +370,7 @@ int main(int argc, char** argv) {
   const workload::SpecSuite& suite = workload::spec_suite();
   qosrm::arch::SystemConfig system;
   system.cores = setup.total_cores();
+  system.bw = qosrm::arch::bw_config_for_shares(setup.bw_shares);
   const qosrm::power::PowerModel power;
 
   workload::SimDbOptions db_options;
@@ -464,6 +475,7 @@ int main(int argc, char** argv) {
           exe,
           qosrm::format("--cores=%d", setup.cores),
           qosrm::format("--replicate=%d", setup.replicate),
+          qosrm::format("--bw-shares=%d", setup.bw_shares),
           qosrm::format("--per-scenario=%d", setup.per_scenario),
           qosrm::format("--seed=%llu",
                         static_cast<unsigned long long>(setup.seed)),

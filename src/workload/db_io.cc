@@ -87,6 +87,18 @@ std::uint64_t simdb_fingerprint(const SpecSuite& suite,
   h.add_f64(system.mem_latency_s);
   h.add_f64(system.qos_alpha);
 
+  // The bandwidth-partition config is hashed only when non-degenerate: the
+  // default unpartitioned system keeps the exact pre-CBP fingerprint (so
+  // every existing snapshot, golden report and stamped fingerprint stays
+  // valid), while any partitioned grid gets a distinct identity and can
+  // never cross-merge with a ways-only one.
+  if (!system.bw.degenerate()) {
+    h.add_i64(system.bw.shares_per_core_baseline);
+    h.add_i64(system.bw.min_shares);
+    h.add_i64(system.bw.max_shares);
+    h.add_f64(system.bw.contention);
+  }
+
   h.add_i64(options.synth.sets);
   h.add_i64(options.synth.max_ways);
   h.add_f64(options.synth.represented_instructions);
@@ -231,8 +243,14 @@ std::optional<SimDb> load_simdb(const SpecSuite& suite,
   return SimDb(suite, system, power, options, std::move(stats));
 }
 
-std::string db_cache_path(const std::string& dir, int cores) {
+std::string db_cache_path(const std::string& dir, int cores, int bw_shares) {
   const bool needs_sep = !dir.empty() && dir.back() != '/';
+  if (bw_shares > 1) {
+    // Partitioned-bandwidth snapshots carry a distinct name so a ways-only
+    // cache is never probed (and fingerprint-rejected) for a CBP run.
+    return format("%s%ssuite-c%d-b%d%s", dir.c_str(), needs_sep ? "/" : "",
+                  cores, bw_shares, kSimDbSnapshotExtension);
+  }
   return format("%s%ssuite-c%d%s", dir.c_str(), needs_sep ? "/" : "", cores,
                 kSimDbSnapshotExtension);
 }

@@ -55,8 +55,10 @@ bool save_simdb(const SimDb& db, const std::string& path, std::string* error);
                                               std::string* error);
 
 /// Per-core-count snapshot path under a cache directory (or path prefix):
-/// "<dir>/suite-c<cores><.qosdb>".
-[[nodiscard]] std::string db_cache_path(const std::string& dir, int cores);
+/// "<dir>/suite-c<cores><.qosdb>"; a partitioned-bandwidth run
+/// (bw_shares > 1) gets the distinct "<dir>/suite-c<cores>-b<shares>" name.
+[[nodiscard]] std::string db_cache_path(const std::string& dir, int cores,
+                                        int bw_shares = 1);
 
 /// How warm_simdb obtained its database.
 enum class DbCacheOutcome {

@@ -11,6 +11,7 @@ Setting baseline_setting(const arch::SystemConfig& system) {
   s.c = arch::kBaselineCoreSize;
   s.f_idx = arch::VfTable::kBaselineIndex;
   s.w = system.llc.ways_per_core_baseline;
+  s.b = system.bw.shares_per_core_baseline;
   return s;
 }
 
@@ -31,9 +32,13 @@ EvalTable::EvalTable(const SpecSuite& suite, const arch::SystemConfig& system,
       const PhaseStats& st = per_app[ph];
       PhaseGrid& g = app_grids[ph];
       g.max_ways = st.max_ways();
+      g.min_shares = system.bw.min_shares;
+      g.num_shares = system.bw.num_allocations();
       QOSRM_CHECK(g.max_ways >= 1);
+      QOSRM_CHECK(g.num_shares >= 1);
       const std::size_t cells = static_cast<std::size_t>(arch::kNumCoreSizes) *
                                 static_cast<std::size_t>(arch::VfTable::kNumPoints) *
+                                static_cast<std::size_t>(g.num_shares) *
                                 static_cast<std::size_t>(g.max_ways);
       g.timing.resize(cells);
       g.energy.resize(cells);
@@ -48,21 +53,32 @@ EvalTable::EvalTable(const SpecSuite& suite, const arch::SystemConfig& system,
       std::size_t idx = 0;
       for (const arch::CoreSize c : arch::kAllCoreSizes) {
         for (int f = 0; f < arch::VfTable::kNumPoints; ++f) {
-          for (int w = 1; w <= g.max_ways; ++w, ++idx) {
-            const arch::IntervalTiming t = arch::evaluate_interval(
-                chars, st.memory_truth(c, w, system.mem_latency_s), c,
-                arch::VfTable::frequency_hz(f));
-            g.timing[idx] = t;
-            const power::IntervalEnergy e = power.interval_energy(
-                c, arch::VfTable::point(f), t, st.interval_instructions,
-                st.dram_accesses(w));
-            g.energy[idx] = e;
-            // SoA companions: copies of the struct fields, so every scalar
-            // accessor is bit-identical to the struct lookup.
-            g.total_s[idx] = t.total_seconds;
-            g.mem_s[idx] = t.mem_seconds;
-            g.core_j[idx] = e.core_j();
-            g.total_j[idx] = e.total_j();
+          for (int bi = 0; bi < g.num_shares; ++bi) {
+            // CBP-style bandwidth ground truth: b granted shares inflate
+            // (or, above the baseline share, deflate) the effective DRAM
+            // latency by the queuing-contention multiplier. The baseline
+            // share's multiplier is exactly 1.0, so its cells - the entire
+            // grid, in the degenerate single-share default - are
+            // bit-identical to the pre-CBP evaluation.
+            const double l_eff =
+                system.mem_latency_s *
+                arch::bw_latency_scale(system.bw, g.min_shares + bi);
+            for (int w = 1; w <= g.max_ways; ++w, ++idx) {
+              const arch::IntervalTiming t = arch::evaluate_interval(
+                  chars, st.memory_truth(c, w, l_eff), c,
+                  arch::VfTable::frequency_hz(f));
+              g.timing[idx] = t;
+              const power::IntervalEnergy e = power.interval_energy(
+                  c, arch::VfTable::point(f), t, st.interval_instructions,
+                  st.dram_accesses(w));
+              g.energy[idx] = e;
+              // SoA companions: copies of the struct fields, so every scalar
+              // accessor is bit-identical to the struct lookup.
+              g.total_s[idx] = t.total_seconds;
+              g.mem_s[idx] = t.mem_seconds;
+              g.core_j[idx] = e.core_j();
+              g.total_j[idx] = e.total_j();
+            }
           }
         }
       }
@@ -102,22 +118,29 @@ const EvalTable::PhaseGrid& EvalTable::grid(int app, int phase) const {
 }
 
 std::size_t EvalTable::flat_index(const PhaseGrid& g, const Setting& s) {
-  // Ways clamp like PhaseStats accessors do; c and f are hard grid bounds.
+  // Ways and shares clamp like PhaseStats accessors do; c and f are hard
+  // grid bounds.
   const int w = std::clamp(s.w, 1, g.max_ways);
+  const int b = std::clamp(s.b, g.min_shares, g.min_shares + g.num_shares - 1);
   QOSRM_CHECK(s.f_idx >= 0 && s.f_idx < arch::VfTable::kNumPoints);
   const auto c_idx = static_cast<std::size_t>(arch::core_size_index(s.c));
-  return (c_idx * static_cast<std::size_t>(arch::VfTable::kNumPoints) +
-          static_cast<std::size_t>(s.f_idx)) *
+  return ((c_idx * static_cast<std::size_t>(arch::VfTable::kNumPoints) +
+           static_cast<std::size_t>(s.f_idx)) *
+              static_cast<std::size_t>(g.num_shares) +
+          static_cast<std::size_t>(b - g.min_shares)) *
              static_cast<std::size_t>(g.max_ways) +
          static_cast<std::size_t>(w - 1);
 }
 
 std::size_t EvalTable::row_offset(const PhaseGrid& g, arch::CoreSize c,
-                                  int f_idx) {
+                                  int f_idx, int b) {
   QOSRM_CHECK(f_idx >= 0 && f_idx < arch::VfTable::kNumPoints);
+  const int bc = std::clamp(b, g.min_shares, g.min_shares + g.num_shares - 1);
   const auto c_idx = static_cast<std::size_t>(arch::core_size_index(c));
-  return (c_idx * static_cast<std::size_t>(arch::VfTable::kNumPoints) +
-          static_cast<std::size_t>(f_idx)) *
+  return ((c_idx * static_cast<std::size_t>(arch::VfTable::kNumPoints) +
+           static_cast<std::size_t>(f_idx)) *
+              static_cast<std::size_t>(g.num_shares) +
+          static_cast<std::size_t>(bc - g.min_shares)) *
          static_cast<std::size_t>(g.max_ways);
 }
 
@@ -149,17 +172,17 @@ double EvalTable::total_joules(int app, int phase, const Setting& s) const {
 
 std::span<const double> EvalTable::total_seconds_row(int app, int phase,
                                                      arch::CoreSize c,
-                                                     int f_idx) const {
+                                                     int f_idx, int b) const {
   const PhaseGrid& g = grid(app, phase);
-  return {g.total_s.data() + row_offset(g, c, f_idx),
+  return {g.total_s.data() + row_offset(g, c, f_idx, b),
           static_cast<std::size_t>(g.max_ways)};
 }
 
 std::span<const double> EvalTable::mem_seconds_row(int app, int phase,
                                                    arch::CoreSize c,
-                                                   int f_idx) const {
+                                                   int f_idx, int b) const {
   const PhaseGrid& g = grid(app, phase);
-  return {g.mem_s.data() + row_offset(g, c, f_idx),
+  return {g.mem_s.data() + row_offset(g, c, f_idx, b),
           static_cast<std::size_t>(g.max_ways)};
 }
 

@@ -31,13 +31,26 @@
 
 namespace qosrm::workload {
 
-/// A concrete resource setting for one core.
+/// A concrete resource setting for one core: the full multi-resource
+/// allocation vector (core size, VF point, LLC ways, memory-bandwidth
+/// shares). `b` defaults to the degenerate single share, so ways-only code
+/// paths and literals keep their pre-CBP meaning.
 struct Setting {
   arch::CoreSize c = arch::kBaselineCoreSize;
   int f_idx = arch::VfTable::kBaselineIndex;
   int w = 8;
+  int b = 1;  ///< granted memory-bandwidth shares
 
   [[nodiscard]] bool operator==(const Setting&) const = default;
+};
+
+/// The per-core slice of a global resource allocation: the shared-resource
+/// pair the global optimizer distributes (ways x bandwidth shares).
+struct ResourceAlloc {
+  int ways = 0;
+  int bw_shares = 1;
+
+  [[nodiscard]] bool operator==(const ResourceAlloc&) const = default;
 };
 
 /// The baseline system setting (M core, 2 GHz, even LLC split).
@@ -80,16 +93,20 @@ class EvalTable {
   /// energy(...).total_j() without the struct copy.
   [[nodiscard]] double total_joules(int app, int phase, const Setting& s) const;
 
-  /// Contiguous w-row of interval wall-clock times at fixed (c, f_idx):
-  /// element w-1 equals timing(app, phase, {c, f_idx, w}).total_seconds for
-  /// w in [1, row.size()]. The batched form of a per-setting sweep over w.
+  /// Contiguous w-row of interval wall-clock times at fixed (c, f_idx, b):
+  /// element w-1 equals timing(app, phase, {c, f_idx, w, b}).total_seconds
+  /// for w in [1, row.size()]. The batched form of a per-setting sweep over
+  /// w. Rows are bw-major: all w-rows of one (c, f) block sit back to back
+  /// in ascending b, so a b-sweep at fixed (c, f) streams contiguously too.
   [[nodiscard]] std::span<const double> total_seconds_row(int app, int phase,
                                                           arch::CoreSize c,
-                                                          int f_idx) const;
-  /// Contiguous w-row of interval memory stall times at fixed (c, f_idx).
+                                                          int f_idx,
+                                                          int b = 1) const;
+  /// Contiguous w-row of interval memory stall times at fixed (c, f_idx, b).
   [[nodiscard]] std::span<const double> mem_seconds_row(int app, int phase,
                                                         arch::CoreSize c,
-                                                        int f_idx) const;
+                                                        int f_idx,
+                                                        int b = 1) const;
 
   // --- dense interval keys -------------------------------------------------
   // Every (app, phase, setting) cell of this table has a unique dense key in
@@ -118,9 +135,16 @@ class EvalTable {
   [[nodiscard]] bool empty() const noexcept { return grids_.empty(); }
 
  private:
-  /// Dense per-phase grid, [c][f][w-1] flattened row-major.
+  /// Dense per-phase grid, [c][f][b][w-1] flattened row-major (bw-major
+  /// w-rows: the w axis stays innermost and contiguous; the share axis sits
+  /// directly above it). The share axis covers [min_shares, max_shares] of
+  /// the system's BwConfig and has exactly one point in the degenerate
+  /// default, where the layout (and every stored byte) is identical to the
+  /// pre-CBP [c][f][w-1] grid.
   struct PhaseGrid {
     int max_ways = 0;
+    int min_shares = 1;    ///< lowest share the b axis covers
+    int num_shares = 1;    ///< extent of the b axis
     double baseline_time_s = 0.0;
     std::int64_t key_off = 0;  ///< cumulative cell offset (interval keys)
     std::vector<arch::IntervalTiming> timing;
@@ -139,9 +163,10 @@ class EvalTable {
 
   [[nodiscard]] const PhaseGrid& grid(int app, int phase) const;
   [[nodiscard]] static std::size_t flat_index(const PhaseGrid& g, const Setting& s);
-  /// Flat offset of the contiguous w-row at (c, f_idx).
+  /// Flat offset of the contiguous w-row at (c, f_idx, b).
   [[nodiscard]] static std::size_t row_offset(const PhaseGrid& g,
-                                              arch::CoreSize c, int f_idx);
+                                              arch::CoreSize c, int f_idx,
+                                              int b);
 
   std::vector<std::vector<PhaseGrid>> grids_;  // [app][phase]
   std::vector<AppAggregates> aggregates_;      // [app]

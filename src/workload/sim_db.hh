@@ -90,19 +90,21 @@ class SimDb {
     return table_.total_joules(app, phase, s);
   }
 
-  /// Contiguous w-row of interval wall-clock times at fixed (c, f_idx);
-  /// element w-1 is timing(app, phase, {c, f_idx, w}).total_seconds.
+  /// Contiguous w-row of interval wall-clock times at fixed (c, f_idx, b);
+  /// element w-1 is timing(app, phase, {c, f_idx, w, b}).total_seconds.
   [[nodiscard]] std::span<const double> total_seconds_row(int app, int phase,
                                                           arch::CoreSize c,
-                                                          int f_idx) const {
-    return table_.total_seconds_row(app, phase, c, f_idx);
+                                                          int f_idx,
+                                                          int b = 1) const {
+    return table_.total_seconds_row(app, phase, c, f_idx, b);
   }
 
-  /// Contiguous w-row of interval memory stall times at fixed (c, f_idx).
+  /// Contiguous w-row of interval memory stall times at fixed (c, f_idx, b).
   [[nodiscard]] std::span<const double> mem_seconds_row(int app, int phase,
                                                         arch::CoreSize c,
-                                                        int f_idx) const {
-    return table_.mem_seconds_row(app, phase, c, f_idx);
+                                                        int f_idx,
+                                                        int b = 1) const {
+    return table_.mem_seconds_row(app, phase, c, f_idx, b);
   }
 
   /// Dense memo key of the (app, phase, setting) evaluation cell.

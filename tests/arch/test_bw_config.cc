@@ -1,0 +1,84 @@
+// Memory-bandwidth partitioning configuration (the CBP third knob,
+// arXiv:2102.11528). The load-bearing property is the DEGENERATE-CASE
+// guarantee: an unpartitioned config must scale nothing - bit for bit - so
+// every pre-CBP golden stays byte-identical.
+#include "arch/system_config.hh"
+
+#include <gtest/gtest.h>
+
+namespace qosrm::arch {
+namespace {
+
+TEST(BwConfig, DefaultIsDegenerate) {
+  const BwConfig bw;
+  EXPECT_TRUE(bw.degenerate());
+  EXPECT_EQ(bw.num_allocations(), 1);
+  EXPECT_EQ(bw.total_shares(4), 4);
+  const SystemConfig sys;
+  EXPECT_TRUE(sys.bw.degenerate());
+  EXPECT_EQ(sys.total_shares(), sys.cores);
+}
+
+TEST(BwConfig, LatencyScaleIsExactlyOneAtBaseline) {
+  // b_base/b == 1.0 exactly, so the scale is the literal double 1.0 and any
+  // product taken with it is bitwise unchanged - the mechanism behind the
+  // golden byte-identity at bw_shares=1.
+  for (int base : {1, 2, 3, 4, 8}) {
+    BwConfig bw = bw_config_for_shares(base);
+    EXPECT_EQ(bw_latency_scale(bw, base), 1.0) << "baseline " << base;
+    const double latency = 41.7e-9;
+    EXPECT_EQ(latency * bw_latency_scale(bw, base), latency);
+  }
+}
+
+TEST(BwConfig, LatencyRisesWhenSharesShrinkAndFloorsWhenTheyGrow) {
+  const BwConfig bw = bw_config_for_shares(4);  // min 3, max 5
+  const double at_min = bw_latency_scale(bw, 3);
+  const double at_base = bw_latency_scale(bw, 4);
+  const double at_max = bw_latency_scale(bw, 5);
+  EXPECT_GT(at_min, at_base);
+  EXPECT_LT(at_max, at_base);
+  // 1 + 0.5*(4/3 - 1) ; 1 + 0.5*(4/5 - 1).
+  EXPECT_DOUBLE_EQ(at_min, 1.0 + 0.5 * (4.0 / 3.0 - 1.0));
+  EXPECT_DOUBLE_EQ(at_max, 1.0 + 0.5 * (4.0 / 5.0 - 1.0));
+  // The floor as b -> inf is 1 - contention.
+  EXPECT_GT(at_max, 1.0 - bw.contention);
+}
+
+TEST(BwConfig, ScaleClampsOutOfRangeShares) {
+  const BwConfig bw = bw_config_for_shares(4);  // min 3, max 5
+  EXPECT_EQ(bw_latency_scale(bw, 0), bw_latency_scale(bw, 3));
+  EXPECT_EQ(bw_latency_scale(bw, 2), bw_latency_scale(bw, 3));
+  EXPECT_EQ(bw_latency_scale(bw, 6), bw_latency_scale(bw, 5));
+  EXPECT_EQ(bw_latency_scale(bw, 100), bw_latency_scale(bw, 5));
+}
+
+TEST(BwConfig, ForSharesMapsTheCliKnob) {
+  // N <= 1 collapses to the degenerate config, not merely a 1-wide range.
+  EXPECT_TRUE(bw_config_for_shares(0).degenerate());
+  EXPECT_TRUE(bw_config_for_shares(1).degenerate());
+  // N >= 2: baseline N, range N +- max(1, N/4) - deliberately narrow so
+  // the (ways x shares) DP grid stays within the invoke-latency budget.
+  const BwConfig two = bw_config_for_shares(2);
+  EXPECT_FALSE(two.degenerate());
+  EXPECT_EQ(two.shares_per_core_baseline, 2);
+  EXPECT_EQ(two.min_shares, 1);
+  EXPECT_EQ(two.max_shares, 3);
+  const BwConfig four = bw_config_for_shares(4);
+  EXPECT_EQ(four.min_shares, 3);
+  EXPECT_EQ(four.max_shares, 5);
+  EXPECT_EQ(four.num_allocations(), 3);
+  const BwConfig eight = bw_config_for_shares(8);
+  EXPECT_EQ(eight.min_shares, 6);
+  EXPECT_EQ(eight.max_shares, 10);
+  // The baseline allocation is always inside the range.
+  for (int n = 1; n <= 16; ++n) {
+    const BwConfig bw = bw_config_for_shares(n);
+    EXPECT_LE(bw.min_shares, bw.shares_per_core_baseline) << n;
+    EXPECT_GE(bw.max_shares, bw.shares_per_core_baseline) << n;
+    EXPECT_GE(bw.min_shares, 1) << n;
+  }
+}
+
+}  // namespace
+}  // namespace qosrm::arch

@@ -1,0 +1,54 @@
+// QOSRM_SIMD override resolution. active_level() caches its answer in a
+// function-local static, so these tests drive resolve_level() directly with
+// explicit override strings instead of mutating the environment.
+#include "common/simd.hh"
+
+#include <gtest/gtest.h>
+
+namespace qosrm::simd {
+namespace {
+
+TEST(SimdResolve, UnsetAndAutoKeepBuildPolicy) {
+  const Level policy = resolve_level(nullptr);
+  EXPECT_EQ(resolve_level(""), policy);
+  EXPECT_EQ(resolve_level("auto"), policy);
+}
+
+TEST(SimdResolve, ScalarAlwaysAccepted) {
+  EXPECT_EQ(resolve_level("scalar"), Level::Scalar);
+}
+
+TEST(SimdResolve, Avx2AcceptedWhenAvailable) {
+  if (!(avx2_compiled() && avx2_supported())) {
+    GTEST_SKIP() << "AVX2 path not available on this build/CPU";
+  }
+  EXPECT_EQ(resolve_level("avx2"), Level::Avx2);
+}
+
+TEST(SimdResolve, LevelNames) {
+  EXPECT_STREQ(level_name(Level::Scalar), "scalar");
+  EXPECT_STREQ(level_name(Level::Avx2), "avx2");
+}
+
+using SimdResolveDeathTest = ::testing::Test;
+
+TEST(SimdResolveDeathTest, UnknownValueDiesNamingValueAndAcceptedSet) {
+  EXPECT_DEATH((void)resolve_level("avx512"),
+               "unrecognized QOSRM_SIMD value \"avx512\".*"
+               "auto\\|avx2\\|scalar");
+}
+
+TEST(SimdResolveDeathTest, CaseMattersAndWhitespaceIsNotTrimmed) {
+  EXPECT_DEATH((void)resolve_level("AVX2"), "\"AVX2\"");
+  EXPECT_DEATH((void)resolve_level(" scalar"), "\" scalar\"");
+}
+
+TEST(SimdResolveDeathTest, ForcedAvx2DiesWhenUnavailable) {
+  if (avx2_compiled() && avx2_supported()) {
+    GTEST_SKIP() << "AVX2 path available; forced avx2 is legal here";
+  }
+  EXPECT_DEATH((void)resolve_level("avx2"), "not.*available");
+}
+
+}  // namespace
+}  // namespace qosrm::simd

@@ -1,0 +1,82 @@
+// The --bw-shares CLI contract on the REAL binaries, plus the cross-merge
+// guard: shard parts produced under different bandwidth-partitioning
+// configurations must never merge.
+//
+// The binaries are spawned through sh so their diagnostics don't clutter the
+// test log; a value below 1 is a clean usage error (exit 1) and garbage is a
+// hard QOSRM_CHECK abort from the strict get_int parser (signal exit).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arch/system_config.hh"
+#include "common/subprocess.hh"
+#include "rmsim/shard.hh"
+#include "rmsim/sweep.hh"
+#include "workload/db_io.hh"
+#include "workload/spec_suite.hh"
+
+namespace qosrm::rmsim {
+namespace {
+
+int run_silenced(const std::string& binary, const std::string& flag) {
+  const std::string cmd =
+      std::string(QOSRM_BIN_DIR) + "/" + binary + " " + flag + " >/dev/null 2>&1";
+  Subprocess child = Subprocess::spawn({"sh", "-c", cmd});
+  const SubprocessExit exit = child.wait();
+  // sh reports a signal death as 128 + signo; pass both forms through.
+  return exit.exited ? exit.exit_code : 128 + exit.term_signal;
+}
+
+class BwSharesCli : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BwSharesCli, RejectsZeroAndNegativeWithUsageError) {
+  const std::string binary = GetParam();
+  EXPECT_EQ(run_silenced(binary, "--bw-shares=0"), 1);
+  EXPECT_EQ(run_silenced(binary, "--bw-shares=-2"), 1);
+}
+
+TEST_P(BwSharesCli, RejectsGarbageViaStrictIntegerParse) {
+  const std::string binary = GetParam();
+  // SIGABRT from QOSRM_CHECK -> 128 + 6 through sh.
+  EXPECT_EQ(run_silenced(binary, "--bw-shares=abc"), 134);
+  EXPECT_EQ(run_silenced(binary, "--bw-shares=2.5"), 134);
+  EXPECT_EQ(run_silenced(binary, "--bw-shares="), 134);
+}
+
+INSTANTIATE_TEST_SUITE_P(Binaries, BwSharesCli,
+                         ::testing::Values("sweep_main", "service_main"));
+
+// Parts stamped under different share counts carry different fingerprints
+// (the bw config feeds simdb_fingerprint, which feeds sweep_fingerprint),
+// so the merger refuses the mix outright.
+TEST(BwSharesCli, PartsFromDifferentShareCountsNeverCrossMerge) {
+  auto fingerprint_for = [](int bw_shares) {
+    arch::SystemConfig system;
+    system.cores = 2;
+    system.bw = arch::bw_config_for_shares(bw_shares);
+    const std::uint64_t db_fp = workload::simdb_fingerprint(
+        workload::spec_suite(), system, workload::PhaseStatsOptions{});
+    return sweep_fingerprint(SweepGrid{}, SimOptions{}, db_fp);
+  };
+  const std::uint64_t fp1 = fingerprint_for(1);
+  const std::uint64_t fp2 = fingerprint_for(2);
+  ASSERT_NE(fp1, fp2);
+
+  SweepPart a;
+  a.fingerprint = fp1;
+  a.shard_index = 0;
+  a.shard_count = 2;
+  SweepPart b;
+  b.fingerprint = fp2;
+  b.shard_index = 1;
+  b.shard_count = 2;
+
+  std::string error;
+  const auto merged = merge_sweep_parts({a, b}, &error);
+  EXPECT_FALSE(merged.has_value());
+  EXPECT_NE(error.find("different sweep"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace qosrm::rmsim

@@ -236,6 +236,70 @@ TEST(GoldenBaselineAggregates, BaselineGridMatchesCommittedGolden) {
 }
 
 // ---------------------------------------------------------------------------
+// CBP golden gate: a small 4-core grid with the memory-bandwidth knob
+// engaged (--bw-shares=2, i.e. share axis [1, 3] around a 2-share baseline).
+// This is the ONLY golden whose results flow through the genuinely 2-D
+// (ways x shares) optimizer path - the paper grids above all run the
+// degenerate single-share configuration and pin its byte-identity instead.
+// The nightly paper-grid job re-runs this grid through the sweep_main binary
+// and diffs the same committed files.
+//
+// Regenerate with:
+//   ./build/src/sweep_main --cores=4 --per-scenario=1 --bw-shares=2 \
+//       --models=model3 --alphas=1,1.05,1.1 --db-cache=.qosdb-cache \
+//       --rows-csv=/tmp/cbp_rows.csv \
+//       --agg-csv=tests/data/golden_cbp_grid_agg.csv \
+//       --report-json=tests/data/golden_cbp_grid_report.json
+
+TEST(GoldenCbpAggregates, BandwidthPartitionedGridMatchesCommittedGolden) {
+  const workload::SimDb& db = testing::shared_db(4, /*bw_shares=*/2);
+
+  workload::WorkloadGenOptions gen;
+  gen.cores = 4;
+  gen.per_scenario = 1;
+  gen.seed = 2020;
+  SweepGrid grid;
+  grid.mixes = workload::generate_workloads(db.suite(), gen);
+  grid.policies = {rm::RmPolicy::Idle, rm::RmPolicy::Rm1, rm::RmPolicy::Rm2,
+                   rm::RmPolicy::Rm3};
+  grid.models = {rm::PerfModelKind::Model3};
+  grid.qos_alphas = {1.0, 1.05, 1.1};
+
+  SweepRunner runner(db, {});
+  const SweepResult result = runner.run(grid);
+  ASSERT_EQ(result.rows.size(), 4u * 4u * 1u * 3u);
+
+  const std::string actual_path =
+      ::testing::TempDir() + "/golden_check_cbp_agg.csv";
+  write_aggregates_csv(result, actual_path);
+  const std::string actual = slurp(actual_path);
+  std::remove(actual_path.c_str());
+
+  const std::string golden_path =
+      std::string(QOSRM_TEST_DATA_DIR) + "/golden_cbp_grid_agg.csv";
+  const std::string golden = slurp(golden_path);
+  ASSERT_FALSE(golden.empty()) << golden_path;
+  EXPECT_EQ(actual, golden)
+      << "CBP-grid aggregates drifted from " << golden_path
+      << "\nIf the change is intentional, regenerate the golden files (see "
+         "the header of this test) and justify the numerical diff in the "
+         "same commit.";
+
+  const FigureReport report = build_figure_report(
+      result.rows, grid.shape(),
+      sweep_fingerprint(grid, SimOptions{},
+                        workload::simdb_fingerprint(db.suite(), db.system(),
+                                                    db.phase_options())),
+      scenario_weights(db.suite()));
+  const std::string report_path =
+      std::string(QOSRM_TEST_DATA_DIR) + "/golden_cbp_grid_report.json";
+  const std::string golden_report = slurp(report_path);
+  ASSERT_FALSE(golden_report.empty()) << report_path;
+  EXPECT_EQ(figure_report_json(report), golden_report)
+      << "CBP-grid figure report drifted from " << report_path;
+}
+
+// ---------------------------------------------------------------------------
 // Scaled paper grids: the same 24 paper mixes replicated scenario-preserving
 // onto 8 and 16 cores (sweep_main --cores=4 --replicate=2|4). These pin the
 // optimizer hot path at the core counts where the vectorized DP and the

@@ -190,6 +190,61 @@ TEST(SweepPartTest, RoundTripIsBitIdentical) {
   std::remove(path.c_str());
 }
 
+TEST(SweepPartTest, PartitioningBaselinePoliciesSurviveRoundTrip) {
+  // Regression: the deserializer range-checked policy values against the
+  // pre-baseline enum (<= Rm3), so any part holding Ucp/Fcp/ClassPart rows
+  // was rejected at merge time as "corrupt (truncated row data)".
+  SweepPart part = synthetic_part(0, 2);
+  ASSERT_GE(part.rows.size(), 3u);
+  const rm::RmPolicy extended[] = {rm::RmPolicy::Ucp, rm::RmPolicy::Fcp,
+                                   rm::RmPolicy::ClassPart};
+  for (std::size_t i = 0; i < 3; ++i) {
+    part.rows[i].policy = extended[i];
+    part.rows[i].result.run.policy = extended[i];
+  }
+  const std::string path = temp_path("baseline_policies.qospart");
+  std::string error;
+  ASSERT_TRUE(save_sweep_part(part, path, &error)) << error;
+  const std::optional<SweepPart> loaded = load_sweep_part(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->rows.size(), part.rows.size());
+  for (std::size_t i = 0; i < part.rows.size(); ++i) {
+    expect_rows_equal(loaded->rows[i], part.rows[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServicePartTest, PartitioningBaselinePoliciesSurviveRoundTrip) {
+  // Same regression as above for the service-part reader.
+  ServicePart part;
+  part.fingerprint = 0x5e41f1ce00000001ULL;
+  part.shape = ServiceGridShape{1, 1, 3, 1};
+  part.shard_index = 0;
+  part.shard_count = 1;
+  part.range = ShardRange{0, 3};
+  const rm::RmPolicy extended[] = {rm::RmPolicy::Ucp, rm::RmPolicy::Fcp,
+                                   rm::RmPolicy::ClassPart};
+  for (const rm::RmPolicy p : extended) {
+    ServiceRow row;
+    row.policy = p;
+    row.qos_alpha = 1.05;
+    row.metrics.arrivals = 11;
+    row.metrics.served = 10;
+    part.rows.push_back(row);
+  }
+  const std::string path = temp_path("baseline_policies_service.qospart");
+  std::string error;
+  ASSERT_TRUE(save_service_part(part, path, &error)) << error;
+  const std::optional<ServicePart> loaded = load_service_part(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->rows.size(), part.rows.size());
+  for (std::size_t i = 0; i < part.rows.size(); ++i) {
+    EXPECT_EQ(loaded->rows[i].policy, part.rows[i].policy);
+    EXPECT_EQ(loaded->rows[i].metrics.arrivals, part.rows[i].metrics.arrivals);
+  }
+  std::remove(path.c_str());
+}
+
 TEST(SweepPartTest, SaveRejectsInconsistentMetadata) {
   std::string error;
   const std::string path = temp_path("bad_meta.qospart");

@@ -1,6 +1,6 @@
 // Shared SimDb instance for database-heavy tests: characterizing the full
 // 27-app suite takes a few seconds, so tests within one binary share one
-// database per core count.
+// database per (core count, bandwidth-share count).
 //
 // When QOSRM_DB_CACHE_DIR is set, the database is restored from (or saved
 // to) a binary snapshot under that directory, so a whole `ctest -L slow` run
@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "power/power_model.hh"
 #include "workload/db_io.hh"
@@ -20,18 +21,21 @@
 
 namespace qosrm::testing {
 
-inline const workload::SimDb& shared_db(int cores = 2) {
-  static std::map<int, std::unique_ptr<workload::SimDb>> dbs;
-  auto it = dbs.find(cores);
+inline const workload::SimDb& shared_db(int cores = 2, int bw_shares = 1) {
+  static std::map<std::pair<int, int>, std::unique_ptr<workload::SimDb>> dbs;
+  const std::pair<int, int> key{cores, bw_shares};
+  auto it = dbs.find(key);
   if (it == dbs.end()) {
     arch::SystemConfig system;
     system.cores = cores;
+    system.bw = arch::bw_config_for_shares(bw_shares);
     const power::PowerModel power;
     const char* cache_dir = std::getenv("QOSRM_DB_CACHE_DIR");
     const std::string cache_path =
-        cache_dir != nullptr ? workload::db_cache_path(cache_dir, cores)
-                             : std::string();
-    it = dbs.emplace(cores,
+        cache_dir != nullptr
+            ? workload::db_cache_path(cache_dir, cores, bw_shares)
+            : std::string();
+    it = dbs.emplace(key,
                      std::make_unique<workload::SimDb>(workload::warm_simdb(
                          workload::spec_suite(), system, power, {}, cache_path)))
              .first;

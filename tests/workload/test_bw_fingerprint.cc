@@ -1,0 +1,82 @@
+// Snapshot/cache identity under the bandwidth-partitioning knob. Two
+// guarantees, pulling in opposite directions:
+//
+//   * A DEGENERATE config (bw_shares=1, the default) must hash to the exact
+//     pre-CBP fingerprint - the committed goldens and any .qosdb snapshots
+//     stamped before the knob existed must keep validating.
+//   * Any two DIFFERENT bandwidth configurations must never share a
+//     fingerprint or a cache path, so their artifacts can't cross-load.
+#include "workload/db_io.hh"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arch/system_config.hh"
+#include "workload/spec_suite.hh"
+
+namespace qosrm::workload {
+namespace {
+
+std::uint64_t fp_for(const arch::BwConfig& bw) {
+  arch::SystemConfig system;
+  system.bw = bw;
+  return simdb_fingerprint(spec_suite(), system, PhaseStatsOptions{});
+}
+
+TEST(BwFingerprint, DegenerateConfigsHashLikeThePreKnobSystem) {
+  // All of these ARE the unpartitioned system; the bw fields must not enter
+  // the hash at all (that is what keeps pre-knob snapshots loadable).
+  const std::uint64_t base = fp_for(arch::BwConfig{});
+  EXPECT_EQ(fp_for(arch::bw_config_for_shares(0)), base);
+  EXPECT_EQ(fp_for(arch::bw_config_for_shares(1)), base);
+  arch::BwConfig contention_only;
+  contention_only.contention = 0.9;  // unused while degenerate
+  EXPECT_EQ(fp_for(contention_only), base);
+}
+
+TEST(BwFingerprint, ShareCountsSeparate) {
+  const std::uint64_t base = fp_for(arch::BwConfig{});
+  const std::uint64_t two = fp_for(arch::bw_config_for_shares(2));
+  const std::uint64_t three = fp_for(arch::bw_config_for_shares(3));
+  const std::uint64_t four = fp_for(arch::bw_config_for_shares(4));
+  EXPECT_NE(two, base);
+  EXPECT_NE(three, base);
+  EXPECT_NE(four, base);
+  EXPECT_NE(two, three);
+  EXPECT_NE(two, four);
+  EXPECT_NE(three, four);
+}
+
+TEST(BwFingerprint, NonDegenerateParametersAllEnterTheHash) {
+  const arch::BwConfig base_bw = arch::bw_config_for_shares(4);
+  const std::uint64_t base = fp_for(base_bw);
+
+  arch::BwConfig bw = base_bw;
+  bw.min_shares += 1;
+  EXPECT_NE(fp_for(bw), base);
+
+  bw = base_bw;
+  bw.max_shares += 1;
+  EXPECT_NE(fp_for(bw), base);
+
+  bw = base_bw;
+  bw.contention = 0.25;
+  EXPECT_NE(fp_for(bw), base);
+}
+
+TEST(BwFingerprint, CachePathsSeparateShareCounts) {
+  // bw_shares=1 keeps the historic name (existing caches stay warm);
+  // partitioned runs get their own -b<N> file per share count.
+  EXPECT_EQ(db_cache_path("cache", 4), "cache/suite-c4.qosdb");
+  EXPECT_EQ(db_cache_path("cache", 4, 1), "cache/suite-c4.qosdb");
+  const std::string b2 = db_cache_path("cache", 4, 2);
+  const std::string b3 = db_cache_path("cache", 4, 3);
+  EXPECT_NE(b2, db_cache_path("cache", 4));
+  EXPECT_NE(b2, b3);
+  EXPECT_NE(db_cache_path("cache", 2, 2), b2);  // core count still separates
+  EXPECT_NE(b2.find("-b2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qosrm::workload
