@@ -101,21 +101,27 @@ void report_allocs(benchmark::State& state, std::uint64_t before) {
 }
 
 /// ServiceEngine::step() at a given (policy, core count, bandwidth-share
-/// count). One full trace pass warms every buffer to capacity before
-/// measurement; the measured loop wraps around via reset(), which is itself
-/// allocation-free after the warm pass, so a long measurement stays in the
-/// steady state throughout. bw_shares>1 drives the 2-D (ways x shares) RM
-/// path, which must stay allocation-free too.
+/// count, admission policy). One full trace pass warms every buffer to
+/// capacity before measurement; the measured loop wraps around via reset(),
+/// which is itself allocation-free after the warm pass, so a long
+/// measurement stays in the steady state throughout. bw_shares>1 drives the
+/// 2-D (ways x shares) RM path; sdf/qos-aware admission drives the queue
+/// scans and the rejection predicate - all required allocation-free.
 void BM_ServiceStep(benchmark::State& state) {
   const auto policy = static_cast<rm::RmPolicy>(state.range(0));
   const int cores = static_cast<int>(state.range(1));
   const int bw_shares = static_cast<int>(state.range(2));
+  const auto admission = static_cast<rmsim::AdmissionPolicy>(state.range(3));
   const workload::SimDb& db = bench_db(cores, bw_shares);
 
   rmsim::ServiceConfig config;
   config.arrivals = 512;
   rmsim::ServicePoint point;
   point.policy = policy;
+  point.admission = admission;
+  if (admission != rmsim::AdmissionPolicy::Fifo) {
+    point.load = 2.0;  // overload so the non-FIFO queue disciplines engage
+  }
   rmsim::ServiceEngine engine(db, config, point);
   (void)engine.run();  // warm pass: every buffer grows to capacity
   engine.reset();
@@ -130,10 +136,20 @@ BENCHMARK(BM_ServiceStep)
     ->ArgsProduct({{static_cast<long>(rm::RmPolicy::Idle),
                     static_cast<long>(rm::RmPolicy::Rm3)},
                    {4, 8, 16},
-                   {1}})
+                   {1},
+                   {static_cast<long>(rmsim::AdmissionPolicy::Fifo)}})
     // The 2-D configuration: 4 cores x 4 bandwidth shares per core.
-    ->ArgsProduct({{static_cast<long>(rm::RmPolicy::Rm3)}, {4}, {4}})
-    ->ArgNames({"policy", "cores", "bw_shares"});
+    ->ArgsProduct({{static_cast<long>(rm::RmPolicy::Rm3)},
+                   {4},
+                   {4},
+                   {static_cast<long>(rmsim::AdmissionPolicy::Fifo)}})
+    // The admission axis under overload (where its queue scans actually run).
+    ->ArgsProduct({{static_cast<long>(rm::RmPolicy::Rm3)},
+                   {4},
+                   {1},
+                   {static_cast<long>(rmsim::AdmissionPolicy::Sdf),
+                    static_cast<long>(rmsim::AdmissionPolicy::QosAware)}})
+    ->ArgNames({"policy", "cores", "bw_shares", "admission"});
 
 /// Arrival-trace synthesis into reused storage (the per-grid-point setup
 /// cost; allocation-free once the trace vector is at capacity).

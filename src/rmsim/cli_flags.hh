@@ -1,0 +1,44 @@
+// Canonical flag inventories of the four CLI binaries. Each main's strict
+// unknown-flag validation builds its known set from the array here, and the
+// flag-coverage test (tests/rmsim/test_cli_docs.cc) asserts every entry is
+// documented in docs/CLI.md - so adding a flag without documenting it, or
+// documenting a flag that does not exist, fails the fast suite.
+//
+// `--help` is accepted by every binary before validation runs, so it is
+// deliberately absent from the per-binary arrays (documented once in
+// docs/CLI.md instead).
+#ifndef QOSRM_RMSIM_CLI_FLAGS_HH
+#define QOSRM_RMSIM_CLI_FLAGS_HH
+
+namespace qosrm::rmsim::cli {
+
+/// sweep_main: the closed 24-mix grid sweep (rmsim/sweep.hh).
+inline constexpr const char* kSweepMainFlags[] = {
+    "cores",    "replicate", "bw-shares",   "per-scenario", "seed",
+    "policies", "models",    "alphas",      "threads",      "rows-csv",
+    "agg-csv",  "report-json", "overheads", "db-cache",     "shard",
+    "part-output", "workers", "parts-dir",  "resume",       "keep-parts"};
+
+/// service_main: the open-loop colocation service (rmsim/service.hh).
+inline constexpr const char* kServiceMainFlags[] = {
+    "cores",       "bw-shares",  "arrivals",     "num-arrivals", "load",
+    "loads",       "admission",  "policies",     "model",        "alphas",
+    "seed",        "demand-min", "demand-max",   "queue-cap",    "threads",
+    "rows-csv",    "report-json", "knee-report", "knee-threshold",
+    "knee-csv-prefix", "db-cache", "shard",      "part-output",
+    "workers",     "parts-dir",  "resume",       "keep-parts"};
+
+/// sweep_merge: part-file merge and inspection (rmsim/shard.hh).
+inline constexpr const char* kSweepMergeFlags[] = {"rows-csv", "agg-csv",
+                                                  "list"};
+
+/// report_main: figure reports from part files (rmsim/report.hh). "help" is
+/// listed here (unlike the others) because report_main routes validation
+/// through parse_report_cli, which sees the full flag list.
+inline constexpr const char* kReportMainFlags[] = {
+    "json", "fig6-csv", "fig7-csv", "fig9-csv",
+    "alphas", "fingerprint", "print", "help"};
+
+}  // namespace qosrm::rmsim::cli
+
+#endif  // QOSRM_RMSIM_CLI_FLAGS_HH

@@ -11,6 +11,7 @@
 #include "common/file_util.hh"
 #include "common/str.hh"
 #include "rm/perf_model.hh"
+#include "rmsim/cli_flags.hh"
 
 namespace qosrm::rmsim {
 
@@ -374,24 +375,29 @@ std::string service_report_json(const std::vector<ServiceRow>& rows,
   o += format("  \"fingerprint\": \"%016llx\",\n",
               static_cast<unsigned long long>(fingerprint));
   o += format(
-      "  \"grid\": {\"patterns\": %zu, \"loads\": %zu, \"policies\": %zu, "
-      "\"alphas\": %zu},\n",
-      shape.patterns, shape.loads, shape.policies, shape.alphas);
+      "  \"grid\": {\"patterns\": %zu, \"loads\": %zu, \"admissions\": %zu, "
+      "\"policies\": %zu, \"alphas\": %zu},\n",
+      shape.patterns, shape.loads, shape.admissions, shape.policies,
+      shape.alphas);
 
   o += "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const ServiceRow& row = rows[i];
     const ServiceMetrics& m = row.metrics;
-    o += format("    {\"pattern\": \"%s\", \"load\": %s, \"policy\": \"%s\", "
+    o += format("    {\"pattern\": \"%s\", \"load\": %s, "
+                "\"admission\": \"%s\", \"policy\": \"%s\", "
                 "\"model\": \"%s\", \"alpha\": %s",
                 workload::arrival_pattern_name(row.pattern),
-                fmtd(row.load).c_str(), rm::rm_policy_name(row.policy),
+                fmtd(row.load).c_str(), admission_policy_name(row.admission),
+                rm::rm_policy_name(row.policy),
                 rm::perf_model_name(row.model), fmtd(row.qos_alpha).c_str());
     o += format(", \"arrivals\": %llu, \"served\": %llu, \"rejected\": %llu, "
-                "\"intervals\": %llu, \"violations\": %llu",
+                "\"qos_rejected\": %llu, \"intervals\": %llu, "
+                "\"violations\": %llu",
                 static_cast<unsigned long long>(m.arrivals),
                 static_cast<unsigned long long>(m.served),
                 static_cast<unsigned long long>(m.rejected),
+                static_cast<unsigned long long>(m.qos_rejected),
                 static_cast<unsigned long long>(m.intervals),
                 static_cast<unsigned long long>(m.violations));
     o += format(", \"violation_rate\": %s, \"p50_violation\": %s, "
@@ -425,6 +431,164 @@ bool write_service_report_json(const std::vector<ServiceRow>& rows,
                                const std::string& path, std::string* error) {
   return write_file_atomic(path, service_report_json(rows, shape, fingerprint),
                            error);
+}
+
+int find_knee_index(const std::vector<double>& values, double threshold) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] > threshold) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+ServiceKneeReport build_service_knee_report(const std::vector<ServiceRow>& rows,
+                                            const ServiceGridShape& shape,
+                                            std::uint64_t fingerprint,
+                                            double knee_threshold) {
+  QOSRM_CHECK_MSG(shape.size() > 0, "knee report needs a non-empty grid");
+  QOSRM_CHECK_MSG(rows.size() == shape.size(),
+                  "knee report row count does not match the grid shape");
+
+  ServiceKneeReport report;
+  report.fingerprint = fingerprint;
+  report.shape = shape;
+  report.knee_threshold = knee_threshold;
+
+  // One curve per (pattern, admission, policy, alpha); the grid's row order
+  // with the load axis folded in. Row index of load li on curve
+  // (pi, di, oi, ai) mirrors ServiceGrid::point's decomposition.
+  const std::size_t n_curves =
+      shape.patterns * shape.admissions * shape.policies * shape.alphas;
+  report.curves.reserve(n_curves);
+  for (std::size_t c = 0; c < n_curves; ++c) {
+    std::size_t rest = c;
+    const std::size_t pi = rest % shape.patterns;
+    rest /= shape.patterns;
+    const std::size_t di = rest % shape.admissions;
+    rest /= shape.admissions;
+    const std::size_t oi = rest % shape.policies;
+    const std::size_t ai = rest / shape.policies;
+
+    KneeCurve curve;
+    curve.loads.reserve(shape.loads);
+    curve.p99_violation.reserve(shape.loads);
+    curve.violation_rate.reserve(shape.loads);
+    curve.occupancy.reserve(shape.loads);
+    curve.rejected_frac.reserve(shape.loads);
+    for (std::size_t li = 0; li < shape.loads; ++li) {
+      const std::size_t idx =
+          pi + shape.patterns *
+                   (li + shape.loads *
+                             (di + shape.admissions *
+                                       (oi + shape.policies * ai)));
+      const ServiceRow& row = rows[idx];
+      if (li == 0) {
+        curve.pattern = row.pattern;
+        curve.admission = row.admission;
+        curve.policy = row.policy;
+        curve.model = row.model;
+        curve.qos_alpha = row.qos_alpha;
+      }
+      const ServiceMetrics& m = row.metrics;
+      curve.loads.push_back(row.load);
+      curve.p99_violation.push_back(m.p99_violation);
+      curve.violation_rate.push_back(m.violation_rate);
+      curve.occupancy.push_back(m.occupancy);
+      curve.rejected_frac.push_back(
+          m.arrivals > 0 ? static_cast<double>(m.rejected) /
+                               static_cast<double>(m.arrivals)
+                         : 0.0);
+    }
+    curve.knee_index = find_knee_index(curve.p99_violation, knee_threshold);
+    curve.knee_load =
+        curve.knee_index >= 0
+            ? curve.loads[static_cast<std::size_t>(curve.knee_index)]
+            : 0.0;
+    report.curves.push_back(std::move(curve));
+  }
+  return report;
+}
+
+std::string service_knee_report_json(const ServiceKneeReport& r) {
+  std::string o;
+  o += "{\n";
+  o += "  \"schema\": \"qosrm-service-knee-report\",\n";
+  o += format("  \"version\": %u,\n", kServiceKneeReportVersion);
+  o += format("  \"fingerprint\": \"%016llx\",\n",
+              static_cast<unsigned long long>(r.fingerprint));
+  o += format(
+      "  \"grid\": {\"patterns\": %zu, \"loads\": %zu, \"admissions\": %zu, "
+      "\"policies\": %zu, \"alphas\": %zu},\n",
+      r.shape.patterns, r.shape.loads, r.shape.admissions, r.shape.policies,
+      r.shape.alphas);
+  o += format("  \"knee_threshold\": %s,\n", fmtd(r.knee_threshold).c_str());
+
+  o += "  \"curves\": [\n";
+  for (std::size_t i = 0; i < r.curves.size(); ++i) {
+    const KneeCurve& c = r.curves[i];
+    o += format("    {\"pattern\": \"%s\", \"admission\": \"%s\", "
+                "\"policy\": \"%s\", \"model\": \"%s\", \"alpha\": %s, "
+                "\"knee_index\": %d, \"knee_load\": %s, \"points\": [",
+                workload::arrival_pattern_name(c.pattern),
+                admission_policy_name(c.admission),
+                rm::rm_policy_name(c.policy), rm::perf_model_name(c.model),
+                fmtd(c.qos_alpha).c_str(), c.knee_index,
+                fmtd(c.knee_load).c_str());
+    for (std::size_t j = 0; j < c.loads.size(); ++j) {
+      o += format("%s{\"load\": %s, \"p99_violation\": %s, "
+                  "\"violation_rate\": %s, \"occupancy\": %s, "
+                  "\"rejected_frac\": %s}",
+                  j > 0 ? ", " : "", fmtd(c.loads[j]).c_str(),
+                  fmtd(c.p99_violation[j]).c_str(),
+                  fmtd(c.violation_rate[j]).c_str(),
+                  fmtd(c.occupancy[j]).c_str(),
+                  fmtd(c.rejected_frac[j]).c_str());
+    }
+    o += format("]}%s\n", i + 1 < r.curves.size() ? "," : "");
+  }
+  o += "  ]\n";
+  o += "}\n";
+  return o;
+}
+
+bool write_service_knee_report_json(const ServiceKneeReport& report,
+                                    const std::string& path,
+                                    std::string* error) {
+  return write_file_atomic(path, service_knee_report_json(report), error);
+}
+
+bool write_knee_curve_csvs(const ServiceKneeReport& report,
+                           const std::string& prefix, std::string* error) {
+  // Patterns appear in curve order; one CSV per distinct pattern, rows kept
+  // in curve order so files are byte-stable for equal reports.
+  for (std::size_t pi = 0; pi < report.shape.patterns; ++pi) {
+    const workload::ArrivalPattern pattern =
+        report.curves[pi].pattern;  // curve order is pattern-minor
+    std::vector<std::vector<std::string>> rows;
+    for (const KneeCurve& c : report.curves) {
+      if (c.pattern != pattern) continue;
+      for (std::size_t j = 0; j < c.loads.size(); ++j) {
+        rows.push_back(
+            {workload::arrival_pattern_name(c.pattern),
+             admission_policy_name(c.admission), rm::rm_policy_name(c.policy),
+             rm::perf_model_name(c.model), fmtd(c.qos_alpha),
+             fmtd(c.loads[j]), fmtd(c.p99_violation[j]),
+             fmtd(c.violation_rate[j]), fmtd(c.occupancy[j]),
+             fmtd(c.rejected_frac[j]),
+             std::to_string(static_cast<int>(j) == c.knee_index ? 1 : 0)});
+      }
+    }
+    const std::string path =
+        prefix + workload::arrival_pattern_name(pattern) + ".csv";
+    if (!write_csv_atomic(path,
+                          {"pattern", "admission", "policy", "model",
+                           "qos_alpha", "load", "p99_violation",
+                           "violation_rate", "occupancy", "rejected_frac",
+                           "is_knee"},
+                          rows, error)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool write_fig6_csv(const FigureReport& report, const std::string& path,
@@ -541,9 +705,8 @@ bool parse_report_cli(const CliArgs& args, ReportCliOptions* out,
     return false;
   };
 
-  static const std::set<std::string> kKnownFlags = {
-      "json", "fig6-csv", "fig7-csv", "fig9-csv",
-      "alphas", "fingerprint", "print", "help"};
+  static const std::set<std::string> kKnownFlags(
+      std::begin(cli::kReportMainFlags), std::end(cli::kReportMainFlags));
   for (const std::string& flag : args.flag_names()) {
     if (!kKnownFlags.count(flag)) {
       return fail(format("unknown flag --%s (see --help)", flag.c_str()));

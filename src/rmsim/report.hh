@@ -131,7 +131,9 @@ bool write_fig9_csv(const FigureReport& report, const std::string& path,
 /// Prints the fig6/fig7/fig9 aggregate tables to stdout.
 void print_figure_report(const FigureReport& report);
 
-inline constexpr std::uint32_t kServiceReportVersion = 1;
+// Version 2: admission-policy axis (grid "admissions" extent + per-row
+// "admission" and "qos_rejected" fields).
+inline constexpr std::uint32_t kServiceReportVersion = 2;
 
 /// Service-mode report: one JSON object per grid row with the full streaming
 /// tail-metric set (p50/p95/p99 violation, energy per app, decisions/sec,
@@ -148,6 +150,73 @@ bool write_service_report_json(const std::vector<ServiceRow>& rows,
                                const ServiceGridShape& shape,
                                std::uint64_t fingerprint,
                                const std::string& path, std::string* error);
+
+inline constexpr std::uint32_t kServiceKneeReportVersion = 1;
+
+/// Default p99 Eq. 6 magnitude above which a load level counts as past the
+/// knee (see DESIGN.md, "Knee detection over dense load sweeps").
+inline constexpr double kDefaultKneeThreshold = 0.1;
+
+/// First index whose value exceeds `threshold`, or -1 when no value does.
+/// Deliberately the FIRST crossing (not the last): on a non-monotone curve
+/// - queueing systems can dip after a burst-driven spike - the first
+/// crossing is the conservative capacity estimate an operator wants.
+[[nodiscard]] int find_knee_index(const std::vector<double>& values,
+                                  double threshold);
+
+/// One knee curve: tail-violation metrics vs load for a fixed
+/// {pattern, admission, policy, alpha} service configuration.
+struct KneeCurve {
+  workload::ArrivalPattern pattern = workload::ArrivalPattern::Poisson;
+  AdmissionPolicy admission = AdmissionPolicy::Fifo;
+  rm::RmPolicy policy = rm::RmPolicy::Rm3;
+  rm::PerfModelKind model = rm::PerfModelKind::Model3;
+  double qos_alpha = 0.0;
+  std::vector<double> loads;           ///< the grid's load axis, grid order
+  std::vector<double> p99_violation;   ///< per load (the knee signal)
+  std::vector<double> violation_rate;  ///< per load
+  std::vector<double> occupancy;       ///< per load
+  std::vector<double> rejected_frac;   ///< (rejected / arrivals) per load
+  /// find_knee_index(p99_violation, threshold): first load index whose p99
+  /// Eq. 6 magnitude exceeds the threshold; -1 when the whole sweep stays
+  /// under it (the grid never saturates this configuration).
+  int knee_index = -1;
+  double knee_load = 0.0;  ///< loads[knee_index], or 0 when knee_index < 0
+};
+
+/// The aggregate service report of the dense-load sweep: one KneeCurve per
+/// {pattern x admission x policy x alpha} configuration (curve order:
+/// pattern-minor, then admission, then policy, alpha-major - the grid's row
+/// order with the load axis folded into each curve).
+struct ServiceKneeReport {
+  std::uint64_t fingerprint = 0;  ///< service fingerprint of the source rows
+  ServiceGridShape shape{};
+  double knee_threshold = kDefaultKneeThreshold;
+  std::vector<KneeCurve> curves;
+};
+
+/// Folds service rows (grid order, rows.size() == shape.size(); aborts
+/// otherwise) into per-configuration knee curves.
+[[nodiscard]] ServiceKneeReport build_service_knee_report(
+    const std::vector<ServiceRow>& rows, const ServiceGridShape& shape,
+    std::uint64_t fingerprint, double knee_threshold = kDefaultKneeThreshold);
+
+/// The knee report as a byte-stable JSON document (fixed key order, "%.17g"
+/// doubles): equal reports serialize to equal bytes.
+[[nodiscard]] std::string service_knee_report_json(
+    const ServiceKneeReport& report);
+
+/// Atomic writer for service_knee_report_json.
+bool write_service_knee_report_json(const ServiceKneeReport& report,
+                                    const std::string& path,
+                                    std::string* error);
+
+/// Per-pattern knee-curve CSVs, "<prefix><pattern>.csv" (e.g.
+/// "knee_poisson.csv"): one row per {admission, policy, alpha, load} with
+/// the curve metrics and a knee marker column. Byte-stable and atomic like
+/// the figure CSVs. False + *error on the first failing file.
+bool write_knee_curve_csvs(const ServiceKneeReport& report,
+                           const std::string& prefix, std::string* error);
 
 /// report_main's parsed+validated command line. Kept as a library type so
 /// the strict validation (unknown flags, bad --alphas lists, malformed

@@ -14,6 +14,7 @@
 #include "common/str.hh"
 #include "common/thread_pool.hh"
 #include "rmsim/snapshot.hh"
+#include "workload/classify.hh"
 
 namespace qosrm::rmsim {
 
@@ -53,6 +54,38 @@ struct QueueEntry {
 
 }  // namespace
 
+const char* admission_policy_name(AdmissionPolicy policy) noexcept {
+  switch (policy) {
+    case AdmissionPolicy::Fifo:
+      return "fifo";
+    case AdmissionPolicy::Sdf:
+      return "sdf";
+    case AdmissionPolicy::QosAware:
+      return "qos-aware";
+  }
+  return "?";
+}
+
+std::vector<AdmissionPolicy> parse_admissions(const std::string& spec) {
+  std::vector<AdmissionPolicy> out;
+  for (const std::string& part : split_csv_list(spec)) {
+    QOSRM_CHECK_MSG(!part.empty(),
+                    "empty --admission entry (an empty list or stray comma "
+                    "would silently shrink the service grid)");
+    if (part == "fifo") {
+      out.push_back(AdmissionPolicy::Fifo);
+    } else if (part == "sdf") {
+      out.push_back(AdmissionPolicy::Sdf);
+    } else if (part == "qos-aware") {
+      out.push_back(AdmissionPolicy::QosAware);
+    } else {
+      QOSRM_CHECK_MSG(false,
+                      "bad --admission entry (want fifo|sdf|qos-aware)");
+    }
+  }
+  return out;
+}
+
 ServicePoint ServiceGrid::point(std::size_t idx) const {
   QOSRM_CHECK_MSG(idx < size(), "service grid index out of range");
   std::size_t rest = idx;
@@ -60,9 +93,12 @@ ServicePoint ServiceGrid::point(std::size_t idx) const {
   rest /= patterns.size();
   const std::size_t li = rest % loads.size();
   rest /= loads.size();
+  const std::size_t di = rest % admissions.size();
+  rest /= admissions.size();
   const std::size_t oi = rest % policies.size();
   const std::size_t ai = rest / policies.size();
-  return {patterns[pi], loads[li], policies[oi], qos_alphas[ai]};
+  return {patterns[pi], loads[li], admissions[di], policies[oi],
+          qos_alphas[ai]};
 }
 
 double mean_baseline_interval_s(const workload::SimDb& db) {
@@ -89,6 +125,18 @@ struct ServiceEngine::Impl {
   rm::OverheadModel overheads;
   workload::ArrivalTrace trace;
 
+  /// Per-app LFOC-style partitioning class (light/streaming/sensitive),
+  /// precomputed from the database's MPKI probes at construction so the
+  /// steady-state admission decisions are array lookups (0 allocs).
+  std::vector<workload::PartClass> app_class;
+  /// Sensitive apps currently resident on a core or waiting in the queue -
+  /// the pool-pressure input of the qos-aware rejection predicate.
+  int sensitive_in_system = 0;
+  /// Way allocation below which a sensitive app's own miss curve (the -50%
+  /// MPKI probe of the Table II swing rule) predicts an Eq. 6 magnitude
+  /// beyond the alpha relaxation; see DESIGN.md.
+  int min_useful_ways = 0;
+
   std::vector<ServiceCoreState> cores;
   std::vector<rm::CounterSnapshot> snapshots;
   std::vector<std::uint8_t> active_mask;
@@ -106,6 +154,7 @@ struct ServiceEngine::Impl {
   std::size_t next_arrival = 0;
   std::uint64_t served = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t qos_rejected = 0;
   std::uint64_t intervals = 0;
   std::uint64_t violations = 0;
   std::uint64_t rm_invocations = 0;
@@ -168,6 +217,21 @@ struct ServiceEngine::Impl {
     gen.demand_max = cfg.demand_max;
     workload::generate_arrivals_into(gen, &trace);
 
+    // Admission taxonomy: the same MPKI probe points as classify_app / the
+    // classpart baseline (baseline, -50%, +50% allocations). Computed once,
+    // outside the event loop.
+    const workload::ClassificationCriteria crit;
+    const int wb = crit.baseline_ways;
+    const int w_lo = std::max(1, wb / 2);
+    const int w_hi = wb + wb / 2;
+    app_class.reserve(static_cast<std::size_t>(db->suite().size()));
+    for (int a = 0; a < db->suite().size(); ++a) {
+      app_class.push_back(workload::classify_part_class(
+          db->app_mpki(a, wb), db->app_mpki(a, w_lo), db->app_mpki(a, w_hi),
+          crit));
+    }
+    min_useful_ways = std::max(sys.llc.min_ways, w_lo);
+
     queue.resize(cfg.queue_capacity);
     reset();
   }
@@ -192,6 +256,8 @@ struct ServiceEngine::Impl {
     next_arrival = 0;
     served = 0;
     rejected = 0;
+    qos_rejected = 0;
+    sensitive_in_system = 0;
     intervals = 0;
     violations = 0;
     rm_invocations = 0;
@@ -263,19 +329,96 @@ struct ServiceEngine::Impl {
     start_interval(st, now_s);
   }
 
+  [[nodiscard]] bool is_sensitive(int app) const {
+    return app_class[static_cast<std::size_t>(app)] ==
+           workload::PartClass::Sensitive;
+  }
+
+  /// Queue-release priority class of the qos-aware admission policy: light
+  /// apps leave first (they barely touch the LLC, so seating them raises
+  /// throughput without adding way pressure), then streaming, then
+  /// sensitive.
+  [[nodiscard]] int class_rank(int app) const {
+    return static_cast<int>(app_class[static_cast<std::size_t>(app)]) == 1
+               ? 1  // streaming
+               : (is_sensitive(app) ? 2 : 0);
+  }
+
+  /// The qos-aware rejection predicate (see DESIGN.md): a cache-sensitive
+  /// arrival is turned away when the system's way budget, divided over the
+  /// sensitive applications already in the system plus this one, would fall
+  /// below the -50% MPKI probe point - the allocation at which the Table II
+  /// swing rule already certifies a > 20% MPKI inflation, i.e. a predicted
+  /// Eq. 6 magnitude beyond the alpha relaxation. Light and streaming apps
+  /// are never qos-rejected: extra ways do not help them, so they cannot
+  /// blow the target through cache contention.
+  [[nodiscard]] bool qos_reject(int app) const {
+    if (!is_sensitive(app)) return false;
+    const int budget = sys.llc.total_ways(sys.cores);
+    return budget / (sensitive_in_system + 1) < min_useful_ways;
+  }
+
+  /// Queue offset (in [0, q_size)) the admission policy releases next.
+  /// Fifo: the head. Sdf: smallest (demand, arrival time). QosAware:
+  /// smallest (class rank, demand, arrival time). The scan order is fixed,
+  /// so every tie-break is deterministic.
+  [[nodiscard]] std::size_t pick_queue_slot() const {
+    if (point.admission == AdmissionPolicy::Fifo || q_size <= 1) return 0;
+    std::size_t best = 0;
+    for (std::size_t off = 1; off < q_size; ++off) {
+      const QueueEntry& e = queue[(q_head + off) % queue.size()];
+      const QueueEntry& b = queue[(q_head + best) % queue.size()];
+      if (point.admission == AdmissionPolicy::QosAware) {
+        const int re = class_rank(e.app);
+        const int rb = class_rank(b.app);
+        if (re != rb) {
+          if (re < rb) best = off;
+          continue;
+        }
+      }
+      if (e.demand != b.demand) {
+        if (e.demand < b.demand) best = off;
+        continue;
+      }
+      if (e.arrival_s < b.arrival_s) best = off;
+    }
+    return best;
+  }
+
+  /// Removes and returns the entry at queue offset `off`, preserving the
+  /// arrival order of everything else (entries in front shift back one
+  /// slot). O(off) moves inside the preallocated ring; no allocation.
+  QueueEntry dequeue_at(std::size_t off) {
+    const std::size_t cap = queue.size();
+    const QueueEntry taken = queue[(q_head + off) % cap];
+    for (std::size_t i = off; i > 0; --i) {
+      queue[(q_head + i) % cap] = queue[(q_head + i - 1) % cap];
+    }
+    q_head = (q_head + 1) % cap;
+    --q_size;
+    return taken;
+  }
+
   void on_arrival() {
     const workload::ArrivalEvent& ev = trace.events[next_arrival++];
     wall_s = std::max(wall_s, ev.time_s);
     for (int k = 0; k < sys.cores; ++k) {
       if (!cores[static_cast<std::size_t>(k)].active) {
+        if (is_sensitive(ev.app)) ++sensitive_in_system;
         admit(k, ev.app, ev.demand_intervals, ev.time_s, ev.time_s);
         return;
       }
+    }
+    if (point.admission == AdmissionPolicy::QosAware && qos_reject(ev.app)) {
+      ++rejected;
+      ++qos_rejected;
+      return;
     }
     if (q_size < queue.size()) {
       queue[(q_head + q_size) % queue.size()] = {ev.time_s, ev.app,
                                                  ev.demand_intervals};
       ++q_size;
+      if (is_sensitive(ev.app)) ++sensitive_in_system;
     } else {
       ++rejected;
     }
@@ -311,13 +454,12 @@ struct ServiceEngine::Impl {
       // resources among the cores that remain busy.
       ++served;
       app_energy_stats.add(st.app_energy_j);
+      if (is_sensitive(st.app)) --sensitive_in_system;
       st.active = false;
       active_mask[static_cast<std::size_t>(k)] = 0;
       const double now_s = st.end_s;
       if (q_size > 0) {
-        const QueueEntry entry = queue[q_head];
-        q_head = (q_head + 1) % queue.size();
-        --q_size;
+        const QueueEntry entry = dequeue_at(pick_queue_slot());
         admit(k, entry.app, entry.demand, entry.arrival_s, now_s);
       } else {
         for (int j = 0; j < sys.cores; ++j) {
@@ -379,6 +521,7 @@ struct ServiceEngine::Impl {
     m.arrivals = next_arrival;
     m.served = served;
     m.rejected = rejected;
+    m.qos_rejected = qos_rejected;
     m.intervals = intervals;
     m.violations = violations;
     m.violation_rate =
@@ -437,6 +580,8 @@ std::vector<ServiceRow> run_service_range(const workload::SimDb& db,
                                           const ServiceOptions& options) {
   QOSRM_CHECK_MSG(!grid.patterns.empty(), "service grid has no arrival patterns");
   QOSRM_CHECK_MSG(!grid.loads.empty(), "service grid has no load levels");
+  QOSRM_CHECK_MSG(!grid.admissions.empty(),
+                  "service grid has no admission policies");
   QOSRM_CHECK_MSG(!grid.policies.empty(), "service grid has no policies");
   QOSRM_CHECK_MSG(!grid.qos_alphas.empty(), "service grid has no qos alphas");
   QOSRM_CHECK_MSG(begin <= end && end <= grid.size(),
@@ -451,6 +596,7 @@ std::vector<ServiceRow> run_service_range(const workload::SimDb& db,
     ServiceRow& row = rows[offset];
     row.pattern = point.pattern;
     row.load = point.load;
+    row.admission = point.admission;
     row.policy = point.policy;
     row.model = config.model;
     row.qos_alpha = point.qos_alpha;
@@ -483,7 +629,7 @@ std::uint64_t service_fingerprint(const ServiceGrid& grid,
                                   const ServiceConfig& config,
                                   std::uint64_t db_fingerprint) {
   Fnv1a64 h;
-  h.add_u32(1);  // service fingerprint schema version
+  h.add_u32(2);  // service fingerprint schema version (2: admission axis)
   h.add_u64(db_fingerprint);
 
   h.add_u64(grid.patterns.size());
@@ -492,6 +638,10 @@ std::uint64_t service_fingerprint(const ServiceGrid& grid,
   }
   h.add_u64(grid.loads.size());
   for (const double l : grid.loads) h.add_f64(l);
+  h.add_u64(grid.admissions.size());
+  for (const AdmissionPolicy a : grid.admissions) {
+    h.add_u32(static_cast<std::uint32_t>(a));
+  }
   h.add_u64(grid.policies.size());
   for (const rm::RmPolicy p : grid.policies) {
     h.add_u32(static_cast<std::uint32_t>(p));
@@ -519,8 +669,9 @@ std::uint64_t service_fingerprint(const ServiceGrid& grid,
 void write_service_csv(const std::vector<ServiceRow>& rows,
                        const std::string& path) {
   CsvWriter csv(path,
-                {"pattern", "load", "policy", "model", "qos_alpha", "arrivals",
-                 "served", "rejected", "intervals", "violations",
+                {"pattern", "load", "admission", "policy", "model", "qos_alpha",
+                 "arrivals", "served", "rejected", "qos_rejected", "intervals",
+                 "violations",
                  "violation_rate", "p50_violation", "p95_violation",
                  "p99_violation", "max_violation", "mean_violation",
                  "energy_total_j", "uncore_energy_j", "energy_per_app_j",
@@ -529,9 +680,11 @@ void write_service_csv(const std::vector<ServiceRow>& rows,
   for (const ServiceRow& row : rows) {
     const ServiceMetrics& m = row.metrics;
     csv.add_row({workload::arrival_pattern_name(row.pattern), fmt(row.load),
+                 admission_policy_name(row.admission),
                  rm::rm_policy_name(row.policy), rm::perf_model_name(row.model),
                  fmt(row.qos_alpha), std::to_string(m.arrivals),
                  std::to_string(m.served), std::to_string(m.rejected),
+                 std::to_string(m.qos_rejected),
                  std::to_string(m.intervals), std::to_string(m.violations),
                  fmt(m.violation_rate), fmt(m.p50_violation),
                  fmt(m.p95_violation), fmt(m.p99_violation),

@@ -15,8 +15,8 @@
 // Metrics are streamed (common/histogram + RunningStats): per run the
 // engine reports tail QoS-violation magnitudes (p50/p95/p99), energy per
 // served application, RM decisions per simulated second and pool occupancy.
-// The {arrival pattern x load x policy x alpha} grid mirrors the sweep's
-// fixed row order, so sharded service runs merge byte-identically
+// The {arrival pattern x load x admission x policy x alpha} grid mirrors the
+// sweep's fixed row order, so sharded service runs merge byte-identically
 // (rmsim/shard.hh).
 //
 // Everything is deterministic from the seed: one Rng stream per grid point
@@ -36,6 +36,40 @@
 #include "workload/arrival_gen.hh"
 
 namespace qosrm::rmsim {
+
+/// Admission policy of the service engine - how arrivals that find every
+/// core busy are queued, reordered or rejected (see DESIGN.md, "Admission
+/// policies and the QoS-aware rejection predicate"):
+///
+///   Fifo     - arrivals queue in arrival order; only a full queue rejects.
+///   Sdf      - smallest-demand-first: the queue releases the entry with the
+///              fewest requested intervals (ties: earliest arrival), a
+///              shortest-job-first discipline over the declared demand.
+///   QosAware - consults the per-app LFOC-style partitioning taxonomy
+///              (workload::PartClass) and current pool pressure: a cache-
+///              SENSITIVE arrival is rejected outright when the way budget,
+///              divided over the sensitive applications already resident or
+///              queued, would leave it below the -50% MPKI probe point (the
+///              allocation at which its own miss curve predicts an Eq. 6
+///              magnitude beyond the alpha-relaxation); the queue releases
+///              light apps first, then streaming, then sensitive (ties:
+///              smallest demand, then earliest arrival).
+///
+/// The admission policy NEVER changes the arrival trace: all admission
+/// cells of one (pattern, load) grid point face byte-identical arrivals.
+enum class AdmissionPolicy : int { Fifo = 0, Sdf = 1, QosAware = 2 };
+
+inline constexpr int kNumAdmissionPolicies = 3;
+
+/// Short stable name ("fifo", "sdf", "qos-aware"); used in CSV/JSON output
+/// and accepted by parse_admissions.
+[[nodiscard]] const char* admission_policy_name(AdmissionPolicy policy) noexcept;
+
+/// Parses a comma-separated admission-policy list, e.g. "fifo,qos-aware".
+/// Aborts on unknown names, empty lists and empty entries (a stray comma
+/// would otherwise silently shrink the service grid), like parse_policies.
+[[nodiscard]] std::vector<AdmissionPolicy> parse_admissions(
+    const std::string& spec);
 
 /// Fixed (per run) service parameters; the swept axes live in ServiceGrid.
 struct ServiceConfig {
@@ -58,35 +92,40 @@ struct ServiceConfig {
 struct ServicePoint {
   workload::ArrivalPattern pattern = workload::ArrivalPattern::Poisson;
   double load = 0.8;
+  AdmissionPolicy admission = AdmissionPolicy::Fifo;
   rm::RmPolicy policy = rm::RmPolicy::Rm3;
   double qos_alpha = 0.0;  ///< 0 keeps the database system's qos_alpha
 };
 
 /// Axis extents of an expanded service grid (row order: pattern-minor, then
-/// load, then policy, alpha-major) - the service analogue of GridShape.
+/// load, then admission, then policy, alpha-major) - the service analogue of
+/// GridShape.
 struct ServiceGridShape {
   std::size_t patterns = 0;
   std::size_t loads = 0;
+  std::size_t admissions = 0;
   std::size_t policies = 0;
   std::size_t alphas = 0;
 
   [[nodiscard]] std::size_t size() const noexcept {
-    return patterns * loads * policies * alphas;
+    return patterns * loads * admissions * policies * alphas;
   }
   bool operator==(const ServiceGridShape&) const = default;
 };
 
-/// The grid to expand; every (alpha, policy, load, pattern) combination is
-/// one service run.
+/// The grid to expand; every (alpha, policy, admission, load, pattern)
+/// combination is one service run.
 struct ServiceGrid {
   std::vector<workload::ArrivalPattern> patterns = {
       workload::ArrivalPattern::Poisson};
   std::vector<double> loads = {0.8};
+  std::vector<AdmissionPolicy> admissions = {AdmissionPolicy::Fifo};
   std::vector<rm::RmPolicy> policies = {rm::RmPolicy::Rm3};
   std::vector<double> qos_alphas = {0.0};
 
   [[nodiscard]] ServiceGridShape shape() const noexcept {
-    return {patterns.size(), loads.size(), policies.size(), qos_alphas.size()};
+    return {patterns.size(), loads.size(), admissions.size(), policies.size(),
+            qos_alphas.size()};
   }
   [[nodiscard]] std::size_t size() const noexcept { return shape().size(); }
 
@@ -98,7 +137,11 @@ struct ServiceGrid {
 struct ServiceMetrics {
   std::uint64_t arrivals = 0;
   std::uint64_t served = 0;    ///< applications that ran to completion
-  std::uint64_t rejected = 0;  ///< arrivals dropped on a full queue
+  std::uint64_t rejected = 0;  ///< arrivals dropped (queue-full + QoS-aware)
+  /// Of `rejected`: arrivals the qos-aware admission policy turned away
+  /// because the rejection predicate (see AdmissionPolicy) flagged them as
+  /// predicted to blow the alpha-relaxed target. Always 0 for fifo/sdf.
+  std::uint64_t qos_rejected = 0;
   std::uint64_t intervals = 0;
   std::uint64_t violations = 0;
   double violation_rate = 0.0;   ///< violations / intervals
@@ -121,6 +164,7 @@ struct ServiceMetrics {
 struct ServiceRow {
   workload::ArrivalPattern pattern = workload::ArrivalPattern::Poisson;
   double load = 0.8;
+  AdmissionPolicy admission = AdmissionPolicy::Fifo;
   rm::RmPolicy policy = rm::RmPolicy::Rm3;
   rm::PerfModelKind model = rm::PerfModelKind::Model3;
   double qos_alpha = 0.0;

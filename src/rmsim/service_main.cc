@@ -4,12 +4,18 @@
 // pool of cores, admits and evicts applications against the interval
 // simulator, and reports streaming tail metrics (p50/p95/p99 QoS-violation
 // magnitude, energy per served app, RM decisions/sec, occupancy) per
-// {arrival pattern x load x policy x alpha} grid point. Output is
-// byte-identical for any --threads value.
+// {arrival pattern x load x admission x policy x alpha} grid point. Output
+// is byte-identical for any --threads value.
 //
 //   service_main --cores=16 --arrivals=poisson --load=0.8 --policies=rm3
-//                --alphas=0 --num-arrivals=5000 --seed=2020
+//                --admission=fifo,sdf,qos-aware --alphas=0
+//                --num-arrivals=5000 --seed=2020
 //                --rows-csv=service_rows.csv --report-json=service.json
+//
+// A dense --loads sweep plus --knee-report folds the load axis into one
+// p99-violation curve per {pattern x admission x policy x alpha} and marks
+// the knee: the first load whose p99 Eq. 6 magnitude crosses
+// --knee-threshold (rmsim/report.hh, build_service_knee_report).
 //
 // Three execution modes, mirroring sweep_main:
 //   (default)     run the whole grid in this process
@@ -37,6 +43,7 @@
 #include "common/str.hh"
 #include "common/subprocess.hh"
 #include "power/power_model.hh"
+#include "rmsim/cli_flags.hh"
 #include "rmsim/report.hh"
 #include "rmsim/service.hh"
 #include "rmsim/shard.hh"
@@ -63,7 +70,10 @@ void print_usage() {
       "                     patterns (default poisson)\n"
       "  --num-arrivals=N   arrivals per grid point (default 5000)\n"
       "  --load=LIST        comma list of offered utilizations > 0\n"
-      "                     (default 0.8)\n"
+      "                     (default 0.8; --loads is an accepted alias)\n"
+      "  --admission=LIST   comma list of fifo|sdf|qos-aware admission\n"
+      "                     policies (default fifo); every admission cell of\n"
+      "                     one (pattern, load) faces the identical trace\n"
       "  --policies=LIST    comma list of idle|rm1|rm2|rm3|ucp|fcp|classpart\n"
       "                     (default idle,rm1,rm2,rm3)\n"
       "  --model=NAME       performance model: model1|model2|model3|perfect\n"
@@ -78,6 +88,14 @@ void print_usage() {
       "  --rows-csv=PATH    per-run CSV output (default service_rows.csv)\n"
       "  --report-json=PATH tail-metric report (byte-stable JSON, stamped\n"
       "                     with the service fingerprint; optional)\n"
+      "  --knee-report=PATH aggregate knee report: folds the load axis into\n"
+      "                     one p99-violation curve per {pattern x admission\n"
+      "                     x policy x alpha} and marks the first load whose\n"
+      "                     p99 crosses the threshold (byte-stable JSON)\n"
+      "  --knee-threshold=X p99 Eq. 6 magnitude counting as past the knee\n"
+      "                     (> 0; default 0.1; requires --knee-report)\n"
+      "  --knee-csv-prefix=P  also write per-pattern knee curves to\n"
+      "                     <P><pattern>.csv (requires --knee-report)\n"
       "  --db-cache=PATH    simulation-database snapshot: load it when the\n"
       "                     file exists (a stale/corrupt snapshot is an\n"
       "                     error), otherwise characterize and save it; a\n"
@@ -114,6 +132,7 @@ struct ServiceSetup {
   int threads = 0;
   std::string arrivals_spec;
   std::string load_spec;
+  std::string admissions_spec;
   std::string policies_spec;
   std::string model_spec;
   std::string alphas_spec;
@@ -135,16 +154,18 @@ std::uint64_t setup_fingerprint(const ServiceSetup& setup) {
 }
 
 void print_rows(const std::vector<rmsim::ServiceRow>& rows) {
-  std::printf("\n%-8s %6s %-6s %9s %9s %9s %12s %10s %10s\n", "pattern",
-              "load", "policy", "alpha", "viol-rate", "p99-viol", "energy/app",
-              "rm-dec/s", "occupancy");
+  std::printf("\n%-8s %6s %-9s %-6s %9s %9s %9s %12s %10s %10s\n", "pattern",
+              "load", "admission", "policy", "alpha", "viol-rate", "p99-viol",
+              "energy/app", "rm-dec/s", "occupancy");
   for (const rmsim::ServiceRow& row : rows) {
-    std::printf("%-8s %6.3g %-6s %9.4g %9.4g %9.4g %11.4gJ %10.4g %10.4g\n",
-                workload::arrival_pattern_name(row.pattern), row.load,
-                qosrm::rm::rm_policy_name(row.policy), row.qos_alpha,
-                row.metrics.violation_rate, row.metrics.p99_violation,
-                row.metrics.energy_per_app_j, row.metrics.decisions_per_sec,
-                row.metrics.occupancy);
+    std::printf(
+        "%-8s %6.3g %-9s %-6s %9.4g %9.4g %9.4g %11.4gJ %10.4g %10.4g\n",
+        workload::arrival_pattern_name(row.pattern), row.load,
+        rmsim::admission_policy_name(row.admission),
+        qosrm::rm::rm_policy_name(row.policy), row.qos_alpha,
+        row.metrics.violation_rate, row.metrics.p99_violation,
+        row.metrics.energy_per_app_j, row.metrics.decisions_per_sec,
+        row.metrics.occupancy);
   }
 }
 
@@ -167,6 +188,37 @@ bool write_report(const std::vector<rmsim::ServiceRow>& rows,
   return true;
 }
 
+/// --knee-report (+ optional --knee-csv-prefix): folds the load axis into
+/// per-configuration p99 knee curves and writes the byte-stable outputs.
+bool write_knee_outputs(const std::vector<rmsim::ServiceRow>& rows,
+                        const rmsim::ServiceGridShape& shape,
+                        std::uint64_t fingerprint, const std::string& json_path,
+                        double knee_threshold,
+                        const std::string& csv_prefix) {
+  const rmsim::ServiceKneeReport knee = rmsim::build_service_knee_report(
+      rows, shape, fingerprint, knee_threshold);
+  std::string error;
+  if (!rmsim::write_service_knee_report_json(knee, json_path, &error)) {
+    std::fprintf(stderr, "--knee-report: %s\n", error.c_str());
+    return false;
+  }
+  std::size_t detected = 0;
+  for (const rmsim::KneeCurve& curve : knee.curves) {
+    if (curve.knee_index >= 0) ++detected;
+  }
+  std::printf("wrote knee report to %s (%zu of %zu curves cross p99 > %g)\n",
+              json_path.c_str(), detected, knee.curves.size(), knee_threshold);
+  if (!csv_prefix.empty()) {
+    if (!rmsim::write_knee_curve_csvs(knee, csv_prefix, &error)) {
+      std::fprintf(stderr, "--knee-csv-prefix: %s\n", error.c_str());
+      return false;
+    }
+    std::printf("wrote %zu per-pattern knee-curve CSVs to %s<pattern>.csv\n",
+                shape.patterns, csv_prefix.c_str());
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -178,12 +230,9 @@ int main(int argc, char** argv) {
 
   // Reject unknown flags: a typo'd flag name would otherwise silently run
   // a default service sweep labeled as if the request had been honored.
-  static const std::set<std::string> kKnownFlags = {
-      "cores",       "bw-shares",  "arrivals",     "num-arrivals", "load",
-      "policies",    "model",      "alphas",       "seed",      "demand-min",
-      "demand-max",  "queue-cap",  "threads",      "rows-csv",  "report-json",
-      "db-cache",    "shard",      "part-output",  "workers",   "parts-dir",
-      "resume",      "keep-parts"};
+  static const std::set<std::string> kKnownFlags(
+      std::begin(rmsim::cli::kServiceMainFlags),
+      std::end(rmsim::cli::kServiceMainFlags));
   for (const std::string& flag : args.flag_names()) {
     if (!kKnownFlags.count(flag)) {
       std::fprintf(stderr, "unknown flag --%s (see --help)\n", flag.c_str());
@@ -215,10 +264,14 @@ int main(int argc, char** argv) {
                  "runs one shard; the orchestrator forks the workers)\n");
     return 1;
   }
-  if (worker_mode && (args.has("rows-csv") || args.has("report-json"))) {
+  if (worker_mode &&
+      (args.has("rows-csv") || args.has("report-json") ||
+       args.has("knee-report") || args.has("knee-threshold") ||
+       args.has("knee-csv-prefix"))) {
     std::fprintf(stderr,
-                 "--rows-csv/--report-json do not apply in --shard worker "
-                 "mode (the merge step writes the outputs)\n");
+                 "--rows-csv/--report-json/--knee-report/--knee-threshold/"
+                 "--knee-csv-prefix do not apply in --shard worker mode (the "
+                 "merge step writes the outputs)\n");
     return 1;
   }
   if (!orchestrate &&
@@ -281,13 +334,20 @@ int main(int argc, char** argv) {
   // Parse the grid flags up front: a bad value should fail immediately, not
   // after the multi-second database characterization. The list parsers
   // abort with a diagnostic on malformed specs (same contract as sweep_main).
+  if (args.has("load") && args.has("loads")) {
+    std::fprintf(stderr,
+                 "--load and --loads are aliases; give only one of them\n");
+    return 1;
+  }
   setup.arrivals_spec = args.get("arrivals", "poisson");
-  setup.load_spec = args.get("load", "0.8");
+  setup.load_spec = args.get("load", args.get("loads", "0.8"));
+  setup.admissions_spec = args.get("admission", "fifo");
   setup.policies_spec = args.get("policies", "idle,rm1,rm2,rm3");
   setup.model_spec = args.get("model", "model3");
   setup.alphas_spec = args.get("alphas", "0");
   setup.grid.patterns = workload::parse_arrival_patterns(setup.arrivals_spec);
   setup.grid.loads = rmsim::parse_loads(setup.load_spec);
+  setup.grid.admissions = rmsim::parse_admissions(setup.admissions_spec);
   setup.grid.policies = rmsim::parse_policies(setup.policies_spec);
   setup.grid.qos_alphas = rmsim::parse_alphas(setup.alphas_spec);
   const std::vector<qosrm::rm::PerfModelKind> models =
@@ -308,6 +368,20 @@ int main(int argc, char** argv) {
   // its atomic replacement.
   const std::string rows_csv = args.get("rows-csv", "service_rows.csv");
   const std::string report_json = args.get("report-json", "");
+  const std::string knee_report = args.get("knee-report", "");
+  const std::string knee_csv_prefix = args.get("knee-csv-prefix", "");
+  const double knee_threshold =
+      args.get_double("knee-threshold", rmsim::kDefaultKneeThreshold);
+  if (knee_report.empty() &&
+      (args.has("knee-threshold") || !knee_csv_prefix.empty())) {
+    std::fprintf(stderr,
+                 "--knee-threshold/--knee-csv-prefix require --knee-report\n");
+    return 1;
+  }
+  if (!(knee_threshold > 0.0)) {
+    std::fprintf(stderr, "--knee-threshold must be > 0\n");
+    return 1;
+  }
   const std::string part_output = args.get("part-output", "");
   // Orchestrator part files live next to the rows CSV unless --parts-dir
   // says otherwise; the prefix keeps the sharding self-describing
@@ -331,6 +405,13 @@ int main(int argc, char** argv) {
   } else {
     probe_paths.push_back(rows_csv);
     if (!report_json.empty()) probe_paths.push_back(report_json);
+    if (!knee_report.empty()) probe_paths.push_back(knee_report);
+    if (!knee_csv_prefix.empty()) {
+      for (const workload::ArrivalPattern pattern : setup.grid.patterns) {
+        probe_paths.push_back(knee_csv_prefix +
+                              workload::arrival_pattern_name(pattern) + ".csv");
+      }
+    }
     if (orchestrate) {
       for (int i = 0; i < workers; ++i) {
         probe_paths.push_back(rmsim::part_path(
@@ -482,6 +563,7 @@ int main(int argc, char** argv) {
                         static_cast<unsigned long long>(setup.config.seed)),
           "--arrivals=" + setup.arrivals_spec,
           "--load=" + setup.load_spec,
+          "--admission=" + setup.admissions_spec,
           "--policies=" + setup.policies_spec,
           "--model=" + setup.model_spec,
           "--alphas=" + setup.alphas_spec,
@@ -573,6 +655,11 @@ int main(int argc, char** argv) {
         !write_report(rows, shape, fingerprint, report_json)) {
       return 1;
     }
+    if (!knee_report.empty() &&
+        !write_knee_outputs(rows, shape, fingerprint, knee_report,
+                            knee_threshold, knee_csv_prefix)) {
+      return 1;
+    }
     if (!args.get_bool("keep-parts", false)) {
       for (std::size_t i = 0; i < n; ++i) {
         std::remove(rmsim::part_path(parts_prefix, i, n).c_str());
@@ -657,11 +744,12 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("serving %zu runs (%zu patterns x %zu loads x %zu policies x "
-              "%zu alphas) on %u threads...\n",
+  std::printf("serving %zu runs (%zu patterns x %zu loads x %zu admissions x "
+              "%zu policies x %zu alphas) on %u threads...\n",
               setup.grid.size(), setup.grid.patterns.size(),
-              setup.grid.loads.size(), setup.grid.policies.size(),
-              setup.grid.qos_alphas.size(), resolved_threads);
+              setup.grid.loads.size(), setup.grid.admissions.size(),
+              setup.grid.policies.size(), setup.grid.qos_alphas.size(),
+              resolved_threads);
   const auto t_run = Clock::now();
   const rmsim::ServiceResult result =
       rmsim::run_service(db, setup.grid, setup.config, options);
@@ -672,6 +760,12 @@ int main(int argc, char** argv) {
   if (!report_json.empty() &&
       !write_report(result.rows, setup.grid.shape(), setup_fingerprint(setup),
                     report_json)) {
+    return 1;
+  }
+  if (!knee_report.empty() &&
+      !write_knee_outputs(result.rows, setup.grid.shape(),
+                          setup_fingerprint(setup), knee_report,
+                          knee_threshold, knee_csv_prefix)) {
     return 1;
   }
 

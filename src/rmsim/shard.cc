@@ -123,6 +123,7 @@ void write_row(BinaryWriter& w, const SweepRow& row) {
 void write_service_row(BinaryWriter& w, const ServiceRow& row) {
   w.write_u32(static_cast<std::uint32_t>(row.pattern));
   w.write_f64(row.load);
+  w.write_u32(static_cast<std::uint32_t>(row.admission));
   w.write_u32(static_cast<std::uint32_t>(row.policy));
   w.write_u32(static_cast<std::uint32_t>(row.model));
   w.write_f64(row.qos_alpha);
@@ -131,6 +132,7 @@ void write_service_row(BinaryWriter& w, const ServiceRow& row) {
   w.write_u64(m.arrivals);
   w.write_u64(m.served);
   w.write_u64(m.rejected);
+  w.write_u64(m.qos_rejected);
   w.write_u64(m.intervals);
   w.write_u64(m.violations);
   w.write_f64(m.violation_rate);
@@ -157,6 +159,9 @@ void write_service_row(BinaryWriter& w, const ServiceRow& row) {
   if (pattern > 2) r.fail();
   row.pattern = static_cast<workload::ArrivalPattern>(pattern);
   row.load = r.read_f64();
+  const std::uint32_t admission = r.read_u32();
+  if (admission >= static_cast<std::uint32_t>(kNumAdmissionPolicies)) r.fail();
+  row.admission = static_cast<AdmissionPolicy>(admission);
   const std::uint32_t policy = r.read_u32();
   if (policy > static_cast<std::uint32_t>(rm::RmPolicy::ClassPart)) r.fail();
   row.policy = static_cast<rm::RmPolicy>(policy);
@@ -169,6 +174,7 @@ void write_service_row(BinaryWriter& w, const ServiceRow& row) {
   m.arrivals = r.read_u64();
   m.served = r.read_u64();
   m.rejected = r.read_u64();
+  m.qos_rejected = r.read_u64();
   m.intervals = r.read_u64();
   m.violations = r.read_u64();
   m.violation_rate = r.read_f64();
@@ -530,6 +536,7 @@ bool save_service_part(const ServicePart& part, const std::string& path,
   w.write_u64(part.fingerprint);
   w.write_u64(part.shape.patterns);
   w.write_u64(part.shape.loads);
+  w.write_u64(part.shape.admissions);
   w.write_u64(part.shape.policies);
   w.write_u64(part.shape.alphas);
   w.write_u64(part.shard_index);
@@ -584,6 +591,7 @@ std::optional<ServicePart> load_service_part(const std::string& path,
   part.fingerprint = r.read_u64();
   part.shape.patterns = static_cast<std::size_t>(r.read_u64());
   part.shape.loads = static_cast<std::size_t>(r.read_u64());
+  part.shape.admissions = static_cast<std::size_t>(r.read_u64());
   part.shape.policies = static_cast<std::size_t>(r.read_u64());
   part.shape.alphas = static_cast<std::size_t>(r.read_u64());
   part.shard_index = static_cast<std::size_t>(r.read_u64());
@@ -597,10 +605,12 @@ std::optional<ServicePart> load_service_part(const std::string& path,
   constexpr unsigned __int128 kMaxRows = std::size_t{1} << 32;
   const unsigned __int128 total_rows = static_cast<unsigned __int128>(
                                            part.shape.patterns) *
-                                       part.shape.loads * part.shape.policies *
-                                       part.shape.alphas;
+                                       part.shape.loads *
+                                       part.shape.admissions *
+                                       part.shape.policies * part.shape.alphas;
   if (!r.ok() || part.shape.patterns == 0 || part.shape.patterns > kMaxAxis ||
       part.shape.loads == 0 || part.shape.loads > kMaxAxis ||
+      part.shape.admissions == 0 || part.shape.admissions > kMaxAxis ||
       part.shape.policies == 0 || part.shape.policies > kMaxAxis ||
       part.shape.alphas == 0 || part.shape.alphas > kMaxAxis ||
       total_rows > kMaxRows ||

@@ -139,12 +139,15 @@ struct SweepIdentity {
 
 // ---------------------------------------------------------------------------
 // Service-mode parts: the same shard/part/merge machinery for the colocation
-// service's {pattern x load x policy x alpha} grid (rmsim/service.hh). The
+// service's {pattern x load x admission x policy x alpha} grid
+// (rmsim/service.hh). The
 // layout mirrors the sweep part format under a distinct magic, so the two
 // part kinds can never be cross-merged by accident.
 // ---------------------------------------------------------------------------
 
-inline constexpr std::uint32_t kServicePartVersion = 1;
+// Version 2: admission-policy axis (grid shape dimension + per-row admission
+// and qos_rejected fields). Version-1 parts are rejected, never reinterpreted.
+inline constexpr std::uint32_t kServicePartVersion = 2;
 
 /// One shard's output of a service sweep.
 struct ServicePart {

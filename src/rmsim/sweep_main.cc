@@ -35,6 +35,7 @@
 #include "common/str.hh"
 #include "common/subprocess.hh"
 #include "power/power_model.hh"
+#include "rmsim/cli_flags.hh"
 #include "rmsim/report.hh"
 #include "rmsim/shard.hh"
 #include "rmsim/sweep.hh"
@@ -180,11 +181,9 @@ int main(int argc, char** argv) {
 
   // Reject unknown flags: a typo'd flag name would otherwise silently run
   // a default sweep labeled as if the request had been honored.
-  static const std::set<std::string> kKnownFlags = {
-      "cores",      "replicate",    "bw-shares",    "per-scenario", "seed",
-      "policies",   "models",       "alphas",       "threads",     "rows-csv",
-      "agg-csv",    "report-json",  "overheads",    "db-cache",    "shard",
-      "part-output", "workers",     "parts-dir",    "resume",      "keep-parts"};
+  static const std::set<std::string> kKnownFlags(
+      std::begin(rmsim::cli::kSweepMainFlags),
+      std::end(rmsim::cli::kSweepMainFlags));
   for (const std::string& flag : args.flag_names()) {
     if (!kKnownFlags.count(flag)) {
       std::fprintf(stderr, "unknown flag --%s (see --help)\n", flag.c_str());

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "rmsim/cli_flags.hh"
 #include "rmsim/shard.hh"
 #include "rmsim/sweep.hh"
 
@@ -42,8 +43,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  static const std::set<std::string> kKnownFlags = {"rows-csv", "agg-csv",
-                                                    "list"};
+  static const std::set<std::string> kKnownFlags(
+      std::begin(rmsim::cli::kSweepMergeFlags),
+      std::end(rmsim::cli::kSweepMergeFlags));
   for (const std::string& flag : args.flag_names()) {
     if (!kKnownFlags.count(flag)) {
       std::fprintf(stderr, "unknown flag --%s (see --help)\n", flag.c_str());

@@ -1,0 +1,63 @@
+// Flag-coverage gate for docs/CLI.md: every flag a binary declares in
+// rmsim/cli_flags.hh must appear in the CLI reference, so the doc cannot
+// silently drift from the binaries. The reverse direction - documenting a
+// flag that does not exist - is caught by the binaries' own strict
+// unknown-flag validation the moment anyone tries a documented flag, and by
+// the doc linking each table to the header it mirrors.
+#include "rmsim/cli_flags.hh"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace qosrm::rmsim {
+namespace {
+
+const std::string& cli_doc() {
+  static const std::string doc = [] {
+    const std::string path = std::string(QOSRM_DOCS_DIR) + "/CLI.md";
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }();
+  return doc;
+}
+
+template <std::size_t N>
+void expect_all_documented(const char* binary, const char* const (&flags)[N]) {
+  const std::string& doc = cli_doc();
+  for (const char* flag : flags) {
+    EXPECT_NE(doc.find("--" + std::string(flag)), std::string::npos)
+        << binary << " flag --" << flag
+        << " is not documented in docs/CLI.md";
+  }
+}
+
+TEST(CliDocs, EverySweepMainFlagIsDocumented) {
+  expect_all_documented("sweep_main", cli::kSweepMainFlags);
+}
+
+TEST(CliDocs, EveryServiceMainFlagIsDocumented) {
+  expect_all_documented("service_main", cli::kServiceMainFlags);
+}
+
+TEST(CliDocs, EverySweepMergeFlagIsDocumented) {
+  expect_all_documented("sweep_merge", cli::kSweepMergeFlags);
+}
+
+TEST(CliDocs, EveryReportMainFlagIsDocumented) {
+  expect_all_documented("report_main", cli::kReportMainFlags);
+}
+
+TEST(CliDocs, HelpIsDocumentedOnce) {
+  // --help is accepted by every binary but lives outside the per-binary
+  // arrays (see cli_flags.hh); it still must be in the reference.
+  EXPECT_NE(cli_doc().find("--help"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qosrm::rmsim

@@ -36,6 +36,8 @@ ServiceGrid small_grid() {
   grid.patterns = {workload::ArrivalPattern::Poisson,
                    workload::ArrivalPattern::Bursty};
   grid.loads = {0.7};
+  grid.admissions = {AdmissionPolicy::Fifo, AdmissionPolicy::Sdf,
+                     AdmissionPolicy::QosAware};
   grid.policies = {rm::RmPolicy::Idle, rm::RmPolicy::Rm3};
   grid.qos_alphas = {0.0};
   return grid;
@@ -48,6 +50,7 @@ void expect_rows_equal(const std::vector<ServiceRow>& a,
     SCOPED_TRACE("row " + std::to_string(i));
     EXPECT_EQ(a[i].pattern, b[i].pattern);
     EXPECT_EQ(a[i].load, b[i].load);
+    EXPECT_EQ(a[i].admission, b[i].admission);
     EXPECT_EQ(a[i].policy, b[i].policy);
     EXPECT_EQ(a[i].model, b[i].model);
     EXPECT_EQ(a[i].qos_alpha, b[i].qos_alpha);
@@ -56,6 +59,7 @@ void expect_rows_equal(const std::vector<ServiceRow>& a,
     EXPECT_EQ(ma.arrivals, mb.arrivals);
     EXPECT_EQ(ma.served, mb.served);
     EXPECT_EQ(ma.rejected, mb.rejected);
+    EXPECT_EQ(ma.qos_rejected, mb.qos_rejected);
     EXPECT_EQ(ma.intervals, mb.intervals);
     EXPECT_EQ(ma.violations, mb.violations);
     // Bit-exact, not approximate: determinism is the contract under test.
@@ -251,6 +255,67 @@ TEST(Service, FingerprintSeparatesDifferentRuns) {
   ServiceGrid wider = grid;
   wider.loads.push_back(1.1);
   EXPECT_NE(fp, service_fingerprint(wider, config, 42));
+
+  ServiceGrid more_admissions = grid;
+  more_admissions.admissions = {AdmissionPolicy::Fifo};
+  EXPECT_NE(fp, service_fingerprint(more_admissions, config, 42));
+}
+
+TEST(Service, AdmissionCellsConserveArrivalsOnIdenticalTraces) {
+  // All admission policies of one (pattern, load) face byte-identical
+  // arrival traces: same arrival count, and arrivals = served + rejected
+  // under every policy - an admission policy may turn arrivals away, never
+  // lose them.
+  const workload::SimDb& db = qosrm::testing::shared_db(2);
+  ServiceConfig config = small_config();
+  config.queue_capacity = 8;
+  for (const AdmissionPolicy admission :
+       {AdmissionPolicy::Fifo, AdmissionPolicy::Sdf,
+        AdmissionPolicy::QosAware}) {
+    SCOPED_TRACE(admission_policy_name(admission));
+    ServicePoint point;
+    point.load = 3.0;  // overload so the queue and rejection paths engage
+    point.admission = admission;
+    ServiceEngine engine(db, config, point);
+    const ServiceMetrics m = engine.run();
+    EXPECT_EQ(m.arrivals, config.arrivals);
+    EXPECT_EQ(m.arrivals, m.served + m.rejected);
+    EXPECT_LE(m.qos_rejected, m.rejected);
+    if (admission != AdmissionPolicy::QosAware) {
+      EXPECT_EQ(m.qos_rejected, 0u);  // only qos-aware rejects by predicate
+    }
+  }
+}
+
+TEST(Service, SdfReordersTheQueueUnderOverload) {
+  // Under heavy overload smallest-demand-first must release the queue in a
+  // different order than FIFO - the fixed-seed runs are deterministic, so a
+  // genuine behavioural difference shows up as different mean queueing
+  // delay (and equal arrival accounting, per the test above).
+  const workload::SimDb& db = qosrm::testing::shared_db(2);
+  ServiceConfig config = small_config();
+  config.queue_capacity = 64;
+  ServicePoint fifo;
+  fifo.load = 3.0;
+  fifo.admission = AdmissionPolicy::Fifo;
+  ServicePoint sdf = fifo;
+  sdf.admission = AdmissionPolicy::Sdf;
+  const ServiceMetrics m_fifo = ServiceEngine(db, config, fifo).run();
+  const ServiceMetrics m_sdf = ServiceEngine(db, config, sdf).run();
+  EXPECT_EQ(m_fifo.arrivals, m_sdf.arrivals);
+  EXPECT_NE(m_fifo.mean_wait_s, m_sdf.mean_wait_s);
+}
+
+TEST(ServiceDeathTest, ParseAdmissionsRejectsBadSpecs) {
+  EXPECT_DEATH((void)parse_admissions(""), "empty --admission entry");
+  EXPECT_DEATH((void)parse_admissions("fifo,"), "empty --admission entry");
+  EXPECT_DEATH((void)parse_admissions("lifo"), "bad --admission entry");
+  EXPECT_DEATH((void)parse_admissions("qosaware"), "bad --admission entry");
+  const std::vector<AdmissionPolicy> admissions =
+      parse_admissions("fifo, sdf,qos-aware");
+  ASSERT_EQ(admissions.size(), 3u);
+  EXPECT_EQ(admissions[1], AdmissionPolicy::Sdf);
+  EXPECT_EQ(admissions[2], AdmissionPolicy::QosAware);
 }
 
 TEST(ServiceDeathTest, ParseLoadsRejectsBadSpecs) {

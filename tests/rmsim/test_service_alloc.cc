@@ -15,6 +15,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <string>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
@@ -60,7 +62,9 @@ void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
 namespace qosrm::rmsim {
 namespace {
 
-class ServiceAllocPolicy : public ::testing::TestWithParam<rm::RmPolicy> {};
+class ServiceAllocPolicy
+    : public ::testing::TestWithParam<std::tuple<rm::RmPolicy, AdmissionPolicy>> {
+};
 
 TEST_P(ServiceAllocPolicy, SteadyStateLoopIsAllocationFree) {
   const workload::SimDb& db = qosrm::testing::shared_db(2);
@@ -71,7 +75,9 @@ TEST_P(ServiceAllocPolicy, SteadyStateLoopIsAllocationFree) {
   config.demand_min = 10;
   config.demand_max = 40;
   ServicePoint point;
-  point.policy = GetParam();
+  point.policy = std::get<0>(GetParam());
+  point.admission = std::get<1>(GetParam());
+  point.load = 2.0;  // overload: the queue-scan admission paths must engage
   ServiceEngine engine(db, config, point);
 
   // Warm pass: every buffer grows to its high-water capacity, every RM
@@ -89,17 +95,28 @@ TEST_P(ServiceAllocPolicy, SteadyStateLoopIsAllocationFree) {
       << "service loop (required: zero per event after warmup)";
 }
 
-// The zero-alloc invariant covers the full policy axis: the paper's RM3 and
-// each classic partitioning-only baseline (their workspace buffers must be
-// pre-warmed just like the optimizer's).
-INSTANTIATE_TEST_SUITE_P(AllPolicies, ServiceAllocPolicy,
-                         ::testing::Values(rm::RmPolicy::Rm3,
-                                           rm::RmPolicy::Ucp,
-                                           rm::RmPolicy::Fcp,
-                                           rm::RmPolicy::ClassPart),
-                         [](const auto& info) {
-                           return std::string(rm::rm_policy_name(info.param));
-                         });
+// The zero-alloc invariant covers the full {RM policy x admission policy}
+// plane: the paper's RM3 and each classic partitioning-only baseline (their
+// workspace buffers must be pre-warmed just like the optimizer's), each
+// under every admission discipline (the sdf/qos-aware queue scans and the
+// rejection predicate run inside the steady-state loop).
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, ServiceAllocPolicy,
+    ::testing::Combine(::testing::Values(rm::RmPolicy::Rm3, rm::RmPolicy::Ucp,
+                                         rm::RmPolicy::Fcp,
+                                         rm::RmPolicy::ClassPart),
+                       ::testing::Values(AdmissionPolicy::Fifo,
+                                         AdmissionPolicy::Sdf,
+                                         AdmissionPolicy::QosAware)),
+    [](const auto& info) {
+      std::string name = rm::rm_policy_name(std::get<0>(info.param));
+      name += "_";
+      for (const char* p = admission_policy_name(std::get<1>(info.param));
+           *p != '\0'; ++p) {
+        name += *p == '-' ? '_' : *p;  // gtest names must be alphanumeric
+      }
+      return name;
+    });
 
 TEST(ServiceAlloc, ArrivalRegenerationIsAllocationFree) {
   workload::ArrivalGenOptions options;

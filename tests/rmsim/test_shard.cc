@@ -218,7 +218,7 @@ TEST(ServicePartTest, PartitioningBaselinePoliciesSurviveRoundTrip) {
   // Same regression as above for the service-part reader.
   ServicePart part;
   part.fingerprint = 0x5e41f1ce00000001ULL;
-  part.shape = ServiceGridShape{1, 1, 3, 1};
+  part.shape = ServiceGridShape{1, 1, 1, 3, 1};
   part.shard_index = 0;
   part.shard_count = 1;
   part.range = ShardRange{0, 3};

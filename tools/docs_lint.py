@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Docs link lint: fail on broken relative links in the repo's markdown.
+
+Scans README.md, DESIGN.md and docs/*.md for markdown links and inline
+reference targets. External links (http/https/mailto) are ignored - CI
+must not flake on the outside world. A relative target is resolved
+against the containing file's directory (anchors stripped) and must
+exist; a missing target is a hard failure listing every offender.
+
+Usage: python3 tools/docs_lint.py [repo_root]
+"""
+
+import pathlib
+import re
+import sys
+
+# [text](target) - excluding images is unnecessary: their targets must
+# exist too. Target ends at the first unescaped ')' (no nested parens in
+# any of our docs).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files(root: pathlib.Path):
+    for name in ("README.md", "DESIGN.md"):
+        path = root / name
+        if path.is_file():
+            yield path
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def check_file(path: pathlib.Path):
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:  # pure in-page anchor
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            errors.append(f"{path}:{line}: broken link -> {match.group(1)}")
+    return errors
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    errors = []
+    checked = 0
+    for path in doc_files(root):
+        checked += 1
+        errors.extend(check_file(path))
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"docs lint: {len(errors)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"docs lint: {checked} file(s), all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
